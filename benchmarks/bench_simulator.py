@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the simulator substrate.
+
+Not a paper table — these quantify the cost of one "HSPICE call" in our
+substitution, which is what the optimization budgets of Tables I/II are
+denominated in.  Useful for regression-testing simulator performance,
+since the table benches' wall time is dominated by these calls.
+
+Run: ``pytest benchmarks/bench_simulator.py --benchmark-only``
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ACAnalysis, Circuit, DCAnalysis, nmos_180
+from repro.circuits.ac import log_freqs
+from repro.circuits.pvt import NOMINAL, standard_corners
+from repro.circuits.testbenches import ChargePumpProblem, TwoStageOpAmpProblem
+
+OPAMP_X = np.array(
+    [40e-6, 0.5e-6, 10e-6, 0.5e-6, 80e-6, 0.3e-6, 40e-6, 0.5e-6, 3e-12, 10e-6]
+)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_opamp_full_evaluation(benchmark):
+    """One Table I 'simulation': DC + AC sweep + measurements."""
+    problem = TwoStageOpAmpProblem()
+    metrics = benchmark(lambda: problem.simulate(OPAMP_X))
+    assert metrics["gain_db"] > 40.0
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_opamp_dc_only(benchmark):
+    problem = TwoStageOpAmpProblem()
+    ckt = problem.build_circuit(OPAMP_X)
+    analysis = DCAnalysis(ckt)
+    guess = problem._initial_guess()
+    sol = benchmark(lambda: analysis.solve(initial=guess))
+    assert sol.iterations < 100
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_charge_pump_single_corner(benchmark):
+    """One branch sweep at one corner (the charge-pump inner loop)."""
+    problem = ChargePumpProblem(
+        corners=standard_corners(processes=("TT",), vdd_scales=(1.0,),
+                                 temps_c=(27.0,))
+    )
+    p = {v.name: 0.5 * (v.lower + v.upper) for v in problem.variables}
+    currents = benchmark(lambda: problem._branch_currents(p, "n", NOMINAL))
+    assert currents.shape == (problem.n_sweep,)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_ac_sweep_cost(benchmark):
+    """90-point AC sweep of a mid-size nonlinear circuit."""
+    ckt = Circuit("cs")
+    ckt.vsource("VDD", "vdd", "0", 1.8)
+    ckt.vsource("VIN", "g", "0", 0.8, ac=1.0)
+    ckt.resistor("RL", "vdd", "d", 10e3)
+    ckt.mosfet("M1", "d", "g", "0", "0", nmos_180, 5e-6, 1e-6)
+    dc = DCAnalysis(ckt).solve()
+    freqs = log_freqs(10.0, 1e9, 10)
+    analysis = ACAnalysis(ckt)
+    result = benchmark(lambda: analysis.sweep(dc, freqs))
+    assert result.x.shape[0] == len(freqs)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_newton_iteration_cost(benchmark):
+    """Raw Newton solve of the op-amp bias point from a cold start."""
+    problem = TwoStageOpAmpProblem()
+    ckt = problem.build_circuit(OPAMP_X)
+    analysis = DCAnalysis(ckt)
+    benchmark(lambda: analysis.solve())

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Benchmarks regenerate the paper's tables at *scaled-down* budgets so the
+whole suite runs in minutes (the paper-scale runs live in
+``repro.experiments`` and take hours).  Each bench prints the rows it
+reproduces and attaches them to pytest-benchmark's ``extra_info`` so the
+JSON export carries the reproduction data alongside the timings.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy():
+    """Benchmarks must be deterministic run-to-run."""
+    np.random.seed(0)

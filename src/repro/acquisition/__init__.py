@@ -1,0 +1,33 @@
+"""Acquisition functions and maximizers for constrained Bayesian optimization.
+
+The paper uses weighted Expected Improvement (eq. 7): EI of the objective
+(eq. 5–6) multiplied by the probability of satisfying every constraint.
+Plain EI, PI, LCB/UCB and PoF are provided as building blocks, and
+``maximize`` contains the inner "optimize engine" of Fig. 2.
+"""
+
+from repro.acquisition.base import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_feasibility,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+from repro.acquisition.maximize import (
+    AcquisitionMaximizer,
+    DifferentialEvolutionMaximizer,
+    RandomSearchMaximizer,
+)
+from repro.acquisition.wei import WeightedExpectedImprovement
+
+__all__ = [
+    "AcquisitionMaximizer",
+    "DifferentialEvolutionMaximizer",
+    "RandomSearchMaximizer",
+    "WeightedExpectedImprovement",
+    "expected_improvement",
+    "lower_confidence_bound",
+    "probability_of_feasibility",
+    "probability_of_improvement",
+    "upper_confidence_bound",
+]

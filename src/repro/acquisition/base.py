@@ -1,0 +1,67 @@
+"""Closed-form acquisition primitives on Gaussian predictive distributions.
+
+All functions take predictive mean/variance arrays (as returned by the
+surrogates) and are vectorized over query points.  Minimization convention
+throughout, matching the paper's problem statement (eq. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+_MIN_SIGMA = 1e-12
+
+
+def _sigma(var: np.ndarray) -> np.ndarray:
+    return np.sqrt(np.maximum(np.asarray(var, dtype=float), _MIN_SIGMA**2))
+
+
+def expected_improvement(mean, var, tau: float) -> np.ndarray:
+    """Expected improvement below the incumbent ``tau`` (paper eq. 5–6).
+
+    ``EI(x) = sigma(x) * (lambda * CDF(lambda) + PDF(lambda))`` with
+    ``lambda = (tau - mu(x)) / sigma(x)``.  Large when the predicted mean is
+    low (exploitation) or the uncertainty is high (exploration).
+    """
+    mean = np.asarray(mean, dtype=float)
+    sigma = _sigma(var)
+    lam = (tau - mean) / sigma
+    ei = sigma * (lam * stats.norm.cdf(lam) + stats.norm.pdf(lam))
+    return np.maximum(ei, 0.0)
+
+
+def probability_of_improvement(mean, var, tau: float) -> np.ndarray:
+    """Probability that the objective at x is below the incumbent ``tau``."""
+    mean = np.asarray(mean, dtype=float)
+    sigma = _sigma(var)
+    return stats.norm.cdf((tau - mean) / sigma)
+
+
+def lower_confidence_bound(mean, var, kappa: float = 2.0) -> np.ndarray:
+    """LCB ``mu - kappa * sigma`` (to be *minimized* for exploration).
+
+    This is the minimization analogue of Auer's UCB criterion cited in
+    Sec. II-B; GASPAD uses it for prescreening evolutionary offspring.
+    """
+    if kappa < 0:
+        raise ValueError(f"kappa must be non-negative, got {kappa}")
+    return np.asarray(mean, dtype=float) - kappa * _sigma(var)
+
+
+def upper_confidence_bound(mean, var, kappa: float = 2.0) -> np.ndarray:
+    """UCB ``mu + kappa * sigma`` (for maximization problems)."""
+    if kappa < 0:
+        raise ValueError(f"kappa must be non-negative, got {kappa}")
+    return np.asarray(mean, dtype=float) + kappa * _sigma(var)
+
+
+def probability_of_feasibility(mean, var) -> np.ndarray:
+    """``PF(x) = P(g(x) < 0)`` for one constraint surrogate (paper eq. 7).
+
+    Constraints follow the ``g(x) < 0`` convention of eq. 1, so feasibility
+    probability is the Gaussian CDF mass below zero.
+    """
+    mean = np.asarray(mean, dtype=float)
+    sigma = _sigma(var)
+    return stats.norm.cdf(-mean / sigma)

@@ -1,0 +1,86 @@
+"""Weighted Expected Improvement for constrained problems (paper eq. 7).
+
+``wEI(x) = EI(x) * prod_i PF_i(x)`` favours regions that both improve the
+objective and are likely to satisfy every constraint.  Until a feasible
+point has been observed the incumbent ``tau`` is undefined; following the
+WEIBO reference (Lyu et al. 2018 / Gelbart et al. 2014) the acquisition
+then degenerates to the pure feasibility product ``prod_i PF_i(x)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition.base import expected_improvement, probability_of_feasibility
+
+
+class WeightedExpectedImprovement:
+    """Callable acquisition built from fitted surrogates.
+
+    Parameters
+    ----------
+    objective_model:
+        Surrogate with ``predict(x) -> (mean, var)`` for the objective.
+        May be ``None`` when only feasibility search is wanted.
+    constraint_models:
+        One surrogate per constraint ``g_i(x) < 0`` (possibly empty for
+        unconstrained problems, where wEI reduces to plain EI).
+    tau:
+        Best *feasible* objective observed so far, or ``None`` if no
+        feasible point exists yet.
+    log_space:
+        Evaluate the product in log space.  With dozens of constraints the
+        plain product underflows to an exact 0.0 over most of the space,
+        flattening the acquisition; summing log-probabilities keeps the
+        ranking information.  The returned value is then a monotone
+        transform ``log wEI``, which leaves the argmax unchanged.
+    """
+
+    def __init__(
+        self,
+        objective_model,
+        constraint_models,
+        tau: float | None,
+        log_space: bool = False,
+    ):
+        self.objective_model = objective_model
+        self.constraint_models = list(constraint_models)
+        self.tau = tau
+        self.log_space = bool(log_space)
+        if tau is None and objective_model is None and not self.constraint_models:
+            raise ValueError("acquisition needs an objective model or constraints")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the acquisition on a batch of points, shape ``(n, d)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        n = x.shape[0]
+        if self.log_space:
+            return self._evaluate_log(x, n)
+        value = np.ones(n)
+        if self.tau is not None and self.objective_model is not None:
+            mean, var = self.objective_model.predict(x)
+            value = expected_improvement(mean, var, self.tau)
+        for model in self.constraint_models:
+            g_mean, g_var = model.predict(x)
+            value = value * probability_of_feasibility(g_mean, g_var)
+        return value
+
+    def _evaluate_log(self, x: np.ndarray, n: int) -> np.ndarray:
+        tiny = 1e-300
+        log_value = np.zeros(n)
+        if self.tau is not None and self.objective_model is not None:
+            mean, var = self.objective_model.predict(x)
+            ei = expected_improvement(mean, var, self.tau)
+            log_value = np.log(np.maximum(ei, tiny))
+        for model in self.constraint_models:
+            g_mean, g_var = model.predict(x)
+            pf = probability_of_feasibility(g_mean, g_var)
+            log_value = log_value + np.log(np.maximum(pf, tiny))
+        return log_value
+
+    def __repr__(self) -> str:
+        phase = "feasibility-search" if self.tau is None else f"tau={self.tau:.4g}"
+        return (
+            f"WeightedExpectedImprovement({phase}, "
+            f"n_constraints={len(self.constraint_models)})"
+        )

@@ -1,0 +1,19 @@
+"""Reference algorithms the paper compares against (Sec. IV).
+
+* :class:`WEIBO` — classic-GP Bayesian optimization with weighted EI
+  (Lyu et al., TCAS-I 2018),
+* :class:`GASPAD` — GP-assisted differential evolution with surrogate
+  prescreening (Liu et al., TCAD 2014),
+* :class:`DifferentialEvolution` — plain DE with feasibility-rule
+  constraint handling (Liu et al., Integration 2009).
+
+All three consume the same :class:`~repro.bo.problem.Problem` interface
+and produce the same :class:`~repro.bo.history.OptimizationResult`, so the
+statistics harness treats every algorithm identically.
+"""
+
+from repro.baselines.de import DifferentialEvolution
+from repro.baselines.gaspad import GASPAD
+from repro.baselines.weibo import WEIBO
+
+__all__ = ["DifferentialEvolution", "GASPAD", "WEIBO"]

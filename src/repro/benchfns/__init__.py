@@ -1,0 +1,33 @@
+"""Synthetic test problems for unit tests, examples and surrogate studies."""
+
+from repro.benchfns.constrained import (
+    g06_problem,
+    g08_problem,
+    gardner_problem,
+    pressure_vessel_problem,
+    tension_spring_problem,
+    toy_constrained_quadratic,
+)
+from repro.benchfns.synthetic import (
+    ackley,
+    branin,
+    hartmann6,
+    rastrigin,
+    rosenbrock,
+    sphere,
+)
+
+__all__ = [
+    "ackley",
+    "branin",
+    "g06_problem",
+    "g08_problem",
+    "gardner_problem",
+    "hartmann6",
+    "pressure_vessel_problem",
+    "rastrigin",
+    "rosenbrock",
+    "sphere",
+    "tension_spring_problem",
+    "toy_constrained_quadratic",
+]

@@ -1,0 +1,164 @@
+"""Constrained test problems in the eq. 1 form (``g(x) < 0`` feasible).
+
+These give the BO/DE/GASPAD drivers cheap, well-characterized workloads
+for unit tests, and the surrogate studies a ground truth where feasibility
+structure is known analytically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.problem import FunctionProblem
+from repro.benchfns.synthetic import branin
+
+
+def toy_constrained_quadratic(dim: int = 2) -> FunctionProblem:
+    """Sphere objective with a linear constraint ``sum(x) >= 1``.
+
+    Optimum sits on the constraint boundary at ``x_i = 1/dim`` with value
+    ``1/dim`` — handy for asserting that constrained optimizers actually
+    ride the boundary rather than retreating to the unconstrained optimum.
+    """
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    return FunctionProblem(
+        name=f"toy_quadratic_{dim}d",
+        lower=np.full(dim, -2.0),
+        upper=np.full(dim, 2.0),
+        objective=lambda x: float(np.sum(x**2)),
+        constraints=[lambda x: 1.0 - float(np.sum(x))],
+    )
+
+
+def gardner_problem() -> FunctionProblem:
+    """Gardner et al. (2014) simulation problem 1 on [0, 6]^2.
+
+    ``min cos(2 x0) cos(x1) + sin(x0)`` s.t. ``cos(x0) cos(x1) -
+    sin(x0) sin(x1) + 0.5 < 0``; highly multi-modal feasible region.
+    """
+    return FunctionProblem(
+        name="gardner",
+        lower=[0.0, 0.0],
+        upper=[6.0, 6.0],
+        objective=lambda x: float(np.cos(2.0 * x[0]) * np.cos(x[1]) + np.sin(x[0])),
+        constraints=[
+            lambda x: float(
+                np.cos(x[0]) * np.cos(x[1]) - np.sin(x[0]) * np.sin(x[1]) + 0.5
+            )
+        ],
+    )
+
+
+def g06_problem() -> FunctionProblem:
+    """CEC g06: cubic objective, two nonlinear constraints, tiny feasible
+    sliver; best known value -6961.81388."""
+    return FunctionProblem(
+        name="g06",
+        lower=[13.0, 0.0],
+        upper=[100.0, 100.0],
+        objective=lambda x: float((x[0] - 10.0) ** 3 + (x[1] - 20.0) ** 3),
+        constraints=[
+            lambda x: float(-((x[0] - 5.0) ** 2) - (x[1] - 5.0) ** 2 + 100.0),
+            lambda x: float((x[0] - 6.0) ** 2 + (x[1] - 5.0) ** 2 - 82.81),
+        ],
+    )
+
+
+def g08_problem() -> FunctionProblem:
+    """CEC g08: oscillatory fractional objective with two constraints;
+    best known value -0.095825."""
+
+    def objective(x):
+        num = np.sin(2.0 * np.pi * x[0]) ** 3 * np.sin(2.0 * np.pi * x[1])
+        den = x[0] ** 3 * (x[0] + x[1])
+        return float(-num / den)
+
+    return FunctionProblem(
+        name="g08",
+        lower=[0.5, 0.5],
+        upper=[10.0, 10.0],
+        objective=objective,
+        constraints=[
+            lambda x: float(x[0] ** 2 - x[1] + 1.0),
+            lambda x: float(1.0 - x[0] + (x[1] - 4.0) ** 2),
+        ],
+    )
+
+
+def tension_spring_problem() -> FunctionProblem:
+    """Tension/compression spring design (Coello 2000), 3 variables,
+    4 constraints; best known weight ~0.012665."""
+
+    def objective(x):
+        d, w, n = x  # wire diameter, coil diameter, active coils
+        return float((n + 2.0) * w * d**2)
+
+    def g1(x):
+        d, w, n = x
+        return float(1.0 - (w**3 * n) / (71785.0 * d**4))
+
+    def g2(x):
+        d, w, n = x
+        return float(
+            (4.0 * w**2 - d * w) / (12566.0 * (w * d**3 - d**4))
+            + 1.0 / (5108.0 * d**2)
+            - 1.0
+        )
+
+    def g3(x):
+        d, w, n = x
+        return float(1.0 - 140.45 * d / (w**2 * n))
+
+    def g4(x):
+        d, w, _ = x
+        return float((w + d) / 1.5 - 1.0)
+
+    return FunctionProblem(
+        name="tension_spring",
+        lower=[0.05, 0.25, 2.0],
+        upper=[2.0, 1.3, 15.0],
+        objective=objective,
+        constraints=[g1, g2, g3, g4],
+    )
+
+
+def pressure_vessel_problem() -> FunctionProblem:
+    """Pressure-vessel design (relaxed-continuous form), 4 variables,
+    3 constraints; classic engineering BO benchmark."""
+
+    def objective(x):
+        t_s, t_h, r, l = x
+        return float(
+            0.6224 * t_s * r * l
+            + 1.7781 * t_h * r**2
+            + 3.1661 * t_s**2 * l
+            + 19.84 * t_s**2 * r
+        )
+
+    return FunctionProblem(
+        name="pressure_vessel",
+        lower=[0.0625, 0.0625, 10.0, 10.0],
+        upper=[6.1875, 6.1875, 200.0, 240.0],
+        objective=objective,
+        constraints=[
+            lambda x: float(-x[0] + 0.0193 * x[2]),
+            lambda x: float(-x[1] + 0.00954 * x[2]),
+            lambda x: float(
+                -np.pi * x[2] ** 2 * x[3] - (4.0 / 3.0) * np.pi * x[2] ** 3 + 1_296_000.0
+            ),
+        ],
+    )
+
+
+def constrained_branin_problem() -> FunctionProblem:
+    """Branin with a disk constraint that excludes two of the three optima."""
+    return FunctionProblem(
+        name="constrained_branin",
+        lower=[-5.0, 0.0],
+        upper=[10.0, 15.0],
+        objective=branin,
+        constraints=[
+            lambda x: float((x[0] - 2.5) ** 2 + (x[1] - 7.5) ** 2 - 50.0)
+        ],
+    )

@@ -1,0 +1,80 @@
+"""Classic unconstrained test functions (minimization convention).
+
+Used by surrogate-quality tests and examples; global optima documented per
+function so tests can assert convergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sphere(x: np.ndarray) -> float:
+    """Sum of squares; global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=float)
+    return float(np.sum(x**2))
+
+
+def rosenbrock(x: np.ndarray) -> float:
+    """Rosenbrock valley; global minimum 0 at (1, ..., 1)."""
+    x = np.asarray(x, dtype=float)
+    if x.size < 2:
+        raise ValueError("rosenbrock needs at least 2 dimensions")
+    return float(np.sum(100.0 * (x[1:] - x[:-1] ** 2) ** 2 + (1.0 - x[:-1]) ** 2))
+
+
+def branin(x: np.ndarray) -> float:
+    """Branin-Hoo on [-5, 10] x [0, 15]; three global minima at 0.397887."""
+    x = np.asarray(x, dtype=float)
+    if x.size != 2:
+        raise ValueError("branin is 2-dimensional")
+    a, b, c = 1.0, 5.1 / (4.0 * np.pi**2), 5.0 / np.pi
+    r, s, t = 6.0, 10.0, 1.0 / (8.0 * np.pi)
+    return float(
+        a * (x[1] - b * x[0] ** 2 + c * x[0] - r) ** 2
+        + s * (1.0 - t) * np.cos(x[0])
+        + s
+    )
+
+
+def ackley(x: np.ndarray) -> float:
+    """Ackley function; global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    term1 = -20.0 * np.exp(-0.2 * np.sqrt(np.sum(x**2) / n))
+    term2 = -np.exp(np.sum(np.cos(2.0 * np.pi * x)) / n)
+    return float(term1 + term2 + 20.0 + np.e)
+
+
+def rastrigin(x: np.ndarray) -> float:
+    """Rastrigin function; global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=float)
+    return float(10.0 * x.size + np.sum(x**2 - 10.0 * np.cos(2.0 * np.pi * x)))
+
+
+_HARTMANN6_A = np.array(
+    [
+        [10.0, 3.0, 17.0, 3.5, 1.7, 8.0],
+        [0.05, 10.0, 17.0, 0.1, 8.0, 14.0],
+        [3.0, 3.5, 1.7, 10.0, 17.0, 8.0],
+        [17.0, 8.0, 0.05, 10.0, 0.1, 14.0],
+    ]
+)
+_HARTMANN6_P = 1e-4 * np.array(
+    [
+        [1312.0, 1696.0, 5569.0, 124.0, 8283.0, 5886.0],
+        [2329.0, 4135.0, 8307.0, 3736.0, 1004.0, 9991.0],
+        [2348.0, 1451.0, 3522.0, 2883.0, 3047.0, 6650.0],
+        [4047.0, 8828.0, 8732.0, 5743.0, 1091.0, 381.0],
+    ]
+)
+_HARTMANN6_ALPHA = np.array([1.0, 1.2, 3.0, 3.2])
+
+
+def hartmann6(x: np.ndarray) -> float:
+    """Hartmann-6 on [0, 1]^6; global minimum -3.32237."""
+    x = np.asarray(x, dtype=float)
+    if x.size != 6:
+        raise ValueError("hartmann6 is 6-dimensional")
+    inner = np.sum(_HARTMANN6_A * (x[None, :] - _HARTMANN6_P) ** 2, axis=1)
+    return float(-np.sum(_HARTMANN6_ALPHA * np.exp(-inner)))

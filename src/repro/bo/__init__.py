@@ -1,0 +1,23 @@
+"""Constrained black-box optimization framework.
+
+Problem definitions (eq. 1 form), initial experimental designs, run
+histories and the generic surrogate-based Bayesian-optimization driver
+(Algorithm 1) that the paper's NN-GP method and the WEIBO baseline share.
+"""
+
+from repro.bo.design import latin_hypercube, random_uniform, sobol_points
+from repro.bo.history import EvaluationRecord, OptimizationResult
+from repro.bo.loop import SurrogateBO
+from repro.bo.problem import Evaluation, FunctionProblem, Problem
+
+__all__ = [
+    "Evaluation",
+    "EvaluationRecord",
+    "FunctionProblem",
+    "OptimizationResult",
+    "Problem",
+    "SurrogateBO",
+    "latin_hypercube",
+    "random_uniform",
+    "sobol_points",
+]

@@ -1,0 +1,152 @@
+"""Run histories and result summaries.
+
+The paper reports, per run: the performances of the best design, and the
+*average number of simulations* needed to reach it (Tables I and II).
+:class:`OptimizationResult` therefore tracks every evaluation in order and
+derives best-feasible / sims-to-best statistics from the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bo.problem import Evaluation
+
+
+@dataclass
+class EvaluationRecord:
+    """One evaluated design in chronological order.
+
+    ``phase`` is ``"initial"`` for the random starting set and ``"search"``
+    for points proposed by the optimizer.
+    """
+
+    index: int
+    x: np.ndarray
+    evaluation: Evaluation
+    phase: str = "search"
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=float).ravel()
+        if self.phase not in ("initial", "search"):
+            raise ValueError(f"unknown phase {self.phase!r}")
+
+
+class OptimizationResult:
+    """Chronological record of an optimization run with summary accessors."""
+
+    def __init__(self, problem_name: str, algorithm: str):
+        self.problem_name = str(problem_name)
+        self.algorithm = str(algorithm)
+        self.records: list[EvaluationRecord] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def append(self, x: np.ndarray, evaluation: Evaluation, phase: str = "search"):
+        """Add one evaluated design to the trace."""
+        self.records.append(
+            EvaluationRecord(
+                index=len(self.records), x=x, evaluation=evaluation, phase=phase
+            )
+        )
+
+    # -- bulk views -------------------------------------------------------------
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total number of simulator calls."""
+        return len(self.records)
+
+    @property
+    def x_matrix(self) -> np.ndarray:
+        """All evaluated designs, shape ``(n, d)``."""
+        if not self.records:
+            return np.empty((0, 0))
+        return np.stack([r.x for r in self.records])
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """Objective trace, shape ``(n,)``."""
+        return np.array([r.evaluation.objective for r in self.records])
+
+    @property
+    def constraint_matrix(self) -> np.ndarray:
+        """Constraint values, shape ``(n, Nc)`` (``(n, 0)`` if unconstrained)."""
+        if not self.records:
+            return np.empty((0, 0))
+        return np.stack([r.evaluation.constraints for r in self.records])
+
+    @property
+    def feasible_mask(self) -> np.ndarray:
+        """Boolean mask of feasible evaluations."""
+        return np.array([r.evaluation.feasible for r in self.records])
+
+    # -- summaries ----------------------------------------------------------------
+
+    @property
+    def success(self) -> bool:
+        """True iff any feasible design was found (paper's ``# Success``)."""
+        return bool(np.any(self.feasible_mask))
+
+    def best_feasible(self) -> EvaluationRecord | None:
+        """The feasible record with the lowest objective, or ``None``."""
+        best = None
+        for record in self.records:
+            if not record.evaluation.feasible:
+                continue
+            if best is None or record.evaluation.objective < best.evaluation.objective:
+                best = record
+        return best
+
+    def best_objective(self) -> float:
+        """Best feasible objective (``inf`` when no feasible point exists)."""
+        best = self.best_feasible()
+        return np.inf if best is None else best.evaluation.objective
+
+    def n_sims_to_best(self, rel_tol: float = 1e-9) -> int | None:
+        """Simulations spent until the final best value was first reached.
+
+        This is the paper's ``Avg. # Sim`` notion: an algorithm that
+        plateaus early gets credit for the simulations it actually needed,
+        not for its full budget.  Returns ``None`` for failed runs.
+        """
+        best = self.best_feasible()
+        if best is None:
+            return None
+        target = best.evaluation.objective
+        margin = abs(target) * rel_tol + 1e-12
+        for record in self.records:
+            if (
+                record.evaluation.feasible
+                and record.evaluation.objective <= target + margin
+            ):
+                return record.index + 1
+        return best.index + 1
+
+    def n_sims_to_first_feasible(self) -> int | None:
+        """Simulations spent until the first feasible design (or ``None``)."""
+        mask = self.feasible_mask
+        if not np.any(mask):
+            return None
+        return int(np.argmax(mask)) + 1
+
+    def best_so_far(self) -> np.ndarray:
+        """Running best feasible objective per evaluation (inf before any).
+
+        This is the convergence curve used by the example scripts.
+        """
+        out = np.empty(self.n_evaluations)
+        best = np.inf
+        for i, record in enumerate(self.records):
+            if record.evaluation.feasible:
+                best = min(best, record.evaluation.objective)
+            out[i] = best
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizationResult({self.algorithm} on {self.problem_name}: "
+            f"{self.n_evaluations} evals, best={self.best_objective():.6g})"
+        )

@@ -1,0 +1,210 @@
+"""Generic constrained surrogate-based Bayesian optimization (Algorithm 1).
+
+The driver is deliberately surrogate-agnostic: the paper's method and the
+WEIBO baseline differ *only* in the ``surrogate_factory`` they plug in
+(NN-feature-GP ensemble vs. explicit-kernel GP), exactly mirroring the
+paper's experimental control.
+
+Per iteration (Fig. 2):
+
+1. fit one fresh surrogate to the objective and one per constraint
+   (fresh = newly constructed by the factory, so hyper-parameters are
+   randomly re-initialized each round as in Algorithm 1),
+2. maximize the wEI acquisition (eq. 7) over the unit box,
+3. simulate the proposed design, append it to the dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition.maximize import (
+    AcquisitionMaximizer,
+    DifferentialEvolutionMaximizer,
+)
+from repro.acquisition.wei import WeightedExpectedImprovement
+from repro.bo.design import make_design
+from repro.bo.history import OptimizationResult
+from repro.bo.problem import Problem
+from repro.utils.rng import ensure_rng
+
+
+class SurrogateBO:
+    """Constrained Bayesian optimization with pluggable surrogates.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.bo.problem.Problem` to minimize.
+    surrogate_factory:
+        Callable ``(rng) -> model`` returning a fresh surrogate with
+        ``fit(x, y)`` and ``predict(x) -> (mean, var)``.  Called once per
+        modelled quantity per iteration.
+    n_initial:
+        Size of the random initial design (Algorithm 1, line 1).
+    max_evaluations:
+        Total simulation budget including the initial design.
+    initial_design:
+        ``"lhs"`` (default), ``"random"`` or ``"sobol"``.
+    acq_maximizer:
+        Inner-loop engine; defaults to
+        :class:`DifferentialEvolutionMaximizer`.
+    acquisition:
+        ``"wei"`` (paper, eq. 7) or ``"thompson"`` — the latter draws one
+        exact posterior function per iteration from weight-space surrogates
+        (NN-GP only; an extension documented in DESIGN.md).
+    log_space_acq:
+        Evaluate wEI in log space.  ``None`` (default) auto-enables it when
+        the problem has four or more constraints (the Table II charge pump
+        has five, where the plain PF product underflows).
+    duplicate_tol:
+        Proposals closer than this (in unit-box metric) to an existing
+        sample are replaced by a random point — repeating a deterministic
+        simulation carries no information.
+    seed, verbose, callback:
+        Reproducibility / reporting hooks.  ``callback(iteration, result)``
+        runs after every evaluation.
+    """
+
+    algorithm_name = "SurrogateBO"
+
+    def __init__(
+        self,
+        problem: Problem,
+        surrogate_factory,
+        n_initial: int = 30,
+        max_evaluations: int = 100,
+        initial_design: str = "lhs",
+        acq_maximizer: AcquisitionMaximizer | None = None,
+        acquisition: str = "wei",
+        log_space_acq: bool | None = None,
+        duplicate_tol: float = 1e-9,
+        seed=None,
+        verbose: bool = False,
+        callback=None,
+        name: str | None = None,
+    ):
+        if n_initial < 2:
+            raise ValueError(f"n_initial must be >= 2, got {n_initial}")
+        if max_evaluations < n_initial:
+            raise ValueError(
+                f"max_evaluations ({max_evaluations}) must cover the initial "
+                f"design ({n_initial})"
+            )
+        self.problem = problem
+        self.surrogate_factory = surrogate_factory
+        self.n_initial = int(n_initial)
+        self.max_evaluations = int(max_evaluations)
+        self.initial_design = str(initial_design)
+        self.acq_maximizer = acq_maximizer or DifferentialEvolutionMaximizer()
+        if acquisition not in ("wei", "thompson"):
+            raise ValueError(
+                f"acquisition must be 'wei' or 'thompson', got {acquisition!r}"
+            )
+        self.acquisition = str(acquisition)
+        if log_space_acq is None:
+            log_space_acq = problem.n_constraints >= 4
+        self.log_space_acq = bool(log_space_acq)
+        self.duplicate_tol = float(duplicate_tol)
+        self.rng = ensure_rng(seed)
+        self.verbose = bool(verbose)
+        self.callback = callback
+        if name is not None:
+            self.algorithm_name = name
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> OptimizationResult:
+        """Execute Algorithm 1 and return the evaluation trace."""
+        result = OptimizationResult(self.problem.name, self.algorithm_name)
+        unit_x: list[np.ndarray] = []
+
+        for u in make_design(self.initial_design, self.n_initial, self.problem.dim, self.rng):
+            self._evaluate_and_record(u, result, unit_x, phase="initial")
+
+        iteration = 0
+        while result.n_evaluations < self.max_evaluations:
+            iteration += 1
+            proposal = self._propose(np.stack(unit_x), result)
+            self._evaluate_and_record(proposal, result, unit_x, phase="search")
+            if self.verbose:
+                best = result.best_objective()
+                print(
+                    f"[{self.algorithm_name}] iter {iteration:3d} "
+                    f"evals {result.n_evaluations:4d} best {best:.6g}"
+                )
+            if self.callback is not None:
+                self.callback(iteration, result)
+        return result
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _evaluate_and_record(self, u, result, unit_x, phase):
+        evaluation = self.problem.evaluate_unit(u)
+        result.append(self.problem.scaler.inverse_transform(u), evaluation, phase=phase)
+        unit_x.append(np.asarray(u, dtype=float))
+
+    def _propose(self, x_unit: np.ndarray, result: OptimizationResult) -> np.ndarray:
+        objective = _sanitize_targets(result.objectives)
+        constraints = result.constraint_matrix
+
+        objective_model = self.surrogate_factory(self.rng)
+        objective_model.fit(x_unit, objective)
+        constraint_models = []
+        for i in range(self.problem.n_constraints):
+            model = self.surrogate_factory(self.rng)
+            model.fit(x_unit, _sanitize_targets(constraints[:, i]))
+            constraint_models.append(model)
+
+        if self.acquisition == "thompson":
+            from repro.acquisition.thompson import ThompsonSamplingAcquisition
+
+            acquisition_fn = ThompsonSamplingAcquisition(
+                objective_model, constraint_models, rng=self.rng
+            )
+        else:
+            tau = result.best_objective()
+            tau = None if not np.isfinite(tau) else tau
+            acquisition_fn = WeightedExpectedImprovement(
+                objective_model,
+                constraint_models,
+                tau=tau,
+                log_space=self.log_space_acq,
+            )
+        proposal = self.acq_maximizer.maximize(
+            acquisition_fn, self.problem.dim, self.rng
+        )
+        if self._is_duplicate(proposal, x_unit):
+            proposal = self.rng.uniform(0.0, 1.0, size=self.problem.dim)
+        return proposal
+
+    def _is_duplicate(self, proposal: np.ndarray, x_unit: np.ndarray) -> bool:
+        dists = np.max(np.abs(x_unit - proposal[None, :]), axis=1)
+        return bool(np.any(dists < self.duplicate_tol))
+
+
+def _sanitize_targets(y: np.ndarray) -> np.ndarray:
+    """Make simulation outputs digestible for surrogate fitting.
+
+    Two pathologies appear in circuit data: non-finite values from failed
+    simulations (mapped to "much worse than anything seen", preserving the
+    ranking) and extreme finite outliers from degenerate designs (a broken
+    bias point can measure orders of magnitude off), which wreck target
+    normalization.  Outliers are winsorized at ``median +- 10 IQR`` — far
+    beyond any informative variation, so ordinary targets pass unchanged.
+    """
+    y = np.asarray(y, dtype=float).copy()
+    bad = ~np.isfinite(y)
+    if np.any(bad):
+        good = y[~bad]
+        if good.size == 0:
+            y[...] = 0.0
+            return y
+        span = float(np.ptp(good))
+        worst = float(np.max(good))
+        y[bad] = worst + max(span, 1.0)
+    q25, q50, q75 = np.percentile(y, [25.0, 50.0, 75.0])
+    iqr = q75 - q25
+    if iqr > 0.0:
+        y = np.clip(y, q50 - 10.0 * iqr, q50 + 10.0 * iqr)
+    return y

@@ -1,0 +1,138 @@
+"""Constrained optimization problem definitions (paper eq. 1).
+
+Every sizing task is expressed as
+
+    minimize f(x)   subject to   g_i(x) < 0,  i = 1..Nc,
+
+over a box of design variables.  Maximization specs (e.g. the op-amp's
+"maximize GAIN") are encoded by negating the objective at the testbench
+level; constraint specs like ``UGF > 40 MHz`` become ``g = 40 MHz - UGF``
+(normalized by the testbench so surrogate targets are O(1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.scaling import BoxScaler
+from repro.utils.validation import check_vector_1d
+
+
+@dataclass
+class Evaluation:
+    """Outcome of one (simulated) design evaluation.
+
+    Attributes
+    ----------
+    objective:
+        Figure of merit ``f(x)`` to minimize.
+    constraints:
+        Values ``g_i(x)``; the design is feasible iff all are ``< 0``.
+    metrics:
+        Raw named performances (GAIN in dB, UGF in Hz, ...) for reporting;
+        not used by the optimizers.
+    """
+
+    objective: float
+    constraints: np.ndarray
+    metrics: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.objective = float(self.objective)
+        self.constraints = np.asarray(self.constraints, dtype=float).ravel()
+
+    @property
+    def feasible(self) -> bool:
+        """True iff every constraint satisfies ``g_i(x) < 0``."""
+        return bool(np.all(self.constraints < 0.0))
+
+    @property
+    def violation(self) -> float:
+        """Total positive constraint violation (0 when feasible)."""
+        return float(np.sum(np.maximum(self.constraints, 0.0)))
+
+
+class Problem:
+    """Base class for constrained minimization problems over a box.
+
+    Subclasses implement :meth:`evaluate`; this class provides bound
+    handling and the unit-box mapping every optimizer works in.
+    """
+
+    def __init__(self, name: str, lower, upper, n_constraints: int):
+        if n_constraints < 0:
+            raise ValueError(f"n_constraints must be >= 0, got {n_constraints}")
+        self.name = str(name)
+        self.scaler = BoxScaler(lower, upper)
+        self.n_constraints = int(n_constraints)
+
+    @property
+    def dim(self) -> int:
+        """Number of design variables d."""
+        return self.scaler.dim
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower variable bounds."""
+        return self.scaler.lower
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper variable bounds."""
+        return self.scaler.upper
+
+    def evaluate(self, x: np.ndarray) -> Evaluation:
+        """Simulate one design point ``x`` (in natural units)."""
+        raise NotImplementedError
+
+    def evaluate_unit(self, u: np.ndarray) -> Evaluation:
+        """Evaluate a point given in unit-box coordinates."""
+        u = check_vector_1d(u, "u", length=self.dim)
+        return self.evaluate(self.scaler.inverse_transform(np.clip(u, 0.0, 1.0)))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, d={self.dim}, "
+            f"Nc={self.n_constraints})"
+        )
+
+
+class FunctionProblem(Problem):
+    """Problem built from plain Python callables.
+
+    Parameters
+    ----------
+    objective:
+        ``f(x) -> float`` to minimize.
+    constraints:
+        Sequence of ``g_i(x) -> float`` callables with the ``< 0`` feasible
+        convention (may be empty).
+    metrics:
+        Optional ``(x, objective, constraints) -> dict`` hook to record
+        named performances.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lower,
+        upper,
+        objective,
+        constraints=(),
+        metrics=None,
+    ):
+        super().__init__(name, lower, upper, n_constraints=len(constraints))
+        self._objective = objective
+        self._constraints = list(constraints)
+        self._metrics = metrics
+
+    def evaluate(self, x: np.ndarray) -> Evaluation:
+        x = check_vector_1d(x, "x", length=self.dim)
+        obj = float(self._objective(x))
+        cons = np.array([float(g(x)) for g in self._constraints])
+        metrics = {}
+        if self._metrics is not None:
+            metrics = dict(self._metrics(x, obj, cons))
+        return Evaluation(objective=obj, constraints=cons, metrics=metrics)

@@ -1,0 +1,87 @@
+"""Small-signal AC analysis: complex MNA sweep at a DC operating point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.dc import DCAnalysis, DCSolution
+from repro.circuits.mna import ACSystem
+from repro.circuits.netlist import Circuit
+
+
+@dataclass
+class ACResult:
+    """Frequency sweep result.
+
+    ``x`` holds the full complex solution per frequency, shape
+    ``(n_freqs, n_unknowns)``; :meth:`transfer` extracts a node's phasor.
+    """
+
+    circuit: Circuit
+    freqs: np.ndarray
+    x: np.ndarray
+
+    def transfer(self, node: str) -> np.ndarray:
+        """Complex node voltage over the sweep (the transfer function when
+        the stimulus has unit AC magnitude)."""
+        idx = self.circuit.node_index(node)
+        if idx < 0:
+            return np.zeros(len(self.freqs), dtype=complex)
+        return self.x[:, idx].copy()
+
+    def branch_current(self, device_name: str) -> np.ndarray:
+        """Complex branch current of a voltage-defined device over the sweep."""
+        device = self.circuit.device(device_name)
+        if device.n_branches == 0:
+            raise ValueError(f"{device_name!r} has no branch current")
+        return self.x[:, device.branch_idx].copy()
+
+
+class ACAnalysis:
+    """Linearized frequency sweep around a converged DC solution.
+
+    The DC solve (which caches every MOSFET's operating point) must be done
+    first; :meth:`sweep` accepts the :class:`DCSolution` to make that
+    ordering explicit.
+    """
+
+    def __init__(self, circuit: Circuit, gmin: float = 1e-12):
+        self.circuit = circuit
+        self.gmin = float(gmin)
+        circuit.finalize()
+
+    def sweep(self, dc_solution: DCSolution, freqs) -> ACResult:
+        """Solve the complex MNA system at each frequency."""
+        if dc_solution.circuit is not self.circuit:
+            raise ValueError("DC solution belongs to a different circuit")
+        freqs = np.asarray(freqs, dtype=float).ravel()
+        if freqs.size == 0 or np.any(freqs <= 0):
+            raise ValueError("frequencies must be positive and non-empty")
+        n = self.circuit.n_unknowns
+        out = np.empty((freqs.size, n), dtype=complex)
+        for k, freq in enumerate(freqs):
+            omega = 2.0 * np.pi * freq
+            system = ACSystem(n, gmin=self.gmin)
+            for device in self.circuit.devices:
+                device.stamp_ac(system, omega)
+            system.apply_gmin(self.circuit.n_nodes)
+            out[k] = system.solve()
+        return ACResult(self.circuit, freqs, out)
+
+
+def operating_point(circuit: Circuit, initial=None, **dc_kwargs) -> DCSolution:
+    """Convenience: run a DC analysis with default settings."""
+    return DCAnalysis(circuit, **dc_kwargs).solve(initial=initial)
+
+
+def log_freqs(f_start: float, f_stop: float, points_per_decade: int = 10) -> np.ndarray:
+    """Logarithmically spaced sweep frequencies, SPICE ``.AC DEC`` style."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    decades = np.log10(f_stop / f_start)
+    n = max(int(np.ceil(decades * points_per_decade)) + 1, 2)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), n)

@@ -1,0 +1,147 @@
+"""Reusable analog building blocks as netlist fragments.
+
+Each helper adds a standard sub-block (current mirror, differential pair,
+cascode pair, bias diode stack) to a circuit with systematic device
+naming, and returns the devices it created.  Testbenches and examples
+compose these instead of repeating raw stamps; the fragments stay plain
+devices, so all analyses work unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.mosfet import MOSFET, MOSFETParams
+from repro.circuits.netlist import Circuit
+
+
+def rail_for(params: MOSFETParams, vdd_node: str) -> str:
+    """Bulk/source rail of a polarity: VDD for PMOS, ground for NMOS."""
+    return vdd_node if params.polarity == "p" else "0"
+
+
+def add_current_mirror(
+    circuit: Circuit,
+    name: str,
+    params: MOSFETParams,
+    ref_node: str,
+    out_node: str,
+    w_ref: float,
+    l_ref: float,
+    w_out: float,
+    l_out: float,
+    vdd_node: str = "vdd",
+) -> tuple[MOSFET, MOSFET]:
+    """Two-transistor mirror: diode at ``ref_node``, output at ``out_node``.
+
+    The mirror ratio is ``(w_out/l_out) / (w_ref/l_ref)``; sources/bulks go
+    to the polarity's rail.
+    """
+    rail = rail_for(params, vdd_node)
+    diode = circuit.mosfet(
+        f"{name}_ref", ref_node, ref_node, rail, rail, params, w_ref, l_ref
+    )
+    out = circuit.mosfet(
+        f"{name}_out", out_node, ref_node, rail, rail, params, w_out, l_out
+    )
+    return diode, out
+
+
+def add_differential_pair(
+    circuit: Circuit,
+    name: str,
+    params: MOSFETParams,
+    in_pos: str,
+    in_neg: str,
+    out_pos: str,
+    out_neg: str,
+    tail_node: str,
+    w: float,
+    l: float,
+    vdd_node: str = "vdd",
+) -> tuple[MOSFET, MOSFET]:
+    """Matched source-coupled pair with sources at ``tail_node``.
+
+    ``in_pos`` drives the device whose drain is ``out_pos`` (so a PMOS pair
+    inverts within the branch as usual).
+    """
+    bulk = rail_for(params, vdd_node)
+    m_pos = circuit.mosfet(
+        f"{name}_p", out_pos, in_pos, tail_node, bulk, params, w, l
+    )
+    m_neg = circuit.mosfet(
+        f"{name}_n", out_neg, in_neg, tail_node, bulk, params, w, l
+    )
+    return m_pos, m_neg
+
+
+def add_cascode_pair(
+    circuit: Circuit,
+    name: str,
+    params: MOSFETParams,
+    bottom_nodes: tuple[str, str],
+    top_nodes: tuple[str, str],
+    gate_node: str,
+    w: float,
+    l: float,
+    vdd_node: str = "vdd",
+) -> tuple[MOSFET, MOSFET]:
+    """Two matched common-gate devices between paired node rails.
+
+    For NMOS: drains at ``top_nodes``, sources at ``bottom_nodes``.  For
+    PMOS the same argument order applies with the usual source-up
+    orientation (pass the higher-potential nodes as ``top_nodes``).
+    """
+    bulk = rail_for(params, vdd_node)
+    if params.polarity == "n":
+        left = circuit.mosfet(
+            f"{name}_l", top_nodes[0], gate_node, bottom_nodes[0], bulk, params, w, l
+        )
+        right = circuit.mosfet(
+            f"{name}_r", top_nodes[1], gate_node, bottom_nodes[1], bulk, params, w, l
+        )
+    else:
+        left = circuit.mosfet(
+            f"{name}_l", bottom_nodes[0], gate_node, top_nodes[0], bulk, params, w, l
+        )
+        right = circuit.mosfet(
+            f"{name}_r", bottom_nodes[1], gate_node, top_nodes[1], bulk, params, w, l
+        )
+    return left, right
+
+
+def add_bias_diode_stack(
+    circuit: Circuit,
+    name: str,
+    params: MOSFETParams,
+    bias_current: float,
+    n_stack: int,
+    w: float,
+    l: float,
+    vdd_node: str = "vdd",
+) -> list[MOSFET]:
+    """Stack of diode-connected devices carrying ``bias_current``.
+
+    Generates gate-bias voltages the way simple bias cells do: the stack's
+    intermediate nodes sit at 1, 2, ... stacked ``V_GS`` from the rail.
+    The topmost diode node (``{name}_d{n_stack}``) is fed by an ideal
+    current source; tap any ``{name}_d<k>`` node as a bias voltage.
+    Returns the devices bottom-up.
+    """
+    if n_stack < 1:
+        raise ValueError(f"n_stack must be >= 1, got {n_stack}")
+    if bias_current <= 0:
+        raise ValueError("bias_current must be positive")
+    rail = rail_for(params, vdd_node)
+    devices = []
+    below = rail
+    for k in range(1, n_stack + 1):
+        node = f"{name}_d{k}"
+        devices.append(
+            circuit.mosfet(f"{name}_m{k}", node, node, below, rail, params, w, l)
+        )
+        below = node
+    top = f"{name}_d{n_stack}"
+    if params.polarity == "n":
+        circuit.isource(f"{name}_ib", vdd_node, top, bias_current)
+    else:
+        circuit.isource(f"{name}_ib", top, "0", bias_current)
+    return devices

@@ -1,0 +1,189 @@
+"""Damped-Newton DC operating-point solver with homotopy fallbacks.
+
+The solver uses the standard SPICE recipe:
+
+1. companion-model Newton iteration (each nonlinear device stamps its
+   linearization at the current iterate),
+2. per-step voltage limiting (trust region) to tame the square-law's
+   quadratic overshoot,
+3. ``gmin`` stepping and source stepping as fallbacks when plain Newton
+   fails to converge from the initial guess.
+
+Testbenches call this hundreds of times per optimization run, so failures
+must be *reported* (raised as :class:`ConvergenceError`) rather than
+silently returning garbage — the sizing problem maps them to penalty
+evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.mna import MNASystem
+from repro.circuits.mosfet import MOSFET, MOSOperatingPoint
+from repro.circuits.netlist import Circuit
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the DC operating point cannot be found."""
+
+
+@dataclass
+class DCSolution:
+    """Converged DC solution with name-based accessors."""
+
+    circuit: Circuit
+    x: np.ndarray
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        """DC voltage of a named node (0.0 for ground)."""
+        idx = self.circuit.node_index(node)
+        return 0.0 if idx < 0 else float(self.x[idx])
+
+    def branch_current(self, device_name: str) -> float:
+        """Branch current of a voltage-defined device (SPICE sign convention:
+        positive into the positive terminal)."""
+        device = self.circuit.device(device_name)
+        if device.n_branches == 0:
+            raise ValueError(f"{device_name!r} has no branch current")
+        return float(self.x[device.branch_idx])
+
+    def op(self, device_name: str) -> MOSOperatingPoint:
+        """Operating point of a MOSFET."""
+        device = self.circuit.device(device_name)
+        if not isinstance(device, MOSFET):
+            raise TypeError(f"{device_name!r} is not a MOSFET")
+        if device.last_op is None:
+            raise RuntimeError("device has no cached operating point")
+        return device.last_op
+
+
+class DCAnalysis:
+    """Newton-based DC operating-point analysis for a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve (finalized automatically).
+    max_iterations:
+        Newton iterations per attempt.
+    vtol, reltol:
+        Convergence test: every voltage update must satisfy
+        ``|dv| < vtol + reltol * |v|``.
+    max_step:
+        Per-iteration voltage-update clamp [V].
+    gmin:
+        Always-on conductance from each node to ground.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        max_iterations: int = 200,
+        vtol: float = 1e-9,
+        reltol: float = 1e-6,
+        max_step: float = 0.4,
+        gmin: float = 1e-12,
+    ):
+        self.circuit = circuit
+        self.max_iterations = int(max_iterations)
+        self.vtol = float(vtol)
+        self.reltol = float(reltol)
+        self.max_step = float(max_step)
+        self.gmin = float(gmin)
+        circuit.finalize()
+
+    # -- public API ------------------------------------------------------------
+
+    def solve(self, initial: dict | np.ndarray | None = None) -> DCSolution:
+        """Find the DC operating point, trying homotopies if Newton fails."""
+        x0 = self._initial_vector(initial)
+
+        x = self._newton(x0, gmin=self.gmin, source_scale=1.0)
+        if x is None:
+            x = self._gmin_stepping(x0)
+        if x is None:
+            x = self._source_stepping(x0)
+        if x is None:
+            raise ConvergenceError(
+                f"DC analysis of {self.circuit.name!r} failed to converge"
+            )
+        iterations = self._last_iterations
+        self._refresh_operating_points(x)
+        return DCSolution(self.circuit, x, iterations)
+
+    # -- Newton machinery --------------------------------------------------------
+
+    def _initial_vector(self, initial) -> np.ndarray:
+        n = self.circuit.n_unknowns
+        if initial is None:
+            return np.zeros(n)
+        if isinstance(initial, dict):
+            x0 = np.zeros(n)
+            for node, value in initial.items():
+                idx = self.circuit.node_index(node)
+                if idx >= 0:
+                    x0[idx] = float(value)
+            return x0
+        initial = np.asarray(initial, dtype=float)
+        if initial.shape != (n,):
+            raise ValueError(f"initial vector must have shape ({n},)")
+        return initial.copy()
+
+    def _newton(
+        self, x0: np.ndarray, gmin: float, source_scale: float
+    ) -> np.ndarray | None:
+        n_nodes = self.circuit.n_nodes
+        x = x0.copy()
+        self._last_iterations = 0
+        for iteration in range(1, self.max_iterations + 1):
+            system = MNASystem(
+                self.circuit.n_unknowns, source_scale=source_scale, gmin=gmin
+            )
+            for device in self.circuit.devices:
+                device.stamp_dc(system, x)
+            system.apply_gmin(n_nodes)
+            try:
+                x_new = system.solve()
+            except np.linalg.LinAlgError:
+                return None
+            if not np.all(np.isfinite(x_new)):
+                return None
+            delta = x_new - x
+            # clamp only voltage updates; branch currents follow linearly
+            dv = delta[:n_nodes]
+            clipped = np.clip(dv, -self.max_step, self.max_step)
+            x[:n_nodes] += clipped
+            x[n_nodes:] = x_new[n_nodes:]
+            self._last_iterations = iteration
+            tol = self.vtol + self.reltol * np.abs(x[:n_nodes])
+            if np.all(np.abs(dv) < tol):
+                return x
+        return None
+
+    def _gmin_stepping(self, x0: np.ndarray) -> np.ndarray | None:
+        x = x0.copy()
+        for gmin in (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, self.gmin):
+            x_next = self._newton(x, gmin=gmin, source_scale=1.0)
+            if x_next is None:
+                return None
+            x = x_next
+        return x
+
+    def _source_stepping(self, x0: np.ndarray) -> np.ndarray | None:
+        x = x0.copy()
+        for scale in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0):
+            x_next = self._newton(x, gmin=self.gmin, source_scale=scale)
+            if x_next is None:
+                return None
+            x = x_next
+        return x
+
+    def _refresh_operating_points(self, x: np.ndarray):
+        """Re-stamp once at the solution so devices cache their final op."""
+        system = MNASystem(self.circuit.n_unknowns, source_scale=1.0, gmin=self.gmin)
+        for device in self.circuit.devices:
+            device.stamp_dc(system, x)

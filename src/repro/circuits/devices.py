@@ -1,0 +1,186 @@
+"""Linear netlist elements and independent sources.
+
+Every device implements the same protocol as the MOSFET: node assignment,
+``stamp_dc(system, v)`` and ``stamp_ac(system, omega)``.  DC stamps of
+independent sources honour ``system.source_scale`` so the Newton solver can
+apply source-stepping homotopy without device-specific code.
+"""
+
+from __future__ import annotations
+
+
+class Device:
+    """Netlist element protocol.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name within a circuit.
+    nodes:
+        Tuple of node names this device connects to.
+    n_branches:
+        Number of extra MNA unknowns (branch currents) it requires.
+    """
+
+    n_branches = 0
+
+    def __init__(self, name: str, nodes: tuple[str, ...]):
+        self.name = str(name)
+        self.nodes = tuple(str(n) for n in nodes)
+        self.node_idx: tuple[int, ...] = ()
+        self.branch_idx: int = -1
+
+    def assign_nodes(self, index_of):
+        """Resolve node names to MNA indices."""
+        self.node_idx = tuple(index_of(n) for n in self.nodes)
+
+    def assign_branch(self, index: int):
+        """Assign the first branch-current index (if ``n_branches > 0``)."""
+        self.branch_idx = int(index)
+
+    def stamp_dc(self, system, v):
+        """Stamp the DC (companion) model; default is a no-op (open circuit)."""
+
+    def stamp_ac(self, system, omega: float):
+        """Stamp the small-signal model; default is a no-op."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, nodes={self.nodes})"
+
+
+class Resistor(Device):
+    """Linear resistor."""
+
+    def __init__(self, name, node_a, node_b, resistance: float):
+        super().__init__(name, (node_a, node_b))
+        if resistance <= 0:
+            raise ValueError(f"{name}: resistance must be positive, got {resistance}")
+        self.resistance = float(resistance)
+
+    def stamp_dc(self, system, v):
+        a, b = self.node_idx
+        system.add_conductance(a, b, 1.0 / self.resistance)
+
+    def stamp_ac(self, system, omega):
+        a, b = self.node_idx
+        system.add_conductance(a, b, 1.0 / self.resistance)
+
+
+class Capacitor(Device):
+    """Linear capacitor: open at DC, admittance ``j omega C`` in AC."""
+
+    def __init__(self, name, node_a, node_b, capacitance: float):
+        super().__init__(name, (node_a, node_b))
+        if capacitance < 0:
+            raise ValueError(f"{name}: capacitance must be >= 0, got {capacitance}")
+        self.capacitance = float(capacitance)
+
+    def stamp_ac(self, system, omega):
+        a, b = self.node_idx
+        system.add_capacitor(a, b, self.capacitance, omega)
+
+
+class CurrentSource(Device):
+    """Independent current source driving ``dc`` amps from node_from to node_to.
+
+    The ``ac`` magnitude participates only in AC sweeps.  Setting
+    ``waveform`` to a callable ``t -> value`` makes the source follow it
+    during transient analyses (see :mod:`repro.circuits.transient`).
+    """
+
+    def __init__(self, name, node_from, node_to, dc: float, ac: float = 0.0,
+                 waveform=None):
+        super().__init__(name, (node_from, node_to))
+        self.dc = float(dc)
+        self.ac = float(ac)
+        self.waveform = waveform
+
+    def value_at(self, t: float) -> float:
+        """Instantaneous source value at time ``t``."""
+        return self.dc if self.waveform is None else float(self.waveform(t))
+
+    def stamp_dc(self, system, v):
+        a, b = self.node_idx
+        t = getattr(system, "time", None)
+        value = self.dc if t is None else self.value_at(t)
+        system.add_current_injection(a, b, value * system.source_scale)
+
+    def stamp_ac(self, system, omega):
+        if self.ac != 0.0:
+            a, b = self.node_idx
+            system.add_current_injection(a, b, self.ac)
+
+
+class VoltageSource(Device):
+    """Independent voltage source with one branch-current unknown.
+
+    The branch current is positive when current flows from the circuit
+    *into the positive terminal* (SPICE measurement convention).  Setting
+    ``waveform`` to a callable ``t -> value`` makes the source follow it
+    during transient analyses.
+    """
+
+    n_branches = 1
+
+    def __init__(self, name, node_pos, node_neg, dc: float, ac: float = 0.0,
+                 waveform=None):
+        super().__init__(name, (node_pos, node_neg))
+        self.dc = float(dc)
+        self.ac = float(ac)
+        self.waveform = waveform
+
+    def value_at(self, t: float) -> float:
+        """Instantaneous source value at time ``t``."""
+        return self.dc if self.waveform is None else float(self.waveform(t))
+
+    def stamp_dc(self, system, v):
+        pos, neg = self.node_idx
+        t = getattr(system, "time", None)
+        value = self.dc if t is None else self.value_at(t)
+        system.add_voltage_branch(pos, neg, self.branch_idx, value * system.source_scale)
+
+    def stamp_ac(self, system, omega):
+        pos, neg = self.node_idx
+        system.add_voltage_branch(pos, neg, self.branch_idx, self.ac)
+
+
+class VCVS(Device):
+    """Voltage-controlled voltage source ``v_out = gain * v_in`` (ideal)."""
+
+    n_branches = 1
+
+    def __init__(self, name, out_pos, out_neg, in_pos, in_neg, gain: float):
+        super().__init__(name, (out_pos, out_neg, in_pos, in_neg))
+        self.gain = float(gain)
+
+    def _stamp(self, system):
+        op, on, ip, in_ = self.node_idx
+        br = self.branch_idx
+        system.add_matrix(op, br, 1.0)
+        system.add_matrix(on, br, -1.0)
+        system.add_matrix(br, op, 1.0)
+        system.add_matrix(br, on, -1.0)
+        system.add_matrix(br, ip, -self.gain)
+        system.add_matrix(br, in_, self.gain)
+
+    def stamp_dc(self, system, v):
+        self._stamp(system)
+
+    def stamp_ac(self, system, omega):
+        self._stamp(system)
+
+
+class VCCS(Device):
+    """Voltage-controlled current source ``i = gm * v_in`` out of out_pos."""
+
+    def __init__(self, name, out_pos, out_neg, in_pos, in_neg, gm: float):
+        super().__init__(name, (out_pos, out_neg, in_pos, in_neg))
+        self.gm = float(gm)
+
+    def stamp_dc(self, system, v):
+        op, on, ip, in_ = self.node_idx
+        system.add_vccs(op, on, ip, in_, self.gm)
+
+    def stamp_ac(self, system, omega):
+        op, on, ip, in_ = self.node_idx
+        system.add_vccs(op, on, ip, in_, self.gm)

@@ -1,0 +1,108 @@
+"""Measurement utilities for frequency responses.
+
+Implements the three op-amp metrics of the paper's Table I experiment:
+open-loop GAIN (dB), unity-gain frequency (UGF) and phase margin (PM),
+extracted from a swept complex transfer function with log-domain
+interpolation between sweep points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.units import db20
+
+
+def gain_db(tf: np.ndarray) -> np.ndarray:
+    """Magnitude of a complex transfer function in dB."""
+    return db20(np.abs(np.asarray(tf, dtype=complex)))
+
+
+def phase_deg(tf: np.ndarray, unwrap: bool = True) -> np.ndarray:
+    """Phase in degrees (unwrapped along the sweep by default)."""
+    phase = np.angle(np.asarray(tf, dtype=complex))
+    if unwrap:
+        phase = np.unwrap(phase)
+    return np.degrees(phase)
+
+
+def dc_gain_db(tf: np.ndarray) -> float:
+    """Low-frequency gain: magnitude at the first sweep point, in dB."""
+    tf = np.asarray(tf, dtype=complex)
+    if tf.size == 0:
+        raise ValueError("empty transfer function")
+    return float(db20(abs(tf[0])))
+
+
+def unity_gain_frequency(freqs: np.ndarray, tf: np.ndarray) -> float:
+    """First frequency where the magnitude crosses 0 dB (downwards).
+
+    Interpolates log-frequency vs. dB-magnitude between sweep points.
+    Returns 0.0 when the response never reaches 0 dB (gain < 1 everywhere)
+    and ``freqs[0]`` when it starts below 0 dB — both conventions make the
+    ``UGF > spec`` constraint fail cleanly for broken designs.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    mag_db = gain_db(tf)
+    if freqs.shape != mag_db.shape:
+        raise ValueError("freqs and tf must have matching shapes")
+    if mag_db[0] < 0.0:
+        return float(freqs[0])
+    above = mag_db >= 0.0
+    if np.all(above):
+        return 0.0
+    k = int(np.argmax(~above))  # first index below 0 dB
+    f_lo, f_hi = freqs[k - 1], freqs[k]
+    m_lo, m_hi = mag_db[k - 1], mag_db[k]
+    if m_lo == m_hi:
+        return float(f_lo)
+    t = m_lo / (m_lo - m_hi)
+    return float(10.0 ** (np.log10(f_lo) + t * (np.log10(f_hi) - np.log10(f_lo))))
+
+
+def phase_at(freqs: np.ndarray, tf: np.ndarray, freq: float) -> float:
+    """Unwrapped phase (degrees, relative to the DC phase) at ``freq``.
+
+    Referencing the phase to its low-frequency value makes the measurement
+    independent of whether the measured path is inverting — the standard
+    designer's convention for phase-margin reading.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    phase = phase_deg(tf)
+    phase_rel = phase - phase[0]
+    return float(np.interp(np.log10(freq), np.log10(freqs), phase_rel))
+
+
+def phase_margin_deg(freqs: np.ndarray, tf: np.ndarray) -> float:
+    """Phase margin ``180 deg + phase(UGF)`` of an open-loop response.
+
+    Returns 0.0 for responses with no unity-gain crossing (already failed
+    the UGF constraint anyway).
+    """
+    ugf = unity_gain_frequency(freqs, tf)
+    if ugf <= 0.0:
+        return 0.0
+    return 180.0 + phase_at(freqs, tf, ugf)
+
+
+def gain_margin_db(freqs: np.ndarray, tf: np.ndarray) -> float:
+    """Gain margin: -|T| in dB at the -180 deg (relative) phase crossing.
+
+    Returns ``inf`` when the phase never reaches -180 degrees within the
+    sweep (no crossing implies unconditional stability in-band).
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    phase_rel = phase_deg(tf) - phase_deg(tf)[0]
+    mag = gain_db(tf)
+    below = phase_rel <= -180.0
+    if not np.any(below):
+        return float("inf")
+    k = int(np.argmax(below))
+    if k == 0:
+        return float(-mag[0])
+    # linear interpolation in log-f for the crossing point
+    p_lo, p_hi = phase_rel[k - 1], phase_rel[k]
+    t = (p_lo + 180.0) / (p_lo - p_hi)
+    log_f = np.log10(freqs[k - 1]) + t * (np.log10(freqs[k]) - np.log10(freqs[k - 1]))
+    mag_at = np.interp(log_f, np.log10(freqs), mag)
+    return float(-mag_at)

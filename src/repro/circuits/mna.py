@@ -1,0 +1,121 @@
+"""Modified-nodal-analysis matrix assembly.
+
+Unknown vector layout: node voltages first (ground excluded, index ``-1``),
+then one branch current per voltage-defined element (voltage sources,
+VCVS).  Devices stamp themselves through the small API here; stamps aimed
+at ground rows/columns are silently dropped, which keeps device code free
+of ground special-casing.
+
+Sign conventions (documented once, relied on everywhere):
+
+* rows are KCL equations, "sum of currents *leaving* the node through
+  devices equals current injected by sources" (``G v = b``);
+* a voltage source's branch current is positive when conventional current
+  flows *into its positive terminal* from the circuit (SPICE convention) —
+  the charge-pump testbench measures its output currents this way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MNASystem:
+    """Real-valued MNA system for the DC Newton iteration."""
+
+    def __init__(self, size: int, source_scale: float = 1.0, gmin: float = 1e-12):
+        if size < 1:
+            raise ValueError(f"system size must be >= 1, got {size}")
+        self.size = int(size)
+        self.matrix = np.zeros((size, size))
+        self.rhs = np.zeros(size)
+        self.source_scale = float(source_scale)
+        self.gmin = float(gmin)
+
+    # -- raw access -------------------------------------------------------------
+
+    def add_matrix(self, row: int, col: int, value: float):
+        """Add to one matrix entry; ground indices (< 0) are dropped."""
+        if row >= 0 and col >= 0:
+            self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value: float):
+        """Add to one right-hand-side entry; ground rows are dropped."""
+        if row >= 0:
+            self.rhs[row] += value
+
+    # -- common stamps ---------------------------------------------------------------
+
+    def add_conductance(self, node_a: int, node_b: int, g: float):
+        """Two-terminal conductance between ``node_a`` and ``node_b``."""
+        self.add_matrix(node_a, node_a, g)
+        self.add_matrix(node_b, node_b, g)
+        self.add_matrix(node_a, node_b, -g)
+        self.add_matrix(node_b, node_a, -g)
+
+    def add_vccs(self, out_p: int, out_n: int, in_p: int, in_n: int, gm: float):
+        """Current ``gm * (v_inp - v_inn)`` leaving ``out_p``, entering ``out_n``."""
+        self.add_matrix(out_p, in_p, gm)
+        self.add_matrix(out_p, in_n, -gm)
+        self.add_matrix(out_n, in_p, -gm)
+        self.add_matrix(out_n, in_n, gm)
+
+    def add_current_injection(self, node_from: int, node_to: int, current: float):
+        """Ideal current source driving ``current`` from node_from to node_to."""
+        self.add_rhs(node_from, -current)
+        self.add_rhs(node_to, current)
+
+    def add_voltage_branch(self, pos: int, neg: int, branch: int, voltage: float):
+        """Voltage-source stamp: enforce ``v_pos - v_neg = voltage`` via branch row."""
+        self.add_matrix(pos, branch, 1.0)
+        self.add_matrix(neg, branch, -1.0)
+        self.add_matrix(branch, pos, 1.0)
+        self.add_matrix(branch, neg, -1.0)
+        self.add_rhs(branch, voltage)
+
+    def apply_gmin(self, n_nodes: int):
+        """Tiny conductance from every node to ground.
+
+        Keeps the Jacobian non-singular when devices are cut off or nodes
+        float mid-iteration — the standard SPICE ``gmin`` device.
+        """
+        for i in range(min(n_nodes, self.size)):
+            self.matrix[i, i] += self.gmin
+
+    def solve(self) -> np.ndarray:
+        """Direct solve of the assembled system."""
+        return np.linalg.solve(self.matrix, self.rhs)
+
+
+class ACSystem:
+    """Complex-valued small-signal system ``Y(omega) x = b``."""
+
+    def __init__(self, size: int, gmin: float = 1e-12):
+        if size < 1:
+            raise ValueError(f"system size must be >= 1, got {size}")
+        self.size = int(size)
+        self.matrix = np.zeros((size, size), dtype=complex)
+        self.rhs = np.zeros(size, dtype=complex)
+        self.gmin = float(gmin)
+        # AC stamps reuse the DC helpers through duck typing
+        self.source_scale = 1.0
+
+    add_matrix = MNASystem.add_matrix
+    add_rhs = MNASystem.add_rhs
+    add_conductance = MNASystem.add_conductance
+    add_vccs = MNASystem.add_vccs
+    add_current_injection = MNASystem.add_current_injection
+    add_voltage_branch = MNASystem.add_voltage_branch
+    apply_gmin = MNASystem.apply_gmin
+
+    def add_capacitor(self, node_a: int, node_b: int, cap: float, omega: float):
+        """Capacitor admittance ``j omega C`` between two nodes."""
+        y = 1j * omega * cap
+        self.add_matrix(node_a, node_a, y)
+        self.add_matrix(node_b, node_b, y)
+        self.add_matrix(node_a, node_b, -y)
+        self.add_matrix(node_b, node_a, -y)
+
+    def solve(self) -> np.ndarray:
+        """Direct solve of the assembled complex system."""
+        return np.linalg.solve(self.matrix, self.rhs)

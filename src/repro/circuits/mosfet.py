@@ -1,0 +1,303 @@
+"""Level-1+ MOSFET model: square law with channel-length modulation, body
+effect and overlap/junction capacitances.
+
+Why Level 1 is the right fidelity here: the sizing trade-offs the paper's
+optimizer must navigate — gm vs. bias current, output conductance vs.
+channel length (lambda ~ 1/L), mirror matching vs. V_DS imbalance,
+pole/zero placement vs. device capacitance — are all first-order phenomena
+that the square-law model reproduces.  The optimizers only ever see the
+simulated performances, so any model with those couplings yields the same
+*algorithmic* comparison as a foundry PDK.
+
+Conventions: a single evaluation routine computes the drain current of an
+NMOS-convention device; PMOS is the exact sign mirror (all terminal
+voltages and the current negated), and drain/source swap (``v_ds < 0``
+during Newton iterations) is handled symmetrically.  The evaluation
+returns the current *and* its four partial derivatives w.r.t. the terminal
+voltages, which is precisely what the MNA companion stamp needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.circuits.pvt import ProcessCorner
+
+_TEMP_REF_K = 300.15  # 27 C
+_VTH_TEMP_COEFF = -2e-3  # V/K
+_MOBILITY_TEMP_EXP = -1.5
+
+
+@dataclass(frozen=True)
+class MOSFETParams:
+    """Process parameters of one device polarity.
+
+    All values use NMOS sign conventions and SI units; PMOS devices share
+    the same (positive) ``vth0`` magnitude through the sign mirror.
+
+    Attributes
+    ----------
+    polarity:
+        ``"n"`` or ``"p"``.
+    vth0:
+        Zero-bias threshold voltage magnitude [V].
+    kp:
+        Transconductance parameter ``mu * Cox`` [A/V^2].
+    lambda_l:
+        Channel-length-modulation coefficient normalized by length [m/V]:
+        ``lambda = lambda_l / L``, so longer channels give flatter
+        saturation currents (the knob behind mirror-matching physics).
+    gamma:
+        Body-effect coefficient [V^0.5].
+    phi:
+        Surface potential ``2 phi_F`` [V].
+    cox:
+        Gate-oxide capacitance per area [F/m^2].
+    cov:
+        Gate overlap capacitance per width [F/m].
+    cj_w:
+        Junction capacitance of drain/source per width [F/m].
+    """
+
+    polarity: str
+    vth0: float
+    kp: float
+    lambda_l: float
+    gamma: float = 0.45
+    phi: float = 0.85
+    cox: float = 8.5e-3
+    cov: float = 3.0e-10
+    cj_w: float = 5.0e-10
+
+    def __post_init__(self):
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.vth0 <= 0 or self.kp <= 0:
+            raise ValueError("vth0 and kp magnitudes must be positive")
+        if self.lambda_l < 0 or self.gamma < 0 or self.phi <= 0:
+            raise ValueError("lambda_l/gamma must be >= 0 and phi > 0")
+
+    def at_temperature(self, temp_k: float) -> "MOSFETParams":
+        """Parameters shifted to junction temperature ``temp_k``."""
+        if temp_k <= 0:
+            raise ValueError(f"temperature must be positive Kelvin, got {temp_k}")
+        vth = self.vth0 + _VTH_TEMP_COEFF * (temp_k - _TEMP_REF_K)
+        kp = self.kp * (temp_k / _TEMP_REF_K) ** _MOBILITY_TEMP_EXP
+        return replace(self, vth0=max(vth, 0.05), kp=kp)
+
+    def at_process(self, corner: ProcessCorner) -> "MOSFETParams":
+        """Parameters shifted to a process corner."""
+        if self.polarity == "n":
+            shift, scale = corner.nmos_vth_shift, corner.nmos_kp_scale
+        else:
+            shift, scale = corner.pmos_vth_shift, corner.pmos_kp_scale
+        return replace(self, vth0=max(self.vth0 + shift, 0.05), kp=self.kp * scale)
+
+    def at_corner(self, corner: ProcessCorner, temp_k: float) -> "MOSFETParams":
+        """Process shift then temperature shift (order is immaterial here)."""
+        return self.at_process(corner).at_temperature(temp_k)
+
+
+# Generic parameter sets loosely patterned on 180 nm and 40 nm nodes.
+nmos_180 = MOSFETParams("n", vth0=0.45, kp=3.0e-4, lambda_l=5.0e-8)
+pmos_180 = MOSFETParams("p", vth0=0.45, kp=8.0e-5, lambda_l=6.0e-8, gamma=0.4)
+nmos_040 = MOSFETParams("n", vth0=0.40, kp=4.5e-4, lambda_l=6.0e-8, phi=0.8)
+pmos_040 = MOSFETParams("p", vth0=0.40, kp=1.8e-4, lambda_l=7.0e-8, phi=0.8)
+
+
+@dataclass
+class MOSOperatingPoint:
+    """Bias-point summary of one device (NMOS-convention voltages)."""
+
+    ids: float
+    vgs: float
+    vds: float
+    vsb: float
+    vov: float
+    gm: float
+    gds: float
+    gmb: float
+    region: str  # "cutoff" | "triode" | "saturation"
+
+
+def _square_law(vgs, vds, vsb, vth0, beta, lam, gamma, phi):
+    """Square-law current and small-signal params; requires ``vds >= 0``.
+
+    Returns ``(ids, gm, gds, gmb_pos, vov, region)`` with
+    ``gmb_pos = d ids / d vbs >= 0``.
+    """
+    body_arg = max(phi + vsb, 0.05)
+    vth = vth0 + gamma * (math.sqrt(body_arg) - math.sqrt(phi))
+    vov = vgs - vth
+    if vov <= 0.0:
+        return 0.0, 0.0, 0.0, 0.0, vov, "cutoff"
+    clm = 1.0 + lam * vds
+    if vds < vov:
+        core = vov * vds - 0.5 * vds * vds
+        ids = beta * core * clm
+        gm = beta * vds * clm
+        gds = beta * ((vov - vds) * clm + core * lam)
+        region = "triode"
+    else:
+        ids = 0.5 * beta * vov * vov * clm
+        gm = beta * vov * clm
+        gds = 0.5 * beta * vov * vov * lam
+        region = "saturation"
+    gmb_pos = gm * gamma / (2.0 * math.sqrt(body_arg))
+    return ids, gm, gds, gmb_pos, vov, region
+
+
+def _nmos_eval(vd, vg, vs, vb, vth0, beta, lam, gamma, phi):
+    """NMOS drain current ``I(d->s)`` and partials w.r.t. (vd, vg, vs, vb).
+
+    Handles drain/source swap so the function is defined (and continuous)
+    for any terminal voltages the Newton iteration may visit.
+    """
+    if vd >= vs:
+        vgs, vds, vsb = vg - vs, vd - vs, vs - vb
+        ids, gm, gds, gmb, vov, region = _square_law(
+            vgs, vds, vsb, vth0, beta, lam, gamma, phi
+        )
+        # I = F(vgs, vds, vsb): translate to terminal partials
+        g_d = gds
+        g_g = gm
+        g_b = gmb
+        g_s = -(gm + gds + gmb)
+        op = MOSOperatingPoint(ids, vgs, vds, vsb, vov, gm, gds, gmb, region)
+        return ids, g_d, g_g, g_s, g_b, op
+    # swapped: the physical source is the 'd' terminal
+    vgs, vds, vsb = vg - vd, vs - vd, vd - vb
+    ids_r, gm, gds, gmb, vov, region = _square_law(
+        vgs, vds, vsb, vth0, beta, lam, gamma, phi
+    )
+    ids = -ids_r
+    # reverse current I(d->s) = -F(vg - vd, vs - vd, vd - vb)
+    g_s = -gds
+    g_g = -gm
+    g_b = -gmb
+    g_d = gm + gds + gmb
+    op = MOSOperatingPoint(ids, vgs, -vds, vsb, vov, gm, gds, gmb, region)
+    return ids, g_d, g_g, g_s, g_b, op
+
+
+class MOSFET:
+    """Four-terminal MOSFET netlist element.
+
+    Parameters
+    ----------
+    name:
+        Instance name (``"M1"``).
+    drain, gate, source, bulk:
+        Node names.
+    params:
+        :class:`MOSFETParams` (already corner/temperature adjusted by the
+        testbench if applicable).
+    w, l:
+        Channel width and length [m].
+    m:
+        Parallel multiplier.
+    """
+
+    n_branches = 0
+
+    def __init__(self, name, drain, gate, source, bulk, params: MOSFETParams, w, l, m=1):
+        if w <= 0 or l <= 0:
+            raise ValueError(f"{name}: W and L must be positive, got {w}, {l}")
+        if m < 1:
+            raise ValueError(f"{name}: multiplier must be >= 1, got {m}")
+        self.name = str(name)
+        self.nodes = (str(drain), str(gate), str(source), str(bulk))
+        self.params = params
+        self.w = float(w)
+        self.l = float(l)
+        self.m = int(m)
+        self.node_idx: tuple[int, ...] = ()
+        self.last_op: MOSOperatingPoint | None = None
+
+    # -- electrical evaluation ---------------------------------------------------
+
+    @property
+    def beta(self) -> float:
+        """Effective transconductance factor ``m * kp * W / L``."""
+        return self.m * self.params.kp * self.w / self.l
+
+    @property
+    def lam(self) -> float:
+        """Channel-length modulation ``lambda = lambda_l / L`` [1/V]."""
+        return self.params.lambda_l / self.l
+
+    def evaluate(self, vd, vg, vs, vb):
+        """Drain-to-source current and terminal partials at a bias point.
+
+        For PMOS the evaluation mirrors all signs: ``I_p(v) = -I_n(-v)``,
+        whose partials equal the NMOS partials evaluated at the negated
+        voltages.
+        """
+        p = self.params
+        if p.polarity == "n":
+            ids, g_d, g_g, g_s, g_b, op = _nmos_eval(
+                vd, vg, vs, vb, p.vth0, self.beta, self.lam, p.gamma, p.phi
+            )
+        else:
+            ids_n, g_d, g_g, g_s, g_b, op = _nmos_eval(
+                -vd, -vg, -vs, -vb, p.vth0, self.beta, self.lam, p.gamma, p.phi
+            )
+            ids = -ids_n
+            op.ids = ids
+        self.last_op = op
+        return ids, g_d, g_g, g_s, g_b
+
+    # -- MNA stamps ---------------------------------------------------------------
+
+    def assign_nodes(self, index_of):
+        """Resolve node names to MNA indices (called by the circuit)."""
+        self.node_idx = tuple(index_of(n) for n in self.nodes)
+
+    def stamp_dc(self, system, v):
+        """Companion-model stamp: linearized drain current at the current
+        iterate ``v`` plus the equivalent current source."""
+        d, g, s, b = self.node_idx
+        volts = [0.0 if i < 0 else v[i] for i in (d, g, s, b)]
+        ids, g_d, g_g, g_s, g_b = self.evaluate(*volts)
+        partials = (g_d, g_g, g_s, g_b)
+        ieq = ids - sum(gk * vk for gk, vk in zip(partials, volts))
+        for gk, node in zip(partials, (d, g, s, b)):
+            system.add_matrix(d, node, gk)
+            system.add_matrix(s, node, -gk)
+        system.add_rhs(d, -ieq)
+        system.add_rhs(s, ieq)
+
+    def stamp_ac(self, system, omega: float):
+        """Small-signal stamp at the stored DC operating point."""
+        if self.last_op is None:
+            raise RuntimeError(f"{self.name}: stamp_ac before DC solve")
+        d, g, s, b = self.node_idx
+        op = self.last_op
+        # transconductances: current d->s controlled by vgs and vbs
+        system.add_vccs(d, s, g, s, op.gm if op.region != "cutoff" else 0.0)
+        system.add_vccs(d, s, b, s, op.gmb)
+        system.add_conductance(d, s, op.gds)
+        cgs, cgd, cgb = self._gate_caps(op)
+        cj = self.params.cj_w * self.w * self.m
+        system.add_capacitor(g, s, cgs, omega)
+        system.add_capacitor(g, d, cgd, omega)
+        system.add_capacitor(g, b, cgb, omega)
+        system.add_capacitor(d, b, cj, omega)
+        system.add_capacitor(s, b, cj, omega)
+
+    def _gate_caps(self, op: MOSOperatingPoint) -> tuple[float, float, float]:
+        area_cap = self.params.cox * self.w * self.l * self.m
+        cov = self.params.cov * self.w * self.m
+        if op.region == "saturation":
+            return (2.0 / 3.0) * area_cap + cov, cov, 0.0
+        if op.region == "triode":
+            return 0.5 * area_cap + cov, 0.5 * area_cap + cov, 0.0
+        return cov, cov, area_cap
+
+    def __repr__(self) -> str:
+        w_um, l_um = self.w * 1e6, self.l * 1e6
+        return (
+            f"MOSFET({self.name}, {self.params.polarity}mos, "
+            f"W={w_um:.3g}u, L={l_um:.3g}u, m={self.m})"
+        )

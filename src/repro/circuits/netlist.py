@@ -1,0 +1,153 @@
+"""Circuit container: nodes, devices, and MNA index assignment."""
+
+from __future__ import annotations
+
+from repro.circuits.devices import (
+    Capacitor,
+    CurrentSource,
+    Device,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuits.mosfet import MOSFET, MOSFETParams
+
+GROUND = "0"
+_GROUND_ALIASES = {"0", "gnd", "GND", "vss!", "gnd!"}
+
+
+class Circuit:
+    """A named collection of devices over named nodes.
+
+    Nodes are created implicitly when devices reference them; any of the
+    aliases ``0``/``gnd``/``GND`` is the ground reference (MNA index -1).
+    Call :meth:`finalize` (done automatically by the analyses) after the
+    last device is added to assign matrix indices.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = str(name)
+        self.devices: list = []
+        self._device_by_name: dict[str, object] = {}
+        self._node_index: dict[str, int] = {}
+        self._n_branches = 0
+        self._finalized = False
+
+    # -- construction ------------------------------------------------------------
+
+    def add(self, device) -> object:
+        """Add a device instance; names must be unique."""
+        if device.name in self._device_by_name:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self.devices.append(device)
+        self._device_by_name[device.name] = device
+        self._finalized = False
+        return device
+
+    # convenience constructors -----------------------------------------------------
+
+    def resistor(self, name, a, b, resistance) -> Resistor:
+        """Add a resistor and return it."""
+        return self.add(Resistor(name, a, b, resistance))
+
+    def capacitor(self, name, a, b, capacitance) -> Capacitor:
+        """Add a capacitor and return it."""
+        return self.add(Capacitor(name, a, b, capacitance))
+
+    def vsource(self, name, pos, neg, dc, ac=0.0) -> VoltageSource:
+        """Add an independent voltage source and return it."""
+        return self.add(VoltageSource(name, pos, neg, dc, ac))
+
+    def isource(self, name, node_from, node_to, dc, ac=0.0) -> CurrentSource:
+        """Add an independent current source and return it."""
+        return self.add(CurrentSource(name, node_from, node_to, dc, ac))
+
+    def vcvs(self, name, out_pos, out_neg, in_pos, in_neg, gain) -> VCVS:
+        """Add a voltage-controlled voltage source and return it."""
+        return self.add(VCVS(name, out_pos, out_neg, in_pos, in_neg, gain))
+
+    def vccs(self, name, out_pos, out_neg, in_pos, in_neg, gm) -> VCCS:
+        """Add a voltage-controlled current source and return it."""
+        return self.add(VCCS(name, out_pos, out_neg, in_pos, in_neg, gm))
+
+    def mosfet(self, name, d, g, s, b, params: MOSFETParams, w, l, m=1) -> MOSFET:
+        """Add a MOSFET and return it."""
+        return self.add(MOSFET(name, d, g, s, b, params, w, l, m))
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def device(self, name: str):
+        """Look up a device by name."""
+        try:
+            return self._device_by_name[name]
+        except KeyError:
+            raise KeyError(f"no device named {name!r} in circuit {self.name!r}") from None
+
+    @property
+    def node_names(self) -> list[str]:
+        """All non-ground node names (finalizes the circuit if needed)."""
+        self.finalize()
+        return sorted(self._node_index, key=self._node_index.get)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        self.finalize()
+        return len(self._node_index)
+
+    @property
+    def n_unknowns(self) -> int:
+        """MNA system size: node voltages plus branch currents."""
+        self.finalize()
+        return len(self._node_index) + self._n_branches
+
+    def node_index(self, name: str) -> int:
+        """MNA index of a node (-1 for ground)."""
+        self.finalize()
+        name = str(name)
+        if name in _GROUND_ALIASES:
+            return -1
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r} in circuit {self.name!r}") from None
+
+    # -- finalization -----------------------------------------------------------------
+
+    def finalize(self):
+        """Assign node and branch indices (idempotent)."""
+        if self._finalized:
+            return
+        if not self.devices:
+            raise ValueError(f"circuit {self.name!r} has no devices")
+        self._node_index = {}
+        for device in self.devices:
+            for node in device.nodes:
+                node = str(node)
+                if node in _GROUND_ALIASES or node in self._node_index:
+                    continue
+                self._node_index[node] = len(self._node_index)
+        n_nodes = len(self._node_index)
+        if n_nodes == 0:
+            raise ValueError(f"circuit {self.name!r} has only ground nodes")
+
+        def index_of(node_name: str) -> int:
+            if node_name in _GROUND_ALIASES:
+                return -1
+            return self._node_index[node_name]
+
+        branch = n_nodes
+        for device in self.devices:
+            device.assign_nodes(index_of)
+            if device.n_branches:
+                device.assign_branch(branch)
+                branch += device.n_branches
+        self._n_branches = branch - n_nodes
+        self._finalized = True
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, devices={len(self.devices)}, "
+            f"nodes={len(self._node_index) if self._finalized else '?'})"
+        )

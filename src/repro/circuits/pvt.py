@@ -1,0 +1,88 @@
+"""Process / voltage / temperature corner modelling.
+
+The charge-pump experiment (paper Sec. IV-B) evaluates every design at 18
+PVT corners.  We model corners as multiplicative/additive perturbations of
+the nominal MOSFET parameters:
+
+* **process**: threshold-voltage shifts and mobility (kp) scaling, with
+  independent NMOS/PMOS directions so the skewed corners (FS, SF) exist;
+* **voltage**: the testbench scales its supply by ``vdd_scale``;
+* **temperature**: threshold drift of −2 mV/K and mobility ~ T^-1.5,
+  applied by :meth:`repro.circuits.mosfet.MOSFETParams.at_temperature`.
+
+``standard_corners()`` returns the 3 process x 2 supply x 3 temperature = 18
+grid used by the charge-pump testbench, matching the paper's corner count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One process corner: per-polarity Vth shift (V) and kp scale factor."""
+
+    name: str
+    nmos_vth_shift: float
+    nmos_kp_scale: float
+    pmos_vth_shift: float
+    pmos_kp_scale: float
+
+
+# Spread magnitudes loosely patterned on a generic 180 nm PDK: +-40 mV Vth,
+# +-10 % mobility between typical and fast/slow.
+_VTH = 0.04
+_KP = 0.10
+
+TT = ProcessCorner("TT", 0.0, 1.0, 0.0, 1.0)
+FF = ProcessCorner("FF", -_VTH, 1.0 + _KP, -_VTH, 1.0 + _KP)
+SS = ProcessCorner("SS", +_VTH, 1.0 - _KP, +_VTH, 1.0 - _KP)
+FS = ProcessCorner("FS", -_VTH, 1.0 + _KP, +_VTH, 1.0 - _KP)
+SF = ProcessCorner("SF", +_VTH, 1.0 - _KP, -_VTH, 1.0 + _KP)
+
+PROCESS_CORNERS = {c.name: c for c in (TT, FF, SS, FS, SF)}
+
+
+@dataclass(frozen=True)
+class PVTCorner:
+    """A full PVT condition: process corner, supply scale, temperature."""
+
+    process: ProcessCorner
+    vdd_scale: float
+    temp_c: float
+
+    @property
+    def temp_k(self) -> float:
+        """Junction temperature in Kelvin."""
+        return celsius_to_kelvin(self.temp_c)
+
+    @property
+    def name(self) -> str:
+        """Readable corner label, e.g. ``SS/0.90V/125C``."""
+        return f"{self.process.name}/{self.vdd_scale:.2f}V/{self.temp_c:g}C"
+
+    def __repr__(self) -> str:
+        return f"PVTCorner({self.name})"
+
+
+NOMINAL = PVTCorner(TT, 1.0, 27.0)
+
+
+def standard_corners(
+    processes=("TT", "FF", "SS"),
+    vdd_scales=(0.9, 1.1),
+    temps_c=(-40.0, 27.0, 125.0),
+) -> list[PVTCorner]:
+    """The full corner grid; defaults give the paper's 18 PVT corners."""
+    corners = []
+    for p in processes:
+        process = PROCESS_CORNERS[p] if isinstance(p, str) else p
+        for v in vdd_scales:
+            for t in temps_c:
+                corners.append(PVTCorner(process, float(v), float(t)))
+    if not corners:
+        raise ValueError("corner grid is empty")
+    return corners

@@ -1,0 +1,22 @@
+"""Sizing testbenches for the paper's evaluation circuits (plus extras).
+
+* :class:`TwoStageOpAmpProblem` — the Fig. 3 Miller-compensated two-stage
+  operational amplifier (Table I experiment),
+* :class:`ChargePumpProblem` — the Fig. 4 charge pump evaluated over 18
+  PVT corners (Table II experiment),
+* :class:`FoldedCascodeOTAProblem` — an additional workload beyond the
+  paper, built from the :mod:`repro.circuits.blocks` library.
+"""
+
+from repro.circuits.testbenches.base import DesignVariable, SizingProblem
+from repro.circuits.testbenches.charge_pump import ChargePumpProblem
+from repro.circuits.testbenches.folded_cascode import FoldedCascodeOTAProblem
+from repro.circuits.testbenches.two_stage_opamp import TwoStageOpAmpProblem
+
+__all__ = [
+    "ChargePumpProblem",
+    "DesignVariable",
+    "FoldedCascodeOTAProblem",
+    "SizingProblem",
+    "TwoStageOpAmpProblem",
+]

@@ -1,0 +1,157 @@
+"""Folded-cascode OTA testbench — an extra workload beyond the paper.
+
+Classic single-stage folded cascode: PMOS input pair folded into NMOS
+cascode branches with a cascoded PMOS mirror load, diode-stack bias
+generation, load-capacitor compensation.  11 design variables.
+
+Included because downstream users of a sizing library want more than the
+paper's two circuits; it also exercises the block library
+(:mod:`repro.circuits.blocks`).  Specification mirrors the Table I style:
+
+    maximize GAIN   s.t.   UGF > ugf_spec,  PM > pm_spec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.problem import Evaluation
+from repro.circuits.ac import ACAnalysis, log_freqs
+from repro.circuits.blocks import (
+    add_bias_diode_stack,
+    add_cascode_pair,
+    add_differential_pair,
+)
+from repro.circuits.dc import DCAnalysis
+from repro.circuits.measure import dc_gain_db, phase_margin_deg, unity_gain_frequency
+from repro.circuits.mosfet import MOSFETParams, nmos_180, pmos_180
+from repro.circuits.netlist import Circuit
+from repro.circuits.pvt import NOMINAL, PVTCorner
+from repro.circuits.testbenches.base import DesignVariable, SizingProblem
+from repro.circuits.units import MEGA, MICRO, PICO
+
+_UM = 1e-6
+
+
+class FoldedCascodeOTAProblem(SizingProblem):
+    """Sizing problem for a folded-cascode OTA (11 design variables).
+
+    Variables: input-pair W/L, NMOS bottom W/L, NMOS cascode W/L, PMOS
+    mirror/cascode W/L, tail W/L, and the bias current.  The load
+    capacitor (which sets the dominant pole) is a testbench constant.
+    """
+
+    _VARIABLES = [
+        DesignVariable("w_in", 2.0 * _UM, 200.0 * _UM, "m"),
+        DesignVariable("l_in", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("w_nb", 2.0 * _UM, 200.0 * _UM, "m"),
+        DesignVariable("l_nb", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("w_nc", 2.0 * _UM, 200.0 * _UM, "m"),
+        DesignVariable("l_nc", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("w_p", 2.0 * _UM, 200.0 * _UM, "m"),
+        DesignVariable("l_p", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("w_tail", 4.0 * _UM, 400.0 * _UM, "m"),
+        DesignVariable("l_tail", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("ibias", 5.0 * MICRO, 80.0 * MICRO, "A"),
+    ]
+
+    def __init__(
+        self,
+        vdd: float = 1.8,
+        cl: float = 2.0 * PICO,
+        ugf_spec: float = 60.0 * MEGA,
+        pm_spec: float = 60.0,
+        corner: PVTCorner = NOMINAL,
+        nmos: MOSFETParams = nmos_180,
+        pmos: MOSFETParams = pmos_180,
+        sweep: tuple[float, float, int] = (10.0, 3e9, 10),
+    ):
+        super().__init__("folded_cascode_ota", list(self._VARIABLES), n_constraints=2)
+        self.vdd = float(vdd) * corner.vdd_scale
+        self.cl = float(cl)
+        self.ugf_spec = float(ugf_spec)
+        self.pm_spec = float(pm_spec)
+        self.corner = corner
+        self.nmos = nmos.at_corner(corner.process, corner.temp_k)
+        self.pmos = pmos.at_corner(corner.process, corner.temp_k)
+        self.freqs = log_freqs(*sweep[:2], points_per_decade=sweep[2])
+        self.vcm = 0.5 * self.vdd
+
+    # -- circuit ---------------------------------------------------------------
+
+    def build_circuit(self, x: np.ndarray) -> Circuit:
+        """Assemble the folded-cascode netlist from the block library."""
+        p = self.as_dict(x)
+        ckt = Circuit("folded_cascode_ota")
+        vdd = self.vdd
+
+        ckt.vsource("VDD", "vdd", "0", vdd)
+        ckt.vsource("VINP", "vinp", "0", self.vcm, ac=1.0)
+        ckt.resistor("RFB", "out", "vinn", 1e9)
+        ckt.capacitor("CFB", "vinn", "0", 1.0)
+
+        # bias: NMOS two-diode stack for bottom/cascode gates, PMOS stack
+        # for the cascode-load gate and tail mirror
+        add_bias_diode_stack(ckt, "bn", self.nmos, p["ibias"], 2,
+                             w=0.5 * p["w_nb"], l=p["l_nb"])
+        add_bias_diode_stack(ckt, "bp", self.pmos, p["ibias"], 2,
+                             w=0.5 * p["w_p"], l=p["l_p"])
+        # tail current source mirrors the PMOS bias diode bn... (bp_d1)
+        ckt.mosfet("MTAIL", "ntail", "bp_d1", "vdd", "vdd", self.pmos,
+                   p["w_tail"], p["l_tail"])
+
+        # input pair folds into the NMOS branches at f1/f2
+        add_differential_pair(ckt, "min", self.pmos, "vinp", "vinn",
+                              "f1", "f2", "ntail", p["w_in"], p["l_in"])
+        # NMOS bottom devices (gates at the first diode tap)
+        ckt.mosfet("MNB1", "f1", "bn_d1", "0", "0", self.nmos,
+                   p["w_nb"], p["l_nb"])
+        ckt.mosfet("MNB2", "f2", "bn_d1", "0", "0", self.nmos,
+                   p["w_nb"], p["l_nb"])
+        # NMOS cascodes up to c1 (diode side) and out
+        add_cascode_pair(ckt, "mnc", self.nmos, ("f1", "f2"),
+                         ("c1", "out"), "bn_d2", p["w_nc"], p["l_nc"])
+        # PMOS cascoded mirror load: mirror gate at c1 (diode side)
+        ckt.mosfet("MPM1", "t1", "c1", "vdd", "vdd", self.pmos,
+                   p["w_p"], p["l_p"])
+        ckt.mosfet("MPM2", "t2", "c1", "vdd", "vdd", self.pmos,
+                   p["w_p"], p["l_p"])
+        add_cascode_pair(ckt, "mpc", self.pmos, ("c1", "out"),
+                         ("t1", "t2"), "bp_d2", p["w_p"], p["l_p"])
+        ckt.capacitor("CL", "out", "0", self.cl)
+        return ckt
+
+    def _initial_guess(self) -> dict[str, float]:
+        vdd, vcm = self.vdd, self.vcm
+        return {
+            "vdd": vdd, "vinp": vcm, "vinn": vcm, "out": vcm,
+            "ntail": vcm + 0.45, "f1": 0.25, "f2": 0.25,
+            "c1": vdd - 0.55, "t1": vdd - 0.25, "t2": vdd - 0.25,
+            "bn_d1": 0.6, "bn_d2": 1.1, "bp_d1": vdd - 0.6,
+            "bp_d2": vdd - 1.1,
+        }
+
+    # -- simulation --------------------------------------------------------------
+
+    def simulate(self, x: np.ndarray) -> dict:
+        """DC + AC analysis; returns gain/UGF/PM and supply current."""
+        ckt = self.build_circuit(x)
+        dc = DCAnalysis(ckt).solve(initial=self._initial_guess())
+        ac = ACAnalysis(ckt).sweep(dc, self.freqs)
+        tf = ac.transfer("out")
+        return {
+            "gain_db": float(dc_gain_db(tf)),
+            "ugf_hz": float(unity_gain_frequency(self.freqs, tf)),
+            "pm_deg": float(phase_margin_deg(self.freqs, tf)),
+            "idd_a": float(-dc.branch_current("VDD")),
+            "vout_dc": dc.voltage("out"),
+        }
+
+    def _to_evaluation(self, metrics: dict) -> Evaluation:
+        objective = -max(metrics["gain_db"], 0.0)
+        g_ugf = (self.ugf_spec - metrics["ugf_hz"]) / self.ugf_spec
+        g_pm = (self.pm_spec - metrics["pm_deg"]) / self.pm_spec
+        return Evaluation(objective, np.array([g_ugf, g_pm]), metrics=metrics)
+
+    def _failure_evaluation(self) -> Evaluation:
+        return Evaluation(0.0, np.array([1.0, 1.0]), metrics={})

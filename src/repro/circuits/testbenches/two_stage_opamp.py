@@ -1,0 +1,193 @@
+"""Two-stage operational amplifier testbench (paper Fig. 3 / Table I).
+
+Topology — the classic Miller-compensated two-stage OTA of the paper's
+figure: PMOS input differential pair (M1/M2) under a PMOS tail source
+(M7), NMOS current-mirror load (M3/M4), NMOS common-source second stage
+(M5) with PMOS current-source load (M6), RC compensation (R1 + Cc) across
+the second stage, bias chain (diode M8 fed by the Ibias source), and load
+capacitor CL.
+
+Ten design variables, as in the paper: W/L of the input pair, W/L of the
+mirror load, W/L of the second-stage device, W/L shared by the
+bias/tail/load PMOS devices (M6/M7 mirror from M8), plus Cc and Ibias.
+
+Specification (eq. 14):
+
+    maximize GAIN   s.t.   UGF > 40 MHz,  PM > 60 deg.
+
+Measurement: the amplifier is DC-biased by a unity-feedback servo (a huge
+RC from output to the inverting input — the textbook SPICE open-loop
+testbench); the AC sweep then sees an open loop above ~1 Hz, from which
+GAIN/UGF/PM are extracted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.problem import Evaluation
+from repro.circuits.ac import ACAnalysis, log_freqs
+from repro.circuits.dc import DCAnalysis
+from repro.circuits.mosfet import MOSFETParams, nmos_180, pmos_180
+from repro.circuits.netlist import Circuit
+from repro.circuits.measure import dc_gain_db, phase_margin_deg, unity_gain_frequency
+from repro.circuits.pvt import NOMINAL, PVTCorner
+from repro.circuits.testbenches.base import DesignVariable, SizingProblem
+from repro.circuits.units import MEGA, MICRO, PICO
+
+_UM = 1e-6
+
+
+class TwoStageOpAmpProblem(SizingProblem):
+    """Sizing problem for the Fig. 3 two-stage op-amp.
+
+    Parameters
+    ----------
+    vdd:
+        Supply voltage [V].
+    cl:
+        Load capacitance [F].
+    ugf_spec, pm_spec:
+        Constraint thresholds (paper: 40 MHz, 60 degrees).
+    corner:
+        PVT condition (Table I uses the nominal corner).
+    sweep:
+        ``(f_start, f_stop, points_per_decade)`` of the AC analysis.
+    """
+
+    #: W/L bounds span the common 180 nm analog sizing space; Cc and Ibias
+    #: ranges bracket the values hand analysis suggests for the specs.
+    _VARIABLES = [
+        DesignVariable("w12", 1.0 * _UM, 100.0 * _UM, "m"),
+        DesignVariable("l12", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("w34", 1.0 * _UM, 100.0 * _UM, "m"),
+        DesignVariable("l34", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("w5", 1.0 * _UM, 200.0 * _UM, "m"),
+        DesignVariable("l5", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("w67", 2.0 * _UM, 200.0 * _UM, "m"),
+        DesignVariable("l67", 0.18 * _UM, 2.0 * _UM, "m"),
+        DesignVariable("cc", 0.2 * PICO, 10.0 * PICO, "F"),
+        DesignVariable("ibias", 2.0 * MICRO, 40.0 * MICRO, "A"),
+    ]
+
+    def __init__(
+        self,
+        vdd: float = 1.8,
+        cl: float = 2.0 * PICO,
+        ugf_spec: float = 40.0 * MEGA,
+        pm_spec: float = 60.0,
+        # nulling resistor of the RC compensation; ~1/gm5 for typical
+        # second-stage bias so the compensation zero sits near/above UGF
+        r_comp: float = 800.0,
+        corner: PVTCorner = NOMINAL,
+        nmos: MOSFETParams = nmos_180,
+        pmos: MOSFETParams = pmos_180,
+        sweep: tuple[float, float, int] = (10.0, 3e9, 10),
+    ):
+        super().__init__("two_stage_opamp", list(self._VARIABLES), n_constraints=2)
+        self.vdd = float(vdd) * corner.vdd_scale
+        self.cl = float(cl)
+        self.ugf_spec = float(ugf_spec)
+        self.pm_spec = float(pm_spec)
+        self.r_comp = float(r_comp)
+        self.corner = corner
+        self.nmos = nmos.at_corner(corner.process, corner.temp_k)
+        self.pmos = pmos.at_corner(corner.process, corner.temp_k)
+        self.freqs = log_freqs(*sweep[:2], points_per_decade=sweep[2])
+        self.vcm = 0.5 * self.vdd
+
+    # -- circuit construction ---------------------------------------------------
+
+    def build_circuit(self, x: np.ndarray) -> Circuit:
+        """Construct the op-amp netlist for a design vector.
+
+        Exposed publicly so examples can inspect or export the netlist.
+        """
+        p = self.as_dict(x)
+        vdd, vcm = self.vdd, self.vcm
+        ckt = Circuit("two_stage_opamp")
+
+        ckt.vsource("VDD", "vdd", "0", vdd)
+        # input drive: AC stimulus on vin+, servo feedback on vin-
+        ckt.vsource("VINP", "vinp", "0", vcm, ac=1.0)
+        ckt.resistor("RFB", "out", "vinn", 1e9)
+        ckt.capacitor("CFB", "vinn", "0", 1.0)
+
+        # bias chain: Ibias through diode-connected PMOS M8 sets the PMOS
+        # gate rail; M7 (tail) and M6 (2nd-stage load) mirror it
+        w8, l8 = 5.0 * _UM, 1.0 * _UM
+        ckt.isource("IBIAS", "nbias", "0", p["ibias"])
+        ckt.mosfet("M8", "nbias", "nbias", "vdd", "vdd", self.pmos, w8, l8)
+        ckt.mosfet("M7", "ntail", "nbias", "vdd", "vdd", self.pmos, p["w67"], p["l67"])
+        ckt.mosfet("M6", "out", "nbias", "vdd", "vdd", self.pmos, p["w67"], p["l67"])
+
+        # first stage: PMOS pair M1/M2, NMOS mirror load M3/M4
+        ckt.mosfet("M1", "nd1", "vinp", "ntail", "vdd", self.pmos, p["w12"], p["l12"])
+        ckt.mosfet("M2", "nd2", "vinn", "ntail", "vdd", self.pmos, p["w12"], p["l12"])
+        ckt.mosfet("M3", "nd1", "nd1", "0", "0", self.nmos, p["w34"], p["l34"])
+        ckt.mosfet("M4", "nd2", "nd1", "0", "0", self.nmos, p["w34"], p["l34"])
+
+        # second stage: NMOS common source M5 with Miller compensation
+        ckt.mosfet("M5", "out", "nd2", "0", "0", self.nmos, p["w5"], p["l5"])
+        ckt.resistor("R1", "nd2", "ncomp", self.r_comp)
+        ckt.capacitor("CC", "ncomp", "out", p["cc"])
+        ckt.capacitor("CL", "out", "0", self.cl)
+        return ckt
+
+    def _initial_guess(self) -> dict[str, float]:
+        vdd, vcm = self.vdd, self.vcm
+        return {
+            "vdd": vdd,
+            "vinp": vcm,
+            "vinn": vcm,
+            "nbias": vdd - 0.7,
+            "ntail": vcm + 0.5,
+            "nd1": 0.5,
+            "nd2": 0.5,
+            "ncomp": vcm,
+            "out": vcm,
+        }
+
+    # -- simulation -----------------------------------------------------------------
+
+    def simulate(self, x: np.ndarray) -> dict:
+        """DC + AC analysis; returns gain/UGF/PM plus bias diagnostics."""
+        ckt = self.build_circuit(x)
+        dc = DCAnalysis(ckt).solve(initial=self._initial_guess())
+        ac = ACAnalysis(ckt).sweep(dc, self.freqs)
+        tf = ac.transfer("out")
+        gain = dc_gain_db(tf)
+        ugf = unity_gain_frequency(self.freqs, tf)
+        pm = phase_margin_deg(self.freqs, tf)
+        idd = -dc.branch_current("VDD")  # current delivered by the supply
+        return {
+            "gain_db": float(gain),
+            "ugf_hz": float(ugf),
+            "pm_deg": float(pm),
+            "idd_a": float(idd),
+            "vout_dc": dc.voltage("out"),
+            "regions": {
+                name: dc.op(name).region
+                for name in ("M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8")
+            },
+        }
+
+    # -- problem mapping ---------------------------------------------------------------
+
+    def _to_evaluation(self, metrics: dict) -> Evaluation:
+        # maximize GAIN -> minimize -GAIN (dB).  Broken bias points can
+        # measure arbitrarily negative dB gains (-300 dB); below 0 dB the
+        # design is "not an amplifier" and the exact value carries no
+        # ranking information, so the objective is clamped there — raw
+        # measurements stay available in `metrics`.
+        objective = -max(metrics["gain_db"], 0.0)
+        g_ugf = (self.ugf_spec - metrics["ugf_hz"]) / self.ugf_spec
+        g_pm = (self.pm_spec - metrics["pm_deg"]) / self.pm_spec
+        return Evaluation(
+            objective=objective,
+            constraints=np.array([g_ugf, g_pm]),
+            metrics=metrics,
+        )
+
+    def _failure_evaluation(self) -> Evaluation:
+        return Evaluation(objective=0.0, constraints=np.array([1.0, 1.0]), metrics={})

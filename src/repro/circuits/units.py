@@ -1,0 +1,61 @@
+"""Engineering-unit helpers used by testbenches and reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# SI prefixes as multipliers
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def db20(magnitude) -> np.ndarray | float:
+    """Convert a voltage-ratio magnitude to decibels (20 log10)."""
+    magnitude = np.asarray(magnitude, dtype=float)
+    out = 20.0 * np.log10(np.maximum(magnitude, 1e-300))
+    return float(out) if out.ndim == 0 else out
+
+
+def from_db20(db) -> np.ndarray | float:
+    """Convert decibels back to a voltage-ratio magnitude."""
+    db = np.asarray(db, dtype=float)
+    out = 10.0 ** (db / 20.0)
+    return float(out) if out.ndim == 0 else out
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert Celsius to Kelvin."""
+    return float(temp_c) + 273.15
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format a value with an engineering SI prefix (e.g. ``4.7e-12 -> 4.7pF``)."""
+    value = float(value)
+    if value == 0.0 or not np.isfinite(value):
+        return f"{value:g}{unit}"
+    magnitude = abs(value)
+    for factor, prefix in _PREFIXES:
+        if magnitude >= factor:
+            return f"{value / factor:.4g}{prefix}{unit}"
+    factor, prefix = _PREFIXES[-1]
+    return f"{value / factor:.4g}{prefix}{unit}"

@@ -1,0 +1,18 @@
+"""The paper's primary contribution: the neural-network Gaussian process.
+
+* :class:`NeuralFeatureGP` — weight-space GP whose kernel is the inner
+  product of learned neural features (Sec. III-A, eq. 8–11),
+* :class:`FeatureGPTrainer` — joint maximum-likelihood training of GP
+  scales and network weights by back-propagation (Sec. III-B, eq. 12),
+* :class:`DeepEnsemble` — moment-matched model averaging over K randomly
+  initialized members (Sec. III-C, eq. 13),
+* :class:`NNBO` — the full constrained Bayesian-optimization algorithm
+  (Algorithm 1 / Fig. 2).
+"""
+
+from repro.core.ensemble import DeepEnsemble
+from repro.core.feature_gp import NeuralFeatureGP
+from repro.core.trainer import FeatureGPTrainer
+from repro.core.bo import NNBO
+
+__all__ = ["DeepEnsemble", "FeatureGPTrainer", "NeuralFeatureGP", "NNBO"]

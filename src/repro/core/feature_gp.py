@@ -1,0 +1,315 @@
+"""Gaussian process regression with a neural-network feature map.
+
+This is the paper's surrogate model (Sec. III-A).  The latent function is a
+Bayesian linear model over learned features,
+
+    f(x) = w^T phi(x),        w ~ N(0, sigma_p^2 / M * I),          (eq. 8)
+
+which induces the GP kernel ``k(x1, x2) = phi(x1)^T Sigma_p phi(x2)``
+(eq. 9).  With ``Phi = [phi(x_1) ... phi(x_N)]`` (M x N) and
+
+    A = Phi Phi^T + (M sigma_n^2 / sigma_p^2) I                     (M x M)
+
+the posterior at a new point is (eq. 10)
+
+    mu(x)      = phi(x)^T A^{-1} Phi y
+    sigma^2(x) = sigma_n^2 + sigma_n^2 phi(x)^T A^{-1} phi(x)
+
+and the marginal log-likelihood is eq. 11.  Everything is expressed through
+the M x M matrix ``A``, so training cost is O(M^3 + N M^2) — *linear* in the
+number of observations N — and prediction is O(M)/O(M^2) per point,
+independent of N (Sec. III-D).
+
+Gradient of the negative log-likelihood used for training (derived from
+eq. 11 via matrix calculus; verified against finite differences in
+``tests/core/test_feature_gp_grad.py``): with ``u = Phi y``, ``r = A^{-1} u``
+and ``resid = y - Phi^T r``,
+
+    dNLL/dPhi   = -(1/sigma_n^2) * r resid^T + A^{-1} Phi
+    dNLL/dbeta  = r^T r / (2 sigma_n^2) + tr(A^{-1}) / 2 - M / (2 beta)
+    dNLL/ds     = -(y^T y - u^T r) / (2 sigma_n^2) + N/2 + beta * dNLL/dbeta
+    dNLL/dp     = -beta * dNLL/dbeta
+
+where ``beta = M sigma_n^2 / sigma_p^2`` and ``s = log sigma_n^2``,
+``p = log sigma_p^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.nn.network import Sequential, make_mlp
+from repro.gp.linalg import jitter_cholesky, log_det_from_cholesky
+from repro.utils.rng import ensure_rng
+from repro.utils.scaling import StandardScaler
+from repro.utils.validation import check_finite, check_matrix_2d, check_vector_1d
+
+# Clamp ranges for the log-scale hyper-parameters during training; without
+# them the likelihood can push sigma_n^2 -> 0 on noise-free data and the
+# A-matrix conditioning collapses.
+LOG_NOISE_BOUNDS = (np.log(1e-8), np.log(1e2))
+LOG_PRIOR_BOUNDS = (np.log(1e-6), np.log(1e4))
+
+
+class NeuralFeatureGP:
+    """GP regression model whose kernel is learned by a neural network.
+
+    Parameters
+    ----------
+    input_dim:
+        Design-space dimension ``d``.
+    hidden_dims:
+        Hidden-layer widths of the feature network; the default ``(50, 50)``
+        realizes the paper's 4-layer fully-connected architecture (Fig. 1).
+    n_features:
+        Width ``M`` of the feature layer phi(x) (before the optional bias
+        column).
+    activation:
+        Hidden activation; the paper uses ReLU.
+    add_bias_feature:
+        Append a constant-1 feature so the Bayesian linear head can express
+        a learned constant mean (the classic GP baseline gets an explicit
+        ``mu_0`` instead).
+    noise_variance, prior_variance:
+        Initial sigma_n^2 and sigma_p^2.
+    normalize_y:
+        Z-score targets internally before fitting.
+    seed:
+        Seed/generator for weight initialization; ensemble members pass
+        independent generators (Sec. III-C).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: tuple[int, ...] = (50, 50),
+        n_features: int = 50,
+        activation: str = "relu",
+        output_activation: str = "tanh",
+        add_bias_feature: bool = True,
+        noise_variance: float = 1e-2,
+        prior_variance: float = 1.0,
+        normalize_y: bool = True,
+        seed=None,
+    ):
+        if noise_variance <= 0 or prior_variance <= 0:
+            raise ValueError("noise_variance and prior_variance must be positive")
+        self.input_dim = int(input_dim)
+        self.n_features = int(n_features)
+        self.add_bias_feature = bool(add_bias_feature)
+        self.normalize_y = bool(normalize_y)
+        rng = ensure_rng(seed)
+        self.network: Sequential = make_mlp(
+            input_dim,
+            hidden_dims,
+            n_features,
+            activation=activation,
+            output_activation=output_activation,
+            rng=rng,
+        )
+        self.log_noise_variance = float(np.log(noise_variance))
+        self.log_prior_variance = float(np.log(prior_variance))
+        self._y_scaler = StandardScaler()
+        self._x_train: np.ndarray | None = None
+        self._z_train: np.ndarray | None = None
+        self._chol_a: np.ndarray | None = None
+        self._coef_r: np.ndarray | None = None
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def feature_dim(self) -> int:
+        """Total feature dimension M (including the bias column if enabled)."""
+        return self.n_features + (1 if self.add_bias_feature else 0)
+
+    @property
+    def noise_variance(self) -> float:
+        """sigma_n^2 in normalized-target units."""
+        return float(np.exp(self.log_noise_variance))
+
+    @property
+    def prior_variance(self) -> float:
+        """sigma_p^2, the prior variance budget of the linear head."""
+        return float(np.exp(self.log_prior_variance))
+
+    @property
+    def beta(self) -> float:
+        """Regularizer ``M sigma_n^2 / sigma_p^2`` on the A-matrix diagonal."""
+        return self.feature_dim * self.noise_variance / self.prior_variance
+
+    @property
+    def num_train(self) -> int:
+        """Number of stored training points."""
+        return 0 if self._x_train is None else self._x_train.shape[0]
+
+    # -- feature map --------------------------------------------------------------
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate phi(x) for a batch; returns shape ``(n, M)``."""
+        x = check_matrix_2d(x, "x", self.input_dim)
+        feats = self.network.forward(x)
+        if self.add_bias_feature:
+            feats = np.hstack([feats, np.ones((feats.shape[0], 1))])
+        return feats
+
+    def backprop_feature_grad(self, grad_feats: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/dphi`` through the network (eq. 12).
+
+        ``grad_feats`` has shape ``(n, M)``; the bias column's gradient (if
+        present) is discarded because that feature is constant.  Network
+        parameter gradients are accumulated in place and returned flat.
+        """
+        grad_feats = np.asarray(grad_feats, dtype=float)
+        if self.add_bias_feature:
+            grad_feats = grad_feats[:, :-1]
+        self.network.zero_grad()
+        self.network.backward(grad_feats)
+        return self.network.get_flat_grads()
+
+    # -- marginal likelihood (eq. 11) ----------------------------------------------
+
+    def marginal_nll(
+        self, feats: np.ndarray, z: np.ndarray, with_grads: bool = False
+    ):
+        """Negative log marginal likelihood of normalized targets ``z``.
+
+        Parameters
+        ----------
+        feats:
+            Feature matrix ``(N, M)`` — i.e. ``Phi^T`` in the paper's column
+            convention.
+        z:
+            Normalized targets, shape ``(N,)``.
+        with_grads:
+            If true, also return ``(dNLL/dfeats, dNLL/dlog sigma_n^2,
+            dNLL/dlog sigma_p^2)``.
+
+        Returns
+        -------
+        ``nll`` or ``(nll, dfeats, dlog_noise, dlog_prior)``.
+        """
+        feats = np.asarray(feats, dtype=float)
+        z = check_vector_1d(z, "z", length=feats.shape[0])
+        n, m = feats.shape
+        if m != self.feature_dim:
+            raise ValueError(f"expected {self.feature_dim} features, got {m}")
+        sn2 = self.noise_variance
+        beta = self.beta
+        a_mat = feats.T @ feats + beta * np.eye(m)
+        chol = jitter_cholesky(a_mat)
+        u = feats.T @ z
+        r = sla.cho_solve((chol, True), u)
+        quad = float(z @ z - u @ r)
+        nll = (
+            0.5 * quad / sn2
+            + 0.5 * log_det_from_cholesky(chol)
+            - 0.5 * m * np.log(beta)
+            + 0.5 * n * np.log(2.0 * np.pi * sn2)
+        )
+        if not with_grads:
+            return nll
+
+        a_inv = sla.cho_solve((chol, True), np.eye(m))
+        resid = z - feats @ r
+        dfeats = -np.outer(resid, r) / sn2 + feats @ a_inv
+        dbeta = (
+            0.5 * float(r @ r) / sn2
+            + 0.5 * float(np.trace(a_inv))
+            - 0.5 * m / beta
+        )
+        dlog_noise = -0.5 * quad / sn2 + 0.5 * n + beta * dbeta
+        dlog_prior = -beta * dbeta
+        return nll, dfeats, dlog_noise, dlog_prior
+
+    # -- fitting --------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray, trainer=None) -> "NeuralFeatureGP":
+        """Train hyper-parameters on data and compute the posterior.
+
+        ``trainer`` defaults to :class:`repro.core.trainer.FeatureGPTrainer`
+        with its stock settings; pass a configured instance to control
+        epochs, learning rate or MSE pre-training.
+        """
+        x = check_matrix_2d(x, "x", self.input_dim)
+        y = check_vector_1d(y, "y", length=x.shape[0])
+        check_finite(x, "x")
+        check_finite(y, "y")
+        if x.shape[0] < 2:
+            raise ValueError("NeuralFeatureGP needs at least 2 training points")
+        self._x_train = x
+        if self.normalize_y:
+            self._z_train = self._y_scaler.fit_transform(y)
+        else:
+            self._y_scaler.fit(np.array([0.0, 1.0]))
+            self._y_scaler.mean_, self._y_scaler.scale_ = 0.0, 1.0
+            self._z_train = y.copy()
+        if trainer is None:
+            from repro.core.trainer import FeatureGPTrainer
+
+            trainer = FeatureGPTrainer()
+        trainer.train(self, x, self._z_train)
+        self.update_posterior()
+        return self
+
+    def update_posterior(self):
+        """(Re)compute the cached ``A`` factorization for predictions.
+
+        Exposed separately from :meth:`fit` so the trainer can refresh the
+        posterior cheaply during incremental refits.
+        """
+        if self._x_train is None:
+            raise RuntimeError("no training data; call fit() first")
+        feats = self.features(self._x_train)
+        m = feats.shape[1]
+        a_mat = feats.T @ feats + self.beta * np.eye(m)
+        self._chol_a = jitter_cholesky(a_mat)
+        self._coef_r = sla.cho_solve((self._chol_a, True), feats.T @ self._z_train)
+
+    # -- prediction (eq. 10) -----------------------------------------------------------
+
+    def predict(
+        self, x: np.ndarray, include_noise: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance at query points, in original units.
+
+        ``include_noise`` adds sigma_n^2 (the paper's eq. 10 includes it; for
+        acquisition optimization the latent-function variance is standard).
+        """
+        self._require_fitted()
+        feats = self.features(x)
+        z_mean = feats @ self._coef_r
+        v = sla.solve_triangular(self._chol_a, feats.T, lower=True)
+        z_var = self.noise_variance * np.sum(v**2, axis=0)
+        if include_noise:
+            z_var = z_var + self.noise_variance
+        z_var = np.maximum(z_var, 1e-14)
+        mean = self._y_scaler.inverse_transform(z_mean)
+        var = self._y_scaler.inverse_transform_variance(z_var)
+        return mean, var
+
+    def sample_head_weights(self, n_samples: int, rng=None) -> np.ndarray:
+        """Draw posterior samples of the linear-head weights ``w`` (eq. 8).
+
+        Useful for Thompson-sampling style acquisition experiments; returns
+        shape ``(n_samples, M)`` in normalized-target units.
+        """
+        self._require_fitted()
+        rng = ensure_rng(rng)
+        m = self.feature_dim
+        # posterior covariance of w is sigma_n^2 A^{-1}
+        eye = np.eye(m)
+        a_inv_half = sla.solve_triangular(self._chol_a, eye, lower=True)
+        cov_half = np.sqrt(self.noise_variance) * a_inv_half.T
+        noise = rng.standard_normal((n_samples, m))
+        return self._coef_r[None, :] + noise @ cov_half.T
+
+    def _require_fitted(self):
+        if self._chol_a is None or self._coef_r is None:
+            raise RuntimeError("model not fitted; call fit() first")
+
+    def __repr__(self) -> str:
+        return (
+            f"NeuralFeatureGP(d={self.input_dim}, M={self.feature_dim}, "
+            f"sigma_n^2={self.noise_variance:.3g}, sigma_p^2={self.prior_variance:.3g})"
+        )

@@ -1,0 +1,176 @@
+"""Joint training of the NN-GP hyper-parameters (paper Sec. III-B).
+
+The hyper-parameter vector is ``theta = [log sigma_n^2, log sigma_p^2, eta]``
+where ``eta`` are the network weights.  The trainer minimizes the negative
+marginal log-likelihood (eq. 11) by full-batch gradient descent; the
+gradient w.r.t. ``eta`` is obtained by back-propagating ``dNLL/dPhi``
+through the network (eq. 12), so "the training of the neural network is
+actually embedded in the optimization procedure of maximizing the
+logarithmic likelihood".
+
+An optional DNGO-style mean-squared-error pre-training phase (a temporary
+linear read-out head trained on the raw targets) is provided for ablation;
+the paper itself trains the likelihood directly, which is the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.feature_gp import (
+    LOG_NOISE_BOUNDS,
+    LOG_PRIOR_BOUNDS,
+    NeuralFeatureGP,
+)
+from repro.nn.layers import Linear
+from repro.nn.losses import mse_loss
+from repro.nn.optimizers import Adam, Optimizer
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_matrix_2d, check_vector_1d
+
+
+class FeatureGPTrainer:
+    """Gradient-based maximum-likelihood trainer for :class:`NeuralFeatureGP`.
+
+    Parameters
+    ----------
+    epochs:
+        Number of full-batch NLL gradient steps.
+    lr:
+        Adam learning rate for the joint parameter vector.
+    pretrain_epochs:
+        If positive, first run this many MSE steps with a temporary linear
+        head (DNGO-style warm start), then switch to NLL training.
+    pretrain_lr:
+        Learning rate for the pre-training phase.
+    patience:
+        Early-stopping patience: training stops when the best NLL has not
+        improved for this many epochs (``None`` disables).
+    optimizer_factory:
+        Callable returning a fresh :class:`repro.nn.Optimizer`; defaults to
+        Adam with ``lr``.
+    seed:
+        RNG seed for the pre-training head initialization.
+    """
+
+    def __init__(
+        self,
+        epochs: int = 500,
+        lr: float = 5e-3,
+        pretrain_epochs: int = 0,
+        pretrain_lr: float = 1e-2,
+        patience: int | None = 100,
+        optimizer_factory=None,
+        seed=None,
+    ):
+        if epochs < 0 or pretrain_epochs < 0:
+            raise ValueError("epoch counts must be non-negative")
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.pretrain_epochs = int(pretrain_epochs)
+        self.pretrain_lr = float(pretrain_lr)
+        self.patience = patience
+        self._optimizer_factory = optimizer_factory or (lambda: Adam(lr=self.lr))
+        self._rng = ensure_rng(seed)
+        self.loss_history: list[float] = []
+
+    # -- public API -------------------------------------------------------------
+
+    def train(self, model: NeuralFeatureGP, x: np.ndarray, z: np.ndarray) -> float:
+        """Run (optional pre-training and) NLL training; return the best NLL.
+
+        ``z`` must already be in the model's normalized-target units: this
+        is the contract with :meth:`NeuralFeatureGP.fit`, which owns the
+        scaler.
+        """
+        x = check_matrix_2d(x, "x", model.input_dim)
+        z = check_vector_1d(z, "z", length=x.shape[0])
+        self.loss_history = []
+        if self.pretrain_epochs > 0:
+            self._pretrain(model, x, z)
+        if self.epochs > 0:
+            return self._train_nll(model, x, z)
+        feats = model.features(x)
+        return float(model.marginal_nll(feats, z))
+
+    # -- phases -----------------------------------------------------------------
+
+    def _pretrain(self, model: NeuralFeatureGP, x: np.ndarray, z: np.ndarray):
+        """MSE warm start with a throwaway linear head on top of phi(x)."""
+        head = Linear(model.n_features, 1, rng=self._rng)
+        optimizer: Optimizer = Adam(lr=self.pretrain_lr)
+        net = model.network
+        params = np.concatenate(
+            [net.get_flat_params(), head.weight.ravel(), head.bias.ravel()]
+        )
+        n_net = net.num_params
+        target = z.reshape(-1, 1)
+        for _ in range(self.pretrain_epochs):
+            net.set_flat_params(params[:n_net])
+            head.weight[...] = params[n_net:-1].reshape(head.weight.shape)
+            head.bias[...] = params[-1:]
+            feats = net.forward(x)
+            pred = head.forward(feats)
+            _, grad_pred = mse_loss(pred, target)
+            head.zero_grad()
+            grad_feats = head.backward(grad_pred)
+            net.zero_grad()
+            net.backward(grad_feats)
+            grads = np.concatenate(
+                [net.get_flat_grads(), head.grad_weight.ravel(), head.grad_bias.ravel()]
+            )
+            params = optimizer.step(params, grads)
+        net.set_flat_params(params[:n_net])
+
+    def _train_nll(self, model: NeuralFeatureGP, x: np.ndarray, z: np.ndarray) -> float:
+        """Full-batch Adam on ``[log sigma_n^2, log sigma_p^2, eta]``."""
+        optimizer = self._optimizer_factory()
+        net = model.network
+        params = np.concatenate(
+            [
+                [model.log_noise_variance, model.log_prior_variance],
+                net.get_flat_params(),
+            ]
+        )
+        best_nll = np.inf
+        best_params = params.copy()
+        stall = 0
+        for _ in range(self.epochs):
+            self._write_params(model, params)
+            feats = model.features(x)
+            nll, dfeats, d_log_noise, d_log_prior = model.marginal_nll(
+                feats, z, with_grads=True
+            )
+            self.loss_history.append(float(nll))
+            if not np.isfinite(nll):
+                # a bad step can overflow the likelihood; restart from best
+                params = best_params.copy()
+                optimizer.reset()
+                stall += 1
+                if self.patience is not None and stall > self.patience:
+                    break
+                continue
+            if nll < best_nll - 1e-9:
+                best_nll = float(nll)
+                best_params = params.copy()
+                stall = 0
+            else:
+                stall += 1
+                if self.patience is not None and stall > self.patience:
+                    break
+            grad_eta = model.backprop_feature_grad(dfeats)
+            grads = np.concatenate([[d_log_noise, d_log_prior], grad_eta])
+            params = optimizer.step(params, grads)
+            params[0] = np.clip(params[0], *LOG_NOISE_BOUNDS)
+            params[1] = np.clip(params[1], *LOG_PRIOR_BOUNDS)
+        self._write_params(model, best_params)
+        if np.isfinite(best_nll):
+            return best_nll
+        feats = model.features(x)
+        return float(model.marginal_nll(feats, z))
+
+    @staticmethod
+    def _write_params(model: NeuralFeatureGP, params: np.ndarray):
+        model.log_noise_variance = float(params[0])
+        model.log_prior_variance = float(params[1])
+        model.network.set_flat_params(params[2:])

@@ -1,0 +1,111 @@
+"""Multi-run statistics harness.
+
+The paper averages every algorithm over repeated runs (10 for the op-amp,
+12 for the charge pump) and reports, per algorithm: performance metrics of
+the best design, the spread (mean/median/best/worst) of the best objective
+across runs, the average number of simulations, and the success count.
+This module produces exactly those statistics from lists of
+:class:`~repro.bo.history.OptimizationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bo.history import OptimizationResult
+
+
+@dataclass
+class AlgorithmSummary:
+    """Paper-style summary of repeated runs of one algorithm."""
+
+    algorithm: str
+    n_runs: int
+    n_success: int
+    best_objectives: np.ndarray  # per successful run
+    sims_to_best: np.ndarray  # per successful run
+    best_run_metrics: dict = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        """Mean best objective across successful runs."""
+        return float(np.mean(self.best_objectives)) if self.n_success else np.nan
+
+    @property
+    def median(self) -> float:
+        """Median best objective across successful runs."""
+        return float(np.median(self.best_objectives)) if self.n_success else np.nan
+
+    @property
+    def best(self) -> float:
+        """Best (lowest) objective over all runs."""
+        return float(np.min(self.best_objectives)) if self.n_success else np.nan
+
+    @property
+    def worst(self) -> float:
+        """Worst (highest) best-objective over successful runs."""
+        return float(np.max(self.best_objectives)) if self.n_success else np.nan
+
+    @property
+    def avg_sims(self) -> float:
+        """Paper's ``Avg. # Sim``: mean simulations to reach the final best."""
+        return float(np.mean(self.sims_to_best)) if self.n_success else np.nan
+
+    @property
+    def success_rate(self) -> str:
+        """``#Success`` in the paper's ``k/n`` format."""
+        return f"{self.n_success}/{self.n_runs}"
+
+
+def run_repeats(
+    make_optimizer,
+    n_repeats: int,
+    seed: int = 0,
+    verbose: bool = False,
+) -> list[OptimizationResult]:
+    """Run ``make_optimizer(seed_i)`` for ``n_repeats`` independent seeds.
+
+    ``make_optimizer`` receives a distinct integer seed per repeat and must
+    return an object with ``run() -> OptimizationResult``.
+    """
+    if n_repeats < 1:
+        raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    rng = np.random.default_rng(seed)
+    seeds = rng.integers(0, 2**31 - 1, size=n_repeats)
+    results = []
+    for i, run_seed in enumerate(seeds):
+        optimizer = make_optimizer(int(run_seed))
+        result = optimizer.run()
+        results.append(result)
+        if verbose:
+            print(
+                f"  run {i + 1}/{n_repeats}: best={result.best_objective():.6g} "
+                f"evals={result.n_evaluations} success={result.success}"
+            )
+    return results
+
+
+def summarize(results: list[OptimizationResult]) -> AlgorithmSummary:
+    """Aggregate repeated runs into an :class:`AlgorithmSummary`."""
+    if not results:
+        raise ValueError("no results to summarize")
+    algorithm = results[0].algorithm
+    successes = [r for r in results if r.success]
+    best_objectives = np.array([r.best_objective() for r in successes])
+    sims = np.array([r.n_sims_to_best() for r in successes], dtype=float)
+    best_run_metrics: dict = {}
+    if successes:
+        best_run = min(successes, key=lambda r: r.best_objective())
+        record = best_run.best_feasible()
+        if record is not None:
+            best_run_metrics = dict(record.evaluation.metrics)
+    return AlgorithmSummary(
+        algorithm=algorithm,
+        n_runs=len(results),
+        n_success=len(successes),
+        best_objectives=best_objectives,
+        sims_to_best=sims,
+        best_run_metrics=best_run_metrics,
+    )

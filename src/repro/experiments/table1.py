@@ -1,0 +1,181 @@
+"""Table I experiment: two-stage op-amp sizing (paper Sec. IV-A).
+
+Setup, following the paper: 10 design variables, specs UGF > 40 MHz and
+PM > 60 deg, GAIN maximized; 30 initial samples; simulation budgets of 100
+(ours and WEIBO), 200 (GASPAD) and 1100 (DE); repeated runs averaged.
+
+Run scaled down (CI-friendly)::
+
+    python -m repro.experiments.table1 --preset quick
+
+or at paper scale::
+
+    python -m repro.experiments.table1 --preset paper
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
+from repro.circuits.testbenches import TwoStageOpAmpProblem
+from repro.core import NNBO
+from repro.experiments.runner import run_repeats, summarize
+from repro.experiments.tables import render_table
+
+ROW_LABELS = [
+    "UGF (MHz)",
+    "PM (deg)",
+    "mean",
+    "median",
+    "best",
+    "worst",
+    "Avg. # Sim",
+    "# Success",
+]
+
+
+@dataclass
+class Table1Config:
+    """Budgets and model sizes for the Table I experiment."""
+
+    n_repeats: int = 10
+    n_initial: int = 30
+    bo_budget: int = 100
+    gaspad_budget: int = 200
+    de_budget: int = 1100
+    n_ensemble: int = 5
+    epochs: int = 300
+    hidden_dims: tuple = (50, 50)
+    n_features: int = 50
+    algorithms: tuple = ("NN-BO", "WEIBO", "GASPAD", "DE")
+    seed: int = 2019
+    verbose: bool = False
+    problem_kwargs: dict = field(default_factory=dict)
+
+
+QUICK = Table1Config(
+    n_repeats=2,
+    n_initial=12,
+    bo_budget=30,
+    gaspad_budget=45,
+    de_budget=120,
+    n_ensemble=3,
+    epochs=100,
+    hidden_dims=(24, 24),
+    n_features=20,
+)
+
+PAPER = Table1Config()
+
+
+def make_problem(config: Table1Config) -> TwoStageOpAmpProblem:
+    """Fresh testbench instance (stateless across runs except counters)."""
+    return TwoStageOpAmpProblem(**config.problem_kwargs)
+
+
+def make_optimizer(name: str, config: Table1Config, problem, seed: int):
+    """Construct one of the four compared algorithms with its budget."""
+    if name == "NN-BO":
+        return NNBO(
+            problem,
+            n_initial=config.n_initial,
+            max_evaluations=config.bo_budget,
+            n_ensemble=config.n_ensemble,
+            hidden_dims=config.hidden_dims,
+            n_features=config.n_features,
+            epochs=config.epochs,
+            seed=seed,
+        )
+    if name == "WEIBO":
+        return WEIBO(
+            problem,
+            n_initial=config.n_initial,
+            max_evaluations=config.bo_budget,
+            seed=seed,
+        )
+    if name == "GASPAD":
+        return GASPAD(
+            problem,
+            n_initial=config.n_initial,
+            pop_size=min(20, config.n_initial),
+            max_evaluations=config.gaspad_budget,
+            seed=seed,
+        )
+    if name == "DE":
+        return DifferentialEvolution(
+            problem,
+            pop_size=50 if config.de_budget >= 500 else 15,
+            max_evaluations=config.de_budget,
+            seed=seed,
+        )
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def summary_to_column(summary) -> dict:
+    """Map an :class:`AlgorithmSummary` to the Table I row values.
+
+    The objective is ``-GAIN`` (dB); rows report GAIN, so signs flip and
+    mean/worst swap roles relative to the raw minimization statistics.
+    """
+    metrics = summary.best_run_metrics
+    return {
+        "UGF (MHz)": metrics.get("ugf_hz", float("nan")) / 1e6,
+        "PM (deg)": metrics.get("pm_deg", float("nan")),
+        "mean": -summary.mean,
+        "median": -summary.median,
+        "best": -summary.best,
+        "worst": -summary.worst,
+        "Avg. # Sim": summary.avg_sims,
+        "# Success": summary.success_rate,
+    }
+
+
+def run_experiment(config: Table1Config) -> dict[str, dict]:
+    """Run all configured algorithms; returns ``{algorithm: column}``."""
+    columns: dict[str, dict] = {}
+    for name in config.algorithms:
+        if config.verbose:
+            print(f"[table1] running {name} x{config.n_repeats}")
+        results = run_repeats(
+            lambda seed, _name=name: make_optimizer(
+                _name, config, make_problem(config), seed
+            ),
+            n_repeats=config.n_repeats,
+            seed=config.seed,
+            verbose=config.verbose,
+        )
+        columns[name] = summary_to_column(summarize(results))
+    return columns
+
+
+def main(argv=None) -> str:
+    """CLI entry point; prints and returns the rendered table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--preset", choices=("quick", "paper"), default="quick",
+        help="quick: scaled-down budgets; paper: the full Table I setup",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    config = QUICK if args.preset == "quick" else PAPER
+    if args.repeats is not None:
+        config.n_repeats = args.repeats
+    if args.seed is not None:
+        config.seed = args.seed
+    config.verbose = not args.quiet
+    columns = run_experiment(config)
+    table = render_table(
+        "Table I: two-stage op-amp optimization (GAIN in dB)",
+        ROW_LABELS,
+        columns,
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+"""Table II experiment: charge-pump sizing over PVT corners (Sec. IV-B).
+
+Setup, following the paper: 36 design variables, 18 PVT corners, five
+constraints (eq. 15), FOM of eq. 16 minimized; 100 initial samples,
+simulation budgets of 790 (ours/WEIBO reference budget) and ~2000 for the
+evolutionary baselines; 12 repeated runs.
+
+Run scaled down::
+
+    python -m repro.experiments.table2 --preset quick
+
+or at paper scale (takes hours — each simulation solves 18 corners)::
+
+    python -m repro.experiments.table2 --preset paper
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
+from repro.circuits.testbenches import ChargePumpProblem
+from repro.core import NNBO
+from repro.experiments.runner import run_repeats, summarize
+from repro.experiments.tables import render_table
+
+ROW_LABELS = [
+    "diff1",
+    "diff2",
+    "diff3",
+    "diff4",
+    "deviation",
+    "mean",
+    "median",
+    "best",
+    "worst",
+    "Avg. # Sim",
+    "# Success",
+]
+
+
+@dataclass
+class Table2Config:
+    """Budgets and model sizes for the Table II experiment."""
+
+    n_repeats: int = 12
+    n_initial: int = 100
+    bo_budget: int = 790
+    gaspad_budget: int = 2000
+    de_budget: int = 2000
+    n_ensemble: int = 5
+    epochs: int = 300
+    hidden_dims: tuple = (50, 50)
+    n_features: int = 50
+    algorithms: tuple = ("NN-BO", "WEIBO", "GASPAD", "DE")
+    seed: int = 2019
+    verbose: bool = False
+    problem_kwargs: dict = field(default_factory=dict)
+
+
+QUICK = Table2Config(
+    n_repeats=2,
+    n_initial=20,
+    bo_budget=40,
+    gaspad_budget=60,
+    de_budget=120,
+    n_ensemble=3,
+    epochs=80,
+    hidden_dims=(32, 32),
+    n_features=24,
+)
+
+PAPER = Table2Config()
+
+
+def make_problem(config: Table2Config) -> ChargePumpProblem:
+    """Fresh charge-pump testbench."""
+    return ChargePumpProblem(**config.problem_kwargs)
+
+
+def make_optimizer(name: str, config: Table2Config, problem, seed: int):
+    """Construct one of the four compared algorithms with its budget."""
+    if name == "NN-BO":
+        return NNBO(
+            problem,
+            n_initial=config.n_initial,
+            max_evaluations=config.bo_budget,
+            n_ensemble=config.n_ensemble,
+            hidden_dims=config.hidden_dims,
+            n_features=config.n_features,
+            epochs=config.epochs,
+            seed=seed,
+        )
+    if name == "WEIBO":
+        return WEIBO(
+            problem,
+            n_initial=config.n_initial,
+            max_evaluations=config.bo_budget,
+            seed=seed,
+        )
+    if name == "GASPAD":
+        return GASPAD(
+            problem,
+            n_initial=config.n_initial,
+            pop_size=min(20, config.n_initial),
+            max_evaluations=config.gaspad_budget,
+            seed=seed,
+        )
+    if name == "DE":
+        return DifferentialEvolution(
+            problem,
+            pop_size=50 if config.de_budget >= 500 else 15,
+            max_evaluations=config.de_budget,
+            seed=seed,
+        )
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def summary_to_column(summary) -> dict:
+    """Map an :class:`AlgorithmSummary` to the Table II row values."""
+    metrics = summary.best_run_metrics
+    return {
+        "diff1": metrics.get("diff1_ua", float("nan")),
+        "diff2": metrics.get("diff2_ua", float("nan")),
+        "diff3": metrics.get("diff3_ua", float("nan")),
+        "diff4": metrics.get("diff4_ua", float("nan")),
+        "deviation": metrics.get("deviation_ua", float("nan")),
+        "mean": summary.mean,
+        "median": summary.median,
+        "best": summary.best,
+        "worst": summary.worst,
+        "Avg. # Sim": summary.avg_sims,
+        "# Success": summary.success_rate,
+    }
+
+
+def run_experiment(config: Table2Config) -> dict[str, dict]:
+    """Run all configured algorithms; returns ``{algorithm: column}``."""
+    columns: dict[str, dict] = {}
+    for name in config.algorithms:
+        if config.verbose:
+            print(f"[table2] running {name} x{config.n_repeats}")
+        results = run_repeats(
+            lambda seed, _name=name: make_optimizer(
+                _name, config, make_problem(config), seed
+            ),
+            n_repeats=config.n_repeats,
+            seed=config.seed,
+            verbose=config.verbose,
+        )
+        columns[name] = summary_to_column(summarize(results))
+    return columns
+
+
+def main(argv=None) -> str:
+    """CLI entry point; prints and returns the rendered table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--preset", choices=("quick", "paper"), default="quick",
+        help="quick: scaled-down budgets; paper: the full Table II setup",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    config = QUICK if args.preset == "quick" else PAPER
+    if args.repeats is not None:
+        config.n_repeats = args.repeats
+    if args.seed is not None:
+        config.seed = args.seed
+    config.verbose = not args.quiet
+    columns = run_experiment(config)
+    table = render_table(
+        "Table II: charge-pump optimization (currents in uA, FOM of eq. 16)",
+        ROW_LABELS,
+        columns,
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

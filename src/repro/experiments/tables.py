@@ -1,0 +1,81 @@
+"""Text rendering of paper-style result tables.
+
+The paper's Tables I and II put algorithms in columns and statistics in
+rows; :func:`render_table` reproduces that layout for terminal output and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    value = float(value)
+    if not np.isfinite(value):
+        return "-"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.3g}"
+    return f"{value:.2f}"
+
+
+def render_table(
+    title: str,
+    row_labels: list[str],
+    columns: dict[str, dict],
+) -> str:
+    """Render a paper-style table.
+
+    Parameters
+    ----------
+    title:
+        Heading printed above the table.
+    row_labels:
+        Statistics to show, in order (keys into each column dict).
+    columns:
+        ``{algorithm_name: {row_label: value}}`` in column order.
+
+    Returns the formatted multi-line string.
+    """
+    if not columns:
+        raise ValueError("table needs at least one column")
+    headers = ["Metric", *columns.keys()]
+    rows = []
+    for label in row_labels:
+        rows.append([label, *(_format_cell(columns[c].get(label)) for c in columns)])
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    row_labels: list[str],
+    columns: dict[str, dict],
+) -> str:
+    """Same data as :func:`render_table` but as GitHub-flavoured markdown."""
+    if not columns:
+        raise ValueError("table needs at least one column")
+    header = "| Metric | " + " | ".join(columns.keys()) + " |"
+    rule = "|---" * (len(columns) + 1) + "|"
+    lines = [header, rule]
+    for label in row_labels:
+        cells = [_format_cell(columns[c].get(label)) for c in columns]
+        lines.append(f"| {label} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

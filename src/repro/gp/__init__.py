@@ -1,0 +1,21 @@
+"""Classic Gaussian-process regression with explicitly defined kernels.
+
+This is the surrogate of the baselines (WEIBO, GASPAD) and the comparison
+point of the paper: training costs O(N^3) and prediction O(N^2) because the
+N x N covariance matrix must be factorized (paper Sec. II-C / III-D).
+"""
+
+from repro.gp.gpr import GPRegression
+from repro.gp.kernels import Kernel, Matern52, RBF
+from repro.gp.linalg import jitter_cholesky, solve_cholesky
+from repro.gp.mean import ConstantMean
+
+__all__ = [
+    "ConstantMean",
+    "GPRegression",
+    "Kernel",
+    "Matern52",
+    "RBF",
+    "jitter_cholesky",
+    "solve_cholesky",
+]

@@ -1,0 +1,47 @@
+"""Numerically robust linear algebra for GP regression."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+
+class CholeskyError(RuntimeError):
+    """Raised when a covariance matrix cannot be factorized even with jitter."""
+
+
+def jitter_cholesky(mat: np.ndarray, max_tries: int = 6) -> np.ndarray:
+    """Lower Cholesky factor of an SPD matrix, adding diagonal jitter on failure.
+
+    Covariance matrices built from nearly-duplicate BO samples are often
+    numerically semidefinite; progressively larger jitter (starting at
+    ``1e-10 * mean(diag)``) is the standard fix.
+
+    Returns the lower-triangular factor ``L`` with ``L @ L.T ≈ mat``.
+    """
+    mat = np.asarray(mat, dtype=float)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {mat.shape}")
+    diag_mean = float(np.mean(np.diag(mat)))
+    if diag_mean <= 0:
+        diag_mean = 1.0
+    jitter = 0.0
+    for attempt in range(max_tries):
+        try:
+            return sla.cholesky(mat + jitter * np.eye(mat.shape[0]), lower=True)
+        except sla.LinAlgError:
+            jitter = diag_mean * 10.0 ** (attempt - 10)
+    raise CholeskyError(
+        f"Cholesky failed after {max_tries} jitter attempts (last jitter {jitter:g})"
+    )
+
+
+def solve_cholesky(chol_lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``(L L^T) x = rhs`` given the lower factor ``L``."""
+    tmp = sla.solve_triangular(chol_lower, rhs, lower=True)
+    return sla.solve_triangular(chol_lower.T, tmp, lower=False)
+
+
+def log_det_from_cholesky(chol_lower: np.ndarray) -> float:
+    """``log |A|`` from the lower Cholesky factor of ``A``."""
+    return 2.0 * float(np.sum(np.log(np.diag(chol_lower))))

@@ -1,0 +1,24 @@
+"""Mean functions for GP regression.
+
+The paper's baseline uses a constant mean ``m(x) = mu_0`` (Sec. II-C); it is
+treated as one more hyper-parameter estimated by maximum likelihood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ConstantMean:
+    """Constant prior mean ``m(x) = mu_0``."""
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        n = x.shape[0] if x.ndim == 2 else 1
+        return np.full(n, self.value)
+
+    def __repr__(self) -> str:
+        return f"ConstantMean({self.value:.4g})"

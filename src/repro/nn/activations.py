@@ -1,0 +1,126 @@
+"""Element-wise activation layers.
+
+The paper uses ReLU (Sec. III-A); the rest are provided because the
+feature-map architecture is configurable and tests exercise them all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class _Activation(Layer):
+    """Common caching logic for parameter-free element-wise layers."""
+
+    def __init__(self):
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.asarray(x, dtype=float)
+        return self._value(self._x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.asarray(grad_out, dtype=float) * self._derivative(self._x)
+
+    def _value(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _derivative(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return type(self).__name__ + "()"
+
+
+class ReLU(_Activation):
+    """Rectified linear unit — the activation in the paper's Fig. 1 network."""
+
+    def _value(self, x):
+        return np.maximum(x, 0.0)
+
+    def _derivative(self, x):
+        return (x > 0.0).astype(float)
+
+
+class LeakyReLU(_Activation):
+    """Leaky rectifier; ``alpha`` is the negative-side slope."""
+
+    def __init__(self, alpha: float = 0.01):
+        super().__init__()
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+
+    def _value(self, x):
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def _derivative(self, x):
+        return np.where(x > 0.0, 1.0, self.alpha)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(alpha={self.alpha})"
+
+
+class Tanh(_Activation):
+    """Hyperbolic tangent (DNGO's choice; available for ablations)."""
+
+    def _value(self, x):
+        return np.tanh(x)
+
+    def _derivative(self, x):
+        return 1.0 - np.tanh(x) ** 2
+
+
+class Sigmoid(_Activation):
+    """Logistic sigmoid."""
+
+    def _value(self, x):
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def _derivative(self, x):
+        s = self._value(x)
+        return s * (1.0 - s)
+
+
+class Softplus(_Activation):
+    """Smooth rectifier ``log(1 + exp(x))``; numerically stabilized."""
+
+    def _value(self, x):
+        return np.logaddexp(0.0, x)
+
+    def _derivative(self, x):
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class Identity(_Activation):
+    """Pass-through layer (linear output layer marker)."""
+
+    def _value(self, x):
+        return x
+
+    def _derivative(self, x):
+        return np.ones_like(x)
+
+
+ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "softplus": Softplus,
+    "identity": Identity,
+}
+
+
+def make_activation(name: str) -> Layer:
+    """Construct an activation layer from its lowercase name."""
+    try:
+        return ACTIVATIONS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(ACTIVATIONS)}"
+        ) from None

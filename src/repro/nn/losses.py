@@ -1,0 +1,29 @@
+"""Loss functions for plain supervised training of the feature network.
+
+Only used for optional DNGO-style mean-squared-error pre-training
+(``FeatureGPTrainer(pretrain_epochs=...)``); the paper's training objective
+is the GP marginal likelihood implemented in ``repro.core.feature_gp``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``.
+
+    Returns
+    -------
+    (loss, grad):
+        ``loss`` is the scalar mean of squared residuals over all elements;
+        ``grad`` has the shape of ``pred``.
+    """
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    residual = pred - target
+    loss = float(np.mean(residual**2))
+    grad = 2.0 * residual / residual.size
+    return loss, grad

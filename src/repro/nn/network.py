@@ -1,0 +1,132 @@
+"""Sequential network container with flat parameter-vector access.
+
+The GP trainer (``repro.core.trainer``) optimizes the concatenation of
+``[log sigma_n^2, log sigma_p^2, network weights]`` with a single Adam
+instance, so the container exposes its parameters as one flat vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import make_activation
+from repro.nn.initializers import he_normal, xavier_uniform
+from repro.nn.layers import Layer, Linear
+from repro.utils.rng import ensure_rng
+
+
+class Sequential(Layer):
+    """A stack of layers applied in order.
+
+    Supports the full :class:`Layer` protocol, so sequentials nest.
+    """
+
+    def __init__(self, layers: list[Layer]):
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=float)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad_out, dtype=float)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    # -- flat-vector access --------------------------------------------------
+
+    @property
+    def num_params(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.params)
+
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate all parameters into one 1-D vector."""
+        if not self.params:
+            return np.empty(0)
+        return np.concatenate([p.ravel() for p in self.params])
+
+    def set_flat_params(self, flat: np.ndarray):
+        """Write a flat vector back into the live parameter arrays."""
+        flat = np.asarray(flat, dtype=float).ravel()
+        if flat.size != self.num_params:
+            raise ValueError(
+                f"expected {self.num_params} parameters, got {flat.size}"
+            )
+        offset = 0
+        for p in self.params:
+            p[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Concatenate all parameter gradients into one 1-D vector."""
+        if not self.grads:
+            return np.empty(0)
+        return np.concatenate([g.ravel() for g in self.grads])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"
+
+
+def make_mlp(
+    input_dim: int,
+    hidden_dims: tuple[int, ...] | list[int],
+    output_dim: int,
+    activation: str = "relu",
+    output_activation: str = "identity",
+    rng=None,
+) -> Sequential:
+    """Build the paper's fully-connected feature network (Fig. 1).
+
+    The default configuration — two hidden layers plus input and output
+    layers, ReLU activations — matches Sec. III-A: "The neural network
+    consists of 4 fully-connected layers including a input layer, 2 hidden
+    layers and a output layer. ReLU function is taken as activation
+    function."
+
+    Parameters
+    ----------
+    input_dim:
+        Design-space dimension ``d``.
+    hidden_dims:
+        Widths of the hidden layers.
+    output_dim:
+        Feature dimension ``M`` of the map ``phi(x)``.
+    activation:
+        Hidden-layer activation name (default ``"relu"``).
+    output_activation:
+        Activation after the last linear layer.  ``"identity"`` keeps the
+        feature space unbounded; ``"tanh"`` gives DNGO-style basis functions.
+    rng:
+        Seed or generator for weight initialization.
+    """
+    rng = ensure_rng(rng)
+    if input_dim <= 0 or output_dim <= 0:
+        raise ValueError("input_dim and output_dim must be positive")
+    dims = [int(input_dim), *[int(h) for h in hidden_dims], int(output_dim)]
+    if any(d <= 0 for d in dims):
+        raise ValueError(f"all layer widths must be positive, got {dims}")
+
+    init = he_normal if activation in ("relu", "leaky_relu") else xavier_uniform
+    layers: list[Layer] = []
+    for i in range(len(dims) - 1):
+        layers.append(Linear(dims[i], dims[i + 1], weight_init=init, rng=rng))
+        is_last = i == len(dims) - 2
+        name = output_activation if is_last else activation
+        if name != "identity":
+            layers.append(make_activation(name))
+    return Sequential(layers)

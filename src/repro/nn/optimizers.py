@@ -1,0 +1,92 @@
+"""First-order optimizers over flat parameter vectors.
+
+The trainer treats all hyper-parameters (GP noise/prior scales and network
+weights, eq. 12) as a single flat vector, so optimizers here are stateful
+maps ``(params, grads) -> new params``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base interface: stateful first-order update on a flat vector."""
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Return updated parameters given the current gradient."""
+        raise NotImplementedError
+
+    def reset(self):
+        """Clear internal state (moments, step counters)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        params = np.asarray(params, dtype=float)
+        grads = np.asarray(grads, dtype=float)
+        if self._velocity is None or self._velocity.shape != params.shape:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity - self.lr * grads
+        return params + self._velocity
+
+    def reset(self):
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias-corrected moment estimates.
+
+    This is the workhorse for maximizing the marginal likelihood (eq. 11):
+    the loss surface couples network weights with ``log sigma^2`` terms of very
+    different curvature, which per-coordinate step adaptation handles well.
+    """
+
+    def __init__(
+        self,
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        params = np.asarray(params, dtype=float)
+        grads = np.asarray(grads, dtype=float)
+        if self._m is None or self._m.shape != params.shape:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+            self._t = 0
+        self._t += 1
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * grads
+        self._v = self.beta2 * self._v + (1.0 - self.beta2) * grads**2
+        m_hat = self._m / (1.0 - self.beta1**self._t)
+        v_hat = self._v / (1.0 - self.beta2**self._t)
+        return params - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self):
+        self._m = None
+        self._v = None
+        self._t = 0

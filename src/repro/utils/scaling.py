@@ -1,0 +1,122 @@
+"""Input and output scaling used by every surrogate model.
+
+Surrogates are always fit in normalized coordinates:
+
+* design points live in the unit box via :class:`BoxScaler` (the paper's
+  design variables span widths in metres next to currents in amps — six
+  orders of magnitude apart), and
+* observed objectives/constraints are z-scored via :class:`StandardScaler`
+  so GP/NN hyper-priors have a consistent scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_box_bounds
+
+
+class BoxScaler:
+    """Affine map between a box ``[lower, upper]`` and the unit cube."""
+
+    def __init__(self, lower, upper):
+        self.lower, self.upper = check_box_bounds(lower, upper)
+        self.width = self.upper - self.lower
+
+    @property
+    def dim(self) -> int:
+        """Number of box dimensions."""
+        return self.lower.size
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Map points from the box to the unit cube."""
+        x = np.asarray(x, dtype=float)
+        return (x - self.lower) / self.width
+
+    def inverse_transform(self, u: np.ndarray) -> np.ndarray:
+        """Map points from the unit cube back to the box."""
+        u = np.asarray(u, dtype=float)
+        return self.lower + u * self.width
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Clip points (in box coordinates) into the box."""
+        return np.clip(np.asarray(x, dtype=float), self.lower, self.upper)
+
+
+class LogBoxScaler(BoxScaler):
+    """Affine-in-log map between a positive box and the unit cube.
+
+    Sizing variables commonly span decades (channel widths 0.4-40 um,
+    resistors 0.5-320 kOhm); searching uniformly in log space puts equal
+    resolution on every octave.  Drop-in replacement for :class:`BoxScaler`
+    on strictly-positive bounds.
+    """
+
+    def __init__(self, lower, upper):
+        super().__init__(lower, upper)
+        if np.any(self.lower <= 0):
+            raise ValueError("LogBoxScaler requires strictly positive bounds")
+        self._log_lower = np.log(self.lower)
+        self._log_width = np.log(self.upper) - self._log_lower
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Map positive points to the unit cube, uniform per decade."""
+        x = np.asarray(x, dtype=float)
+        if np.any(x <= 0):
+            raise ValueError("LogBoxScaler inputs must be positive")
+        return (np.log(x) - self._log_lower) / self._log_width
+
+    def inverse_transform(self, u: np.ndarray) -> np.ndarray:
+        """Map unit-cube points back to the (positive) box."""
+        u = np.asarray(u, dtype=float)
+        return np.exp(self._log_lower + u * self._log_width)
+
+
+class StandardScaler:
+    """Z-score scaler with degenerate-scale protection.
+
+    When all training targets are identical (common in the first BO
+    iterations of a heavily-constrained problem where every sample fails
+    the same way), the standard deviation collapses; we floor it at a tiny
+    positive value so transforms stay finite.
+    """
+
+    _MIN_SCALE = 1e-12
+
+    def __init__(self):
+        self.mean_ = 0.0
+        self.scale_ = 1.0
+        self._fitted = False
+
+    def fit(self, y: np.ndarray) -> "StandardScaler":
+        """Learn mean/scale from a 1-D target vector."""
+        y = np.asarray(y, dtype=float).ravel()
+        if y.size == 0:
+            raise ValueError("cannot fit StandardScaler on empty data")
+        self.mean_ = float(np.mean(y))
+        self.scale_ = float(max(np.std(y), self._MIN_SCALE))
+        self._fitted = True
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        """Z-score ``y`` with the fitted statistics."""
+        self._require_fitted()
+        return (np.asarray(y, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        """Fit on ``y`` then transform it."""
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Undo the z-scoring for predictions."""
+        self._require_fitted()
+        return np.asarray(z, dtype=float) * self.scale_ + self.mean_
+
+    def inverse_transform_variance(self, var: np.ndarray) -> np.ndarray:
+        """Undo the z-scoring for predictive *variances* (scale² factor)."""
+        self._require_fitted()
+        return np.asarray(var, dtype=float) * self.scale_**2
+
+    def _require_fitted(self):
+        if not self._fitted:
+            raise RuntimeError("StandardScaler used before fit()")

@@ -1,0 +1,116 @@
+"""Persistence for optimization runs and surrogate models.
+
+Long experiments (Table II at paper scale runs for hours) need restartable
+artifacts: runs serialize to JSON (portable, diffable) and NN-GP models to
+``.npz`` (exact parameter snapshots).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bo.history import OptimizationResult
+from repro.bo.problem import Evaluation
+
+
+def result_to_dict(result: OptimizationResult) -> dict:
+    """JSON-safe dictionary form of an optimization run."""
+    records = []
+    for record in result.records:
+        ev = record.evaluation
+        metrics = {
+            k: v
+            for k, v in ev.metrics.items()
+            if isinstance(v, (int, float, str, bool))
+        }
+        records.append(
+            {
+                "index": record.index,
+                "x": record.x.tolist(),
+                "phase": record.phase,
+                "objective": ev.objective,
+                "constraints": ev.constraints.tolist(),
+                "metrics": metrics,
+            }
+        )
+    return {
+        "problem": result.problem_name,
+        "algorithm": result.algorithm,
+        "records": records,
+    }
+
+
+def result_from_dict(data: dict) -> OptimizationResult:
+    """Inverse of :func:`result_to_dict`."""
+    result = OptimizationResult(data["problem"], data["algorithm"])
+    for entry in data["records"]:
+        evaluation = Evaluation(
+            objective=entry["objective"],
+            constraints=np.asarray(entry["constraints"], dtype=float),
+            metrics=dict(entry.get("metrics", {})),
+        )
+        result.append(np.asarray(entry["x"], dtype=float), evaluation,
+                      phase=entry.get("phase", "search"))
+    return result
+
+
+def save_result(result: OptimizationResult, path) -> Path:
+    """Write a run to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=1))
+    return path
+
+
+def load_result(path) -> OptimizationResult:
+    """Read a run back from :func:`save_result` output."""
+    data = json.loads(Path(path).read_text())
+    return result_from_dict(data)
+
+
+def save_model(model, path) -> Path:
+    """Snapshot a :class:`~repro.core.NeuralFeatureGP` to ``.npz``.
+
+    Captures network weights, GP scales, the target scaler and the
+    training inputs/targets so the posterior can be rebuilt exactly.
+    """
+    from repro.core.feature_gp import NeuralFeatureGP
+
+    if not isinstance(model, NeuralFeatureGP):
+        raise TypeError("save_model supports NeuralFeatureGP instances")
+    if model._x_train is None:
+        raise ValueError("cannot save an unfitted model")
+    path = Path(path)
+    np.savez(
+        path,
+        network=model.network.get_flat_params(),
+        log_noise=model.log_noise_variance,
+        log_prior=model.log_prior_variance,
+        scaler_mean=model._y_scaler.mean_,
+        scaler_scale=model._y_scaler.scale_,
+        x_train=model._x_train,
+        z_train=model._z_train,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model_into(model, path):
+    """Restore a snapshot into a compatibly-constructed model.
+
+    The caller provides a :class:`NeuralFeatureGP` built with the *same
+    architecture* (dims, features, activations); this function restores
+    parameters and recomputes the cached posterior.
+    """
+    data = np.load(Path(path))
+    model.network.set_flat_params(data["network"])
+    model.log_noise_variance = float(data["log_noise"])
+    model.log_prior_variance = float(data["log_prior"])
+    model._y_scaler.mean_ = float(data["scaler_mean"])
+    model._y_scaler.scale_ = float(data["scaler_scale"])
+    model._y_scaler._fitted = True
+    model._x_train = data["x_train"]
+    model._z_train = data["z_train"]
+    model.update_posterior()
+    return model

@@ -1,0 +1,61 @@
+"""Argument-validation helpers shared across the library.
+
+These raise early with messages that name the offending argument; silent
+shape coercion is a classic source of wrong-but-plausible surrogate fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_finite(arr: np.ndarray, name: str) -> np.ndarray:
+    """Raise ``ValueError`` if ``arr`` contains NaN or infinity."""
+    arr = np.asarray(arr, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_matrix_2d(arr, name: str, n_cols: int | None = None) -> np.ndarray:
+    """Coerce to a float 2-D array, optionally checking the column count."""
+    arr = np.asarray(arr, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if n_cols is not None and arr.shape[1] != n_cols:
+        raise ValueError(
+            f"{name} must have {n_cols} columns, got shape {arr.shape}"
+        )
+    return arr
+
+
+def check_vector_1d(arr, name: str, length: int | None = None) -> np.ndarray:
+    """Coerce to a float 1-D array, optionally checking its length."""
+    arr = np.asarray(arr, dtype=float).ravel()
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {arr.shape[0]}")
+    return arr
+
+
+def check_box_bounds(lower, upper) -> tuple[np.ndarray, np.ndarray]:
+    """Validate box bounds and return them as float arrays.
+
+    ``lower`` must be strictly below ``upper`` in every coordinate — a zero
+    width box would break the affine [0, 1] mapping used throughout.
+    """
+    lower = np.asarray(lower, dtype=float).ravel()
+    upper = np.asarray(upper, dtype=float).ravel()
+    if lower.shape != upper.shape:
+        raise ValueError(
+            f"bound shapes differ: {lower.shape} vs {upper.shape}"
+        )
+    if lower.size == 0:
+        raise ValueError("bounds must be non-empty")
+    if not np.all(np.isfinite(lower)) or not np.all(np.isfinite(upper)):
+        raise ValueError("bounds must be finite")
+    if np.any(lower >= upper):
+        bad = np.nonzero(lower >= upper)[0]
+        raise ValueError(f"lower >= upper at dimensions {bad.tolist()}")
+    return lower, upper

@@ -1,0 +1,112 @@
+"""Tests for acquisition primitives: closed forms vs. Monte Carlo, limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acquisition.base import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_feasibility,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+
+
+class TestExpectedImprovement:
+    def test_matches_monte_carlo(self, rng):
+        mu, sigma2, tau = 1.0, 0.49, 0.8
+        samples = rng.normal(mu, np.sqrt(sigma2), size=400_000)
+        mc = np.mean(np.maximum(tau - samples, 0.0))
+        ei = expected_improvement(np.array([mu]), np.array([sigma2]), tau)[0]
+        assert ei == pytest.approx(mc, rel=0.02)
+
+    def test_nonnegative(self, rng):
+        mu = rng.normal(size=50)
+        var = rng.uniform(0.01, 2.0, size=50)
+        assert np.all(expected_improvement(mu, var, 0.0) >= 0.0)
+
+    def test_zero_variance_above_incumbent(self):
+        ei = expected_improvement(np.array([5.0]), np.array([0.0]), tau=1.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_zero_variance_below_incumbent_gives_improvement(self):
+        ei = expected_improvement(np.array([0.0]), np.array([0.0]), tau=1.0)
+        assert ei[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_monotone_in_sigma_at_fixed_mean(self):
+        """Exploration term: more uncertainty, more EI (paper Sec. II-D)."""
+        sigmas2 = np.linspace(0.01, 4.0, 30)
+        ei = expected_improvement(np.full(30, 2.0), sigmas2, tau=1.0)
+        assert np.all(np.diff(ei) > 0)
+
+    def test_monotone_decreasing_in_mean(self):
+        means = np.linspace(-2.0, 2.0, 30)
+        ei = expected_improvement(means, np.full(30, 0.5), tau=0.0)
+        assert np.all(np.diff(ei) < 0)
+
+    @given(
+        mu=st.floats(-5, 5),
+        var=st.floats(1e-6, 10.0),
+        tau=st.floats(-5, 5),
+    )
+    def test_property_bounded_below_by_mean_improvement(self, mu, var, tau):
+        """EI >= max(tau - mu, 0) is a Jensen bound."""
+        ei = expected_improvement(np.array([mu]), np.array([var]), tau)[0]
+        assert ei >= max(tau - mu, 0.0) - 1e-9
+
+
+class TestProbabilityOfImprovement:
+    def test_half_at_incumbent_mean(self):
+        pi = probability_of_improvement(np.array([1.0]), np.array([1.0]), tau=1.0)
+        assert pi[0] == pytest.approx(0.5)
+
+    def test_bounds(self, rng):
+        pi = probability_of_improvement(
+            rng.normal(size=20), rng.uniform(0.1, 1.0, size=20), tau=0.0
+        )
+        assert np.all((pi >= 0) & (pi <= 1))
+
+
+class TestConfidenceBounds:
+    def test_lcb_below_ucb(self, rng):
+        mu = rng.normal(size=10)
+        var = rng.uniform(0.1, 1.0, size=10)
+        assert np.all(
+            lower_confidence_bound(mu, var, 2.0) < upper_confidence_bound(mu, var, 2.0)
+        )
+
+    def test_kappa_zero_is_mean(self):
+        mu = np.array([3.0])
+        assert lower_confidence_bound(mu, np.array([1.0]), 0.0)[0] == 3.0
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            lower_confidence_bound(np.zeros(1), np.ones(1), -1.0)
+
+
+class TestProbabilityOfFeasibility:
+    def test_half_at_boundary(self):
+        pf = probability_of_feasibility(np.array([0.0]), np.array([1.0]))
+        assert pf[0] == pytest.approx(0.5)
+
+    def test_deeply_feasible(self):
+        pf = probability_of_feasibility(np.array([-10.0]), np.array([0.01]))
+        assert pf[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_deeply_infeasible(self):
+        pf = probability_of_feasibility(np.array([10.0]), np.array([0.01]))
+        assert pf[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_monte_carlo(self, rng):
+        mu, var = 0.3, 0.64
+        samples = rng.normal(mu, np.sqrt(var), size=200_000)
+        mc = np.mean(samples < 0.0)
+        pf = probability_of_feasibility(np.array([mu]), np.array([var]))[0]
+        assert pf == pytest.approx(mc, abs=0.01)
+
+    @given(mu=st.floats(-3, 3), var=st.floats(1e-5, 5.0))
+    def test_property_decreasing_in_mean(self, mu, var):
+        a = probability_of_feasibility(np.array([mu]), np.array([var]))[0]
+        b = probability_of_feasibility(np.array([mu + 0.5]), np.array([var]))[0]
+        assert b <= a + 1e-12

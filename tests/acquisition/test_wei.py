@@ -1,0 +1,114 @@
+"""Tests for weighted Expected Improvement (paper eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.base import expected_improvement, probability_of_feasibility
+from repro.acquisition.wei import WeightedExpectedImprovement
+
+
+class StubModel:
+    """Surrogate stub returning position-dependent mean/variance."""
+
+    def __init__(self, fn_mean, fn_var=None):
+        self.fn_mean = fn_mean
+        self.fn_var = fn_var or (lambda x: np.full(x.shape[0], 0.25))
+
+    def predict(self, x):
+        x = np.atleast_2d(x)
+        return self.fn_mean(x), self.fn_var(x)
+
+
+def flat(value):
+    return StubModel(lambda x: np.full(x.shape[0], float(value)))
+
+
+class TestComposition:
+    def test_equals_ei_times_pf(self, rng):
+        obj = StubModel(lambda x: x[:, 0])
+        con = StubModel(lambda x: x[:, 1] - 0.5)
+        acq = WeightedExpectedImprovement(obj, [con], tau=0.5)
+        x = rng.uniform(size=(20, 2))
+        values = acq(x)
+        mu_o, var_o = obj.predict(x)
+        mu_c, var_c = con.predict(x)
+        expected = expected_improvement(mu_o, var_o, 0.5) * probability_of_feasibility(
+            mu_c, var_c
+        )
+        np.testing.assert_allclose(values, expected, rtol=1e-10)
+
+    def test_multiple_constraints_multiply(self, rng):
+        obj = flat(0.0)
+        cons = [flat(-1.0), flat(0.0), flat(1.0)]
+        acq_all = WeightedExpectedImprovement(obj, cons, tau=1.0)
+        x = rng.uniform(size=(5, 2))
+        single = [
+            WeightedExpectedImprovement(obj, [c], tau=1.0)(x) for c in cons
+        ]
+        ei_alone = WeightedExpectedImprovement(obj, [], tau=1.0)(x)
+        np.testing.assert_allclose(
+            acq_all(x), single[0] * single[1] * single[2] / ei_alone**2, rtol=1e-8
+        )
+
+    def test_no_constraints_is_plain_ei(self, rng):
+        obj = StubModel(lambda x: x[:, 0])
+        acq = WeightedExpectedImprovement(obj, [], tau=0.3)
+        x = rng.uniform(size=(10, 2))
+        mu, var = obj.predict(x)
+        np.testing.assert_allclose(acq(x), expected_improvement(mu, var, 0.3))
+
+
+class TestFeasibilityPhase:
+    def test_tau_none_uses_pf_only(self, rng):
+        """Before any feasible point: acquisition is the PF product alone."""
+        con = StubModel(lambda x: x[:, 0] - 0.5)
+        acq = WeightedExpectedImprovement(flat(0.0), [con], tau=None)
+        x = rng.uniform(size=(10, 2))
+        mu_c, var_c = con.predict(x)
+        np.testing.assert_allclose(acq(x), probability_of_feasibility(mu_c, var_c))
+
+    def test_prefers_likely_feasible_region(self):
+        con = StubModel(lambda x: x[:, 0] - 0.5)  # feasible for x0 < 0.5
+        acq = WeightedExpectedImprovement(None, [con], tau=None)
+        low = acq(np.array([[0.1, 0.5]]))[0]
+        high = acq(np.array([[0.9, 0.5]]))[0]
+        assert low > high
+
+    def test_requires_something_to_optimize(self):
+        with pytest.raises(ValueError):
+            WeightedExpectedImprovement(None, [], tau=None)
+
+
+class TestLogSpace:
+    def test_log_space_preserves_ranking(self, rng):
+        obj = StubModel(lambda x: x[:, 0])
+        cons = [StubModel(lambda x, k=k: x[:, 1] - 0.3 * k) for k in range(1, 4)]
+        lin = WeightedExpectedImprovement(obj, cons, tau=0.5, log_space=False)
+        log = WeightedExpectedImprovement(obj, cons, tau=0.5, log_space=True)
+        x = rng.uniform(size=(30, 2))
+        order_lin = np.argsort(lin(x))
+        order_log = np.argsort(log(x))
+        # rankings must agree where the linear value is not underflowed
+        values = lin(x)
+        keep = values > 1e-200
+        np.testing.assert_array_equal(order_lin[keep[order_lin]], order_log[keep[order_log]])
+
+    def test_log_space_survives_many_constraints(self):
+        """With 40 hopeless constraints the plain product is exactly 0 but
+        log space still discriminates."""
+        cons = [flat(5.0) for _ in range(40)]
+        acq = WeightedExpectedImprovement(flat(0.0), cons, tau=1.0, log_space=True)
+        a = acq(np.zeros((1, 2)))[0]
+        cons_worse = [flat(6.0) for _ in range(40)]
+        acq_worse = WeightedExpectedImprovement(
+            flat(0.0), cons_worse, tau=1.0, log_space=True
+        )
+        b = acq_worse(np.zeros((1, 2)))[0]
+        assert np.isfinite(a) and np.isfinite(b)
+        assert a > b
+
+    def test_repr_mentions_phase(self):
+        acq = WeightedExpectedImprovement(flat(0.0), [], tau=None)
+        assert "feasibility-search" in repr(acq)
+        acq = WeightedExpectedImprovement(flat(0.0), [], tau=1.0)
+        assert "tau=1" in repr(acq)

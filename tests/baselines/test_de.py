@@ -1,0 +1,91 @@
+"""Tests for the differential-evolution baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.de import DifferentialEvolution, better, feasibility_key
+from repro.benchfns import toy_constrained_quadratic
+from repro.bo.problem import Evaluation, FunctionProblem
+
+
+def ev(obj, g):
+    return Evaluation(obj, np.array([g]))
+
+
+class TestFeasibilityRules:
+    def test_feasible_beats_infeasible(self):
+        assert better(ev(100.0, -1.0), ev(0.0, 1.0))
+
+    def test_feasible_compare_by_objective(self):
+        assert better(ev(1.0, -1.0), ev(2.0, -1.0))
+
+    def test_infeasible_compare_by_violation(self):
+        assert better(ev(0.0, 0.5), ev(100.0, 2.0)) is True
+        assert better(ev(0.0, 2.0), ev(100.0, 0.5)) is False
+
+    def test_key_ordering(self):
+        candidates = [ev(5.0, -1.0), ev(1.0, -1.0), ev(0.0, 0.1), ev(0.0, 3.0)]
+        ranked = sorted(candidates, key=feasibility_key)
+        assert ranked[0].objective == 1.0
+        assert ranked[1].objective == 5.0
+        assert ranked[2].violation == pytest.approx(0.1)
+
+
+class TestDE:
+    def test_budget_respected(self):
+        problem = toy_constrained_quadratic(2)
+        result = DifferentialEvolution(
+            problem, pop_size=8, max_evaluations=40, seed=0
+        ).run()
+        assert result.n_evaluations == 40
+
+    def test_converges_on_toy_problem(self):
+        problem = toy_constrained_quadratic(2)
+        result = DifferentialEvolution(
+            problem, pop_size=12, max_evaluations=400, seed=1
+        ).run()
+        assert result.success
+        assert result.best_objective() < 0.6  # optimum is 0.5
+
+    def test_solves_unconstrained_sphere(self):
+        problem = FunctionProblem(
+            "sphere", [-2, -2, -2], [2, 2, 2],
+            objective=lambda x: float(np.sum(x**2)),
+        )
+        result = DifferentialEvolution(
+            problem, pop_size=15, max_evaluations=600, seed=0
+        ).run()
+        assert result.best_objective() < 0.05
+
+    def test_all_points_in_bounds(self):
+        problem = toy_constrained_quadratic(2)
+        result = DifferentialEvolution(
+            problem, pop_size=8, max_evaluations=60, seed=2
+        ).run()
+        assert np.all(result.x_matrix >= problem.lower - 1e-12)
+        assert np.all(result.x_matrix <= problem.upper + 1e-12)
+
+    def test_reproducible(self):
+        problem = toy_constrained_quadratic(2)
+        a = DifferentialEvolution(problem, pop_size=8, max_evaluations=30, seed=7).run()
+        b = DifferentialEvolution(problem, pop_size=8, max_evaluations=30, seed=7).run()
+        np.testing.assert_allclose(a.x_matrix, b.x_matrix)
+
+    def test_improves_over_generations(self):
+        problem = toy_constrained_quadratic(2)
+        result = DifferentialEvolution(
+            problem, pop_size=10, max_evaluations=200, seed=3
+        ).run()
+        curve = result.best_so_far()
+        assert curve[-1] < curve[9]  # better than the best initial individual
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"pop_size": 3}, {"pop_size": 20, "max_evaluations": 10}],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        problem = toy_constrained_quadratic(2)
+        defaults = dict(pop_size=10, max_evaluations=100)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(problem, **defaults)

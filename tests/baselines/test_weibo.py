@@ -1,0 +1,51 @@
+"""Tests for the WEIBO baseline (GP + wEI Bayesian optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.weibo import WEIBO
+from repro.benchfns import gardner_problem, toy_constrained_quadratic
+from repro.gp import GPRegression
+
+
+class TestWEIBO:
+    def test_budget_and_success(self):
+        problem = toy_constrained_quadratic(2)
+        result = WEIBO(problem, n_initial=8, max_evaluations=22, seed=0).run()
+        assert result.n_evaluations == 22
+        assert result.success
+
+    def test_converges_near_optimum(self):
+        problem = toy_constrained_quadratic(2)
+        result = WEIBO(problem, n_initial=8, max_evaluations=30, seed=1).run()
+        assert result.best_objective() < 0.65  # optimum 0.5
+
+    def test_uses_gp_surrogates(self):
+        problem = toy_constrained_quadratic(2)
+        weibo = WEIBO(problem, n_initial=5, max_evaluations=6, seed=0)
+        model = weibo.surrogate_factory(np.random.default_rng(0))
+        assert isinstance(model, GPRegression)
+
+    def test_matern_option(self):
+        problem = toy_constrained_quadratic(2)
+        result = WEIBO(
+            problem, n_initial=6, max_evaluations=12, kernel="matern52", seed=0
+        ).run()
+        assert result.n_evaluations == 12
+
+    def test_gardner_problem_feasibility(self):
+        """Multi-modal constraint: WEIBO should still find feasible points."""
+        problem = gardner_problem()
+        result = WEIBO(problem, n_initial=10, max_evaluations=25, seed=3).run()
+        assert result.success
+
+    def test_algorithm_name(self):
+        problem = toy_constrained_quadratic(2)
+        result = WEIBO(problem, n_initial=5, max_evaluations=6, seed=0).run()
+        assert result.algorithm == "WEIBO"
+
+    def test_unknown_kernel_rejected(self):
+        problem = toy_constrained_quadratic(2)
+        weibo = WEIBO(problem, n_initial=5, max_evaluations=6, kernel="poly")
+        with pytest.raises(ValueError):
+            weibo.surrogate_factory(np.random.default_rng(0))

@@ -1,0 +1,109 @@
+"""Tests for constrained benchmark problems: feasibility structure and
+known-best values."""
+
+import numpy as np
+import pytest
+
+from repro.benchfns.constrained import (
+    constrained_branin_problem,
+    g06_problem,
+    g08_problem,
+    gardner_problem,
+    pressure_vessel_problem,
+    tension_spring_problem,
+    toy_constrained_quadratic,
+)
+
+ALL_PROBLEMS = [
+    toy_constrained_quadratic,
+    gardner_problem,
+    g06_problem,
+    g08_problem,
+    tension_spring_problem,
+    pressure_vessel_problem,
+    constrained_branin_problem,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_PROBLEMS)
+class TestCommonStructure:
+    def test_evaluable_at_center(self, factory):
+        prob = factory()
+        center = 0.5 * (prob.lower + prob.upper)
+        ev = prob.evaluate(center)
+        assert np.isfinite(ev.objective)
+        assert np.all(np.isfinite(ev.constraints))
+
+    def test_has_feasible_points(self, factory, rng):
+        """Every problem must have a non-empty feasible set reachable by
+        moderate random sampling (else BO tests would be vacuous).
+
+        g06 is the famous exception — its feasible set is a sliver of
+        measure ~1e-6 of the box — so it is verified at a known feasible
+        point instead.
+        """
+        prob = factory()
+        if prob.name == "g06":
+            # interior of the crescent between the two constraint circles
+            ev = prob.evaluate(np.array([14.91, 3.43]))
+            assert ev.feasible
+            return
+        found = False
+        for _ in range(4000):
+            u = rng.uniform(size=prob.dim)
+            x = prob.lower + u * (prob.upper - prob.lower)
+            if prob.evaluate(x).feasible:
+                found = True
+                break
+        assert found, f"{prob.name}: no feasible point in 4000 samples"
+
+    def test_has_infeasible_points(self, factory, rng):
+        prob = factory()
+        if prob.n_constraints == 0:
+            pytest.skip("unconstrained")
+        found = False
+        for _ in range(4000):
+            u = rng.uniform(size=prob.dim)
+            x = prob.lower + u * (prob.upper - prob.lower)
+            if not prob.evaluate(x).feasible:
+                found = True
+                break
+        assert found, f"{prob.name}: constraints never active"
+
+
+class TestKnownValues:
+    def test_toy_quadratic_optimum(self):
+        prob = toy_constrained_quadratic(2)
+        ev = prob.evaluate(np.array([0.5, 0.5]))
+        assert ev.objective == pytest.approx(0.5)
+        assert ev.constraints[0] == pytest.approx(0.0)  # on the boundary
+
+    def test_g06_best_known(self):
+        prob = g06_problem()
+        x_star = np.array([14.095, 0.84296])
+        ev = prob.evaluate(x_star)
+        assert ev.objective == pytest.approx(-6961.81388, rel=1e-4)
+        assert np.all(ev.constraints < 1e-3)
+
+    def test_g08_best_known(self):
+        prob = g08_problem()
+        x_star = np.array([1.2279713, 4.2453733])
+        ev = prob.evaluate(x_star)
+        assert ev.objective == pytest.approx(-0.095825, abs=1e-5)
+        assert ev.feasible
+
+    def test_tension_spring_best_known(self):
+        prob = tension_spring_problem()
+        x_star = np.array([0.051749, 0.358179, 11.203763])
+        ev = prob.evaluate(x_star)
+        assert ev.objective == pytest.approx(0.012665, rel=1e-3)
+        assert np.all(ev.constraints < 1e-3)
+
+    def test_gardner_constraint_multimodal(self):
+        """The Gardner constraint alternates sign along the diagonal."""
+        prob = gardner_problem()
+        signs = set()
+        for t in np.linspace(0.5, 5.5, 30):
+            ev = prob.evaluate(np.array([t, t]))
+            signs.add(ev.constraints[0] > 0)
+        assert signs == {True, False}

@@ -1,0 +1,61 @@
+"""Tests for synthetic test functions: known optima and basic shape."""
+
+import numpy as np
+import pytest
+
+from repro.benchfns.synthetic import (
+    ackley,
+    branin,
+    hartmann6,
+    rastrigin,
+    rosenbrock,
+    sphere,
+)
+
+
+class TestKnownOptima:
+    def test_sphere_minimum(self):
+        assert sphere(np.zeros(4)) == 0.0
+        assert sphere(np.ones(4)) == 4.0
+
+    def test_rosenbrock_minimum(self):
+        assert rosenbrock(np.ones(5)) == 0.0
+        assert rosenbrock(np.zeros(2)) > 0.0
+
+    @pytest.mark.parametrize(
+        "x_star",
+        [
+            [-np.pi, 12.275],
+            [np.pi, 2.275],
+            [9.42478, 2.475],
+        ],
+    )
+    def test_branin_three_global_minima(self, x_star):
+        assert branin(np.array(x_star)) == pytest.approx(0.397887, abs=1e-4)
+
+    def test_ackley_minimum(self):
+        assert ackley(np.zeros(3)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rastrigin_minimum(self):
+        assert rastrigin(np.zeros(6)) == 0.0
+
+    def test_hartmann6_minimum(self):
+        x_star = np.array([0.20169, 0.150011, 0.476874, 0.275332, 0.311652, 0.6573])
+        assert hartmann6(x_star) == pytest.approx(-3.32237, abs=1e-4)
+
+
+class TestShapes:
+    def test_nonnegative_functions(self, rng):
+        for _ in range(20):
+            x = rng.uniform(-2, 2, size=4)
+            assert sphere(x) >= 0.0
+            assert rastrigin(x) >= -1e-9
+            assert ackley(x) >= -1e-9
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            branin(np.zeros(3))
+        with pytest.raises(ValueError):
+            hartmann6(np.zeros(5))
+        with pytest.raises(ValueError):
+            rosenbrock(np.zeros(1))

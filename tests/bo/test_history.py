@@ -1,0 +1,98 @@
+"""Tests for run histories and the paper's summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bo.history import EvaluationRecord, OptimizationResult
+from repro.bo.problem import Evaluation
+
+
+def ev(objective, feasible=True):
+    g = np.array([-1.0]) if feasible else np.array([1.0])
+    return Evaluation(objective, g)
+
+
+def make_result(objs_feas):
+    """Build a result from (objective, feasible) pairs."""
+    result = OptimizationResult("toy", "TEST")
+    for i, (obj, feas) in enumerate(objs_feas):
+        result.append(np.array([float(i)]), ev(obj, feas))
+    return result
+
+
+class TestBookkeeping:
+    def test_n_evaluations(self):
+        result = make_result([(1.0, True), (2.0, True)])
+        assert result.n_evaluations == 2
+
+    def test_x_matrix_shape(self):
+        result = make_result([(1.0, True)] * 4)
+        assert result.x_matrix.shape == (4, 1)
+
+    def test_objectives_order(self):
+        result = make_result([(3.0, True), (1.0, True), (2.0, True)])
+        np.testing.assert_allclose(result.objectives, [3.0, 1.0, 2.0])
+
+    def test_constraint_matrix(self):
+        result = make_result([(1.0, True), (1.0, False)])
+        assert result.constraint_matrix.shape == (2, 1)
+        assert result.constraint_matrix[0, 0] < 0 < result.constraint_matrix[1, 0]
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationRecord(0, np.zeros(1), ev(0.0), phase="warmup")
+
+    def test_empty_result(self):
+        result = OptimizationResult("toy", "TEST")
+        assert result.n_evaluations == 0
+        assert not result.success
+        assert result.best_feasible() is None
+        assert result.best_objective() == np.inf
+
+
+class TestBestTracking:
+    def test_best_ignores_infeasible(self):
+        result = make_result([(0.1, False), (5.0, True), (2.0, True)])
+        assert result.best_objective() == 2.0
+
+    def test_success_flag(self):
+        assert not make_result([(1.0, False)]).success
+        assert make_result([(1.0, False), (1.0, True)]).success
+
+    def test_best_so_far_monotone(self):
+        result = make_result(
+            [(5.0, True), (7.0, True), (3.0, True), (9.0, False), (1.0, True)]
+        )
+        curve = result.best_so_far()
+        np.testing.assert_allclose(curve, [5.0, 5.0, 3.0, 3.0, 1.0])
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_best_so_far_inf_before_feasible(self):
+        result = make_result([(1.0, False), (2.0, True)])
+        curve = result.best_so_far()
+        assert np.isinf(curve[0])
+        assert curve[1] == 2.0
+
+
+class TestSimCounts:
+    def test_sims_to_best_is_first_attainment(self):
+        """Paper's Avg#Sim counts sims until the final best first appears."""
+        result = make_result([(5.0, True), (2.0, True), (4.0, True), (2.0, True)])
+        assert result.n_sims_to_best() == 2
+
+    def test_sims_to_best_none_when_failed(self):
+        assert make_result([(1.0, False)]).n_sims_to_best() is None
+
+    def test_sims_to_first_feasible(self):
+        result = make_result([(1.0, False), (1.0, False), (9.0, True)])
+        assert result.n_sims_to_first_feasible() == 3
+
+    def test_sims_to_first_feasible_none(self):
+        assert make_result([(1.0, False)]).n_sims_to_first_feasible() is None
+
+    def test_relative_tolerance(self):
+        result = make_result([(2.0 + 1e-12, True), (2.0, True)])
+        assert result.n_sims_to_best() == 1  # within tolerance of the best
+
+    def test_repr(self):
+        assert "TEST" in repr(make_result([(1.0, True)]))

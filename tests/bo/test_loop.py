@@ -1,0 +1,132 @@
+"""Tests for the generic constrained-BO driver (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.bo.loop import SurrogateBO, _sanitize_targets
+from repro.bo.problem import FunctionProblem
+from repro.benchfns import toy_constrained_quadratic
+from repro.gp import GPRegression
+
+
+def gp_factory(rng):
+    return GPRegression(n_restarts=1, seed=rng)
+
+
+class TestLoopMechanics:
+    def test_respects_budget_exactly(self):
+        problem = toy_constrained_quadratic(2)
+        bo = SurrogateBO(problem, gp_factory, n_initial=6, max_evaluations=10, seed=0)
+        result = bo.run()
+        assert result.n_evaluations == 10
+
+    def test_initial_phase_labelled(self):
+        problem = toy_constrained_quadratic(2)
+        bo = SurrogateBO(problem, gp_factory, n_initial=5, max_evaluations=8, seed=0)
+        result = bo.run()
+        phases = [r.phase for r in result.records]
+        assert phases[:5] == ["initial"] * 5
+        assert phases[5:] == ["search"] * 3
+
+    def test_all_points_inside_bounds(self):
+        problem = toy_constrained_quadratic(3)
+        bo = SurrogateBO(problem, gp_factory, n_initial=6, max_evaluations=12, seed=1)
+        result = bo.run()
+        x = result.x_matrix
+        assert np.all(x >= problem.lower - 1e-12)
+        assert np.all(x <= problem.upper + 1e-12)
+
+    def test_callback_invoked_each_iteration(self):
+        problem = toy_constrained_quadratic(2)
+        seen = []
+        bo = SurrogateBO(
+            problem, gp_factory, n_initial=5, max_evaluations=8,
+            callback=lambda it, res: seen.append((it, res.n_evaluations)), seed=0,
+        )
+        bo.run()
+        assert seen == [(1, 6), (2, 7), (3, 8)]
+
+    def test_budget_must_cover_initial(self):
+        problem = toy_constrained_quadratic(2)
+        with pytest.raises(ValueError):
+            SurrogateBO(problem, gp_factory, n_initial=20, max_evaluations=10)
+
+    def test_n_initial_minimum(self):
+        problem = toy_constrained_quadratic(2)
+        with pytest.raises(ValueError):
+            SurrogateBO(problem, gp_factory, n_initial=1, max_evaluations=10)
+
+    def test_log_space_auto_enables_for_many_constraints(self):
+        many = FunctionProblem(
+            "many", [0.0], [1.0],
+            objective=lambda x: float(x[0]),
+            constraints=[lambda x, k=k: float(x[0] - 1 + 0.1 * k) for k in range(5)],
+        )
+        bo = SurrogateBO(many, gp_factory, n_initial=4, max_evaluations=5)
+        assert bo.log_space_acq
+        few = toy_constrained_quadratic(2)
+        bo = SurrogateBO(few, gp_factory, n_initial=4, max_evaluations=5)
+        assert not bo.log_space_acq
+
+    def test_reproducible_runs(self):
+        problem = toy_constrained_quadratic(2)
+        a = SurrogateBO(problem, gp_factory, n_initial=5, max_evaluations=9, seed=5).run()
+        b = SurrogateBO(problem, gp_factory, n_initial=5, max_evaluations=9, seed=5).run()
+        np.testing.assert_allclose(a.x_matrix, b.x_matrix)
+
+
+class TestOptimizationQuality:
+    def test_converges_near_constrained_optimum(self):
+        """Optimum of the toy problem is 0.5 on the constraint boundary;
+        BO with a GP surrogate should approach it within a modest budget."""
+        problem = toy_constrained_quadratic(2)
+        bo = SurrogateBO(problem, gp_factory, n_initial=8, max_evaluations=30, seed=3)
+        result = bo.run()
+        assert result.success
+        assert result.best_objective() < 0.65
+
+    def test_beats_random_search(self):
+        problem = toy_constrained_quadratic(2)
+        bo_best = SurrogateBO(
+            problem, gp_factory, n_initial=8, max_evaluations=25, seed=0
+        ).run().best_objective()
+        rng = np.random.default_rng(0)
+        random_best = np.inf
+        for _ in range(25):
+            ev = problem.evaluate_unit(rng.uniform(size=2))
+            if ev.feasible:
+                random_best = min(random_best, ev.objective)
+        assert bo_best <= random_best + 0.05
+
+
+class TestSanitizeTargets:
+    def test_finite_passthrough(self):
+        y = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(_sanitize_targets(y), y)
+
+    def test_replaces_inf_with_pessimistic(self):
+        y = np.array([1.0, np.inf, 3.0])
+        out = _sanitize_targets(y)
+        assert np.all(np.isfinite(out))
+        assert out[1] > 3.0
+
+    def test_all_bad_targets(self):
+        out = _sanitize_targets(np.array([np.inf, np.nan]))
+        assert np.all(np.isfinite(out))
+
+    def test_does_not_mutate_input(self):
+        y = np.array([np.inf, 1.0])
+        _sanitize_targets(y)
+        assert np.isinf(y[0])
+
+    def test_winsorizes_extreme_outlier(self):
+        """A -300-ish outlier among O(100) targets must be pulled in."""
+        y = np.concatenate([np.linspace(60.0, 110.0, 30), [-300.0]])
+        out = _sanitize_targets(y)
+        assert out.min() > -200.0
+        # ordinary values untouched
+        np.testing.assert_array_equal(out[:30], y[:30])
+
+    def test_moderate_spread_untouched(self):
+        y = np.linspace(-5.0, 5.0, 20)
+        np.testing.assert_array_equal(_sanitize_targets(y), y)

@@ -1,0 +1,93 @@
+"""Tests for problem definitions (eq. 1 form)."""
+
+import numpy as np
+import pytest
+
+from repro.bo.problem import Evaluation, FunctionProblem, Problem
+
+
+class TestEvaluation:
+    def test_feasible_all_negative(self):
+        ev = Evaluation(1.0, np.array([-0.1, -2.0]))
+        assert ev.feasible
+
+    def test_infeasible_any_positive(self):
+        ev = Evaluation(1.0, np.array([-0.1, 0.5]))
+        assert not ev.feasible
+
+    def test_boundary_is_infeasible(self):
+        """The paper's constraints are strict: g(x) < 0."""
+        ev = Evaluation(1.0, np.array([0.0]))
+        assert not ev.feasible
+
+    def test_unconstrained_always_feasible(self):
+        assert Evaluation(1.0, np.array([])).feasible
+
+    def test_violation_sums_positives_only(self):
+        ev = Evaluation(0.0, np.array([-1.0, 0.5, 2.0]))
+        assert ev.violation == pytest.approx(2.5)
+
+    def test_metrics_default(self):
+        assert Evaluation(0.0, np.zeros(1)).metrics == {}
+
+
+class TestFunctionProblem:
+    def make(self):
+        return FunctionProblem(
+            "quad",
+            lower=[-1.0, -1.0],
+            upper=[1.0, 1.0],
+            objective=lambda x: float(np.sum(x**2)),
+            constraints=[lambda x: 0.5 - x[0]],
+        )
+
+    def test_evaluate(self):
+        prob = self.make()
+        ev = prob.evaluate(np.array([0.8, 0.0]))
+        assert ev.objective == pytest.approx(0.64)
+        assert ev.constraints[0] == pytest.approx(-0.3)
+        assert ev.feasible
+
+    def test_evaluate_unit_maps_box(self):
+        prob = self.make()
+        ev = prob.evaluate_unit(np.array([1.0, 0.5]))  # x = (1.0, 0.0)
+        assert ev.objective == pytest.approx(1.0)
+
+    def test_evaluate_unit_clips(self):
+        prob = self.make()
+        ev = prob.evaluate_unit(np.array([2.0, 0.5]))  # clipped to x0 = 1.0
+        assert ev.objective == pytest.approx(1.0)
+
+    def test_n_constraints(self):
+        assert self.make().n_constraints == 1
+
+    def test_metrics_hook(self):
+        prob = FunctionProblem(
+            "m", [-1], [1],
+            objective=lambda x: float(x[0]),
+            metrics=lambda x, obj, cons: {"double": 2 * obj},
+        )
+        ev = prob.evaluate(np.array([0.25]))
+        assert ev.metrics == {"double": 0.5}
+
+    def test_dim_and_bounds(self):
+        prob = self.make()
+        assert prob.dim == 2
+        np.testing.assert_allclose(prob.lower, [-1, -1])
+        np.testing.assert_allclose(prob.upper, [1, 1])
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().evaluate(np.array([1.0]))
+
+    def test_base_class_abstract(self):
+        prob = Problem("abstract", [0.0], [1.0], 0)
+        with pytest.raises(NotImplementedError):
+            prob.evaluate(np.array([0.5]))
+
+    def test_negative_constraint_count_rejected(self):
+        with pytest.raises(ValueError):
+            Problem("bad", [0.0], [1.0], -1)
+
+    def test_repr(self):
+        assert "quad" in repr(self.make())

@@ -1,0 +1,110 @@
+"""Tests for AC analysis against analytic frequency responses."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ACAnalysis, Circuit, DCAnalysis, nmos_180
+from repro.circuits.ac import log_freqs
+
+
+def rc_circuit(r=1e3, c=1e-9):
+    ckt = Circuit("rc")
+    ckt.vsource("VIN", "in", "0", 0.0, ac=1.0)
+    ckt.resistor("R1", "in", "out", r)
+    ckt.capacitor("C1", "out", "0", c)
+    return ckt
+
+
+class TestRCFilter:
+    def test_matches_analytic_transfer(self):
+        r, c = 1e3, 1e-9
+        ckt = rc_circuit(r, c)
+        dc = DCAnalysis(ckt).solve()
+        freqs = log_freqs(1e3, 1e8, 10)
+        ac = ACAnalysis(ckt).sweep(dc, freqs)
+        measured = ac.transfer("out")
+        expected = 1.0 / (1.0 + 2j * np.pi * freqs * r * c)
+        np.testing.assert_allclose(measured, expected, rtol=1e-6)
+
+    def test_corner_frequency(self):
+        r, c = 10e3, 100e-12
+        ckt = rc_circuit(r, c)
+        dc = DCAnalysis(ckt).solve()
+        f_corner = 1.0 / (2 * np.pi * r * c)
+        ac = ACAnalysis(ckt).sweep(dc, np.array([f_corner]))
+        assert abs(ac.transfer("out")[0]) == pytest.approx(1 / np.sqrt(2), rel=1e-6)
+
+    def test_phase_at_corner_is_minus_45(self):
+        r, c = 10e3, 100e-12
+        ckt = rc_circuit(r, c)
+        dc = DCAnalysis(ckt).solve()
+        f_corner = 1.0 / (2 * np.pi * r * c)
+        ac = ACAnalysis(ckt).sweep(dc, np.array([f_corner]))
+        assert np.degrees(np.angle(ac.transfer("out")[0])) == pytest.approx(-45.0, abs=0.01)
+
+
+class TestCommonSourceAmp:
+    def build(self):
+        # bias chosen so M1 saturates: Id ~ 92 uA, drop ~ 0.9 V over RL
+        ckt = Circuit("cs")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.vsource("VIN", "g", "0", 0.8, ac=1.0)
+        ckt.resistor("RL", "vdd", "d", 10e3)
+        ckt.mosfet("M1", "d", "g", "0", "0", nmos_180, 5e-6, 1e-6)
+        return ckt
+
+    def test_low_freq_gain_is_gm_times_rout(self):
+        ckt = self.build()
+        dc = DCAnalysis(ckt).solve()
+        op = dc.op("M1")
+        r_out = 1.0 / (1.0 / 10e3 + op.gds)
+        expected = op.gm * r_out
+        ac = ACAnalysis(ckt).sweep(dc, np.array([10.0]))
+        assert abs(ac.transfer("d")[0]) == pytest.approx(expected, rel=0.02)
+
+    def test_inverting_phase_at_low_freq(self):
+        ckt = self.build()
+        dc = DCAnalysis(ckt).solve()
+        ac = ACAnalysis(ckt).sweep(dc, np.array([10.0]))
+        phase = np.degrees(np.angle(ac.transfer("d")[0]))
+        assert abs(abs(phase) - 180.0) < 1.0
+
+    def test_gain_rolls_off_at_high_frequency(self):
+        ckt = self.build()
+        ckt.capacitor("CL", "d", "0", 1e-12)
+        dc = DCAnalysis(ckt).solve()
+        ac = ACAnalysis(ckt).sweep(dc, np.array([1e3, 1e9]))
+        tf = np.abs(ac.transfer("d"))
+        assert tf[1] < 0.5 * tf[0]
+
+    def test_requires_matching_dc_solution(self):
+        ckt = self.build()
+        other = rc_circuit()
+        dc_other = DCAnalysis(other).solve()
+        with pytest.raises(ValueError):
+            ACAnalysis(ckt).sweep(dc_other, np.array([1e3]))
+
+
+class TestLogFreqs:
+    def test_endpoints(self):
+        f = log_freqs(10.0, 1e6, 10)
+        assert f[0] == pytest.approx(10.0)
+        assert f[-1] == pytest.approx(1e6)
+
+    def test_points_per_decade(self):
+        f = log_freqs(1.0, 1e3, 5)
+        assert len(f) == 16  # 3 decades * 5 + 1
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            log_freqs(0.0, 1e3)
+        with pytest.raises(ValueError):
+            log_freqs(1e3, 1e2)
+        with pytest.raises(ValueError):
+            log_freqs(1.0, 10.0, 0)
+
+    def test_ac_rejects_nonpositive_freqs(self):
+        ckt = rc_circuit()
+        dc = DCAnalysis(ckt).solve()
+        with pytest.raises(ValueError):
+            ACAnalysis(ckt).sweep(dc, np.array([-1.0]))

@@ -1,0 +1,139 @@
+"""Tests for the analog block library."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, DCAnalysis, nmos_180, pmos_180
+from repro.circuits.blocks import (
+    add_bias_diode_stack,
+    add_cascode_pair,
+    add_current_mirror,
+    add_differential_pair,
+    rail_for,
+)
+
+
+class TestRail:
+    def test_polarity_rails(self):
+        assert rail_for(nmos_180, "vdd") == "0"
+        assert rail_for(pmos_180, "vdd") == "vdd"
+
+
+class TestCurrentMirror:
+    def test_nmos_mirror_ratio(self):
+        ckt = Circuit("nm")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.isource("IB", "vdd", "ref", 20e-6)
+        add_current_mirror(ckt, "m1", nmos_180, "ref", "out",
+                           w_ref=10e-6, l_ref=1e-6, w_out=20e-6, l_out=1e-6)
+        ckt.vsource("VOUT", "out", "0", 0.6)
+        sol = DCAnalysis(ckt).solve()
+        assert -sol.branch_current("VOUT") == pytest.approx(40e-6, rel=0.08)
+
+    def test_pmos_mirror_sources_at_vdd(self):
+        ckt = Circuit("pm")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.isource("IB", "ref", "0", 20e-6)
+        diode, out = add_current_mirror(
+            ckt, "m1", pmos_180, "ref", "out",
+            w_ref=20e-6, l_ref=1e-6, w_out=20e-6, l_out=1e-6,
+        )
+        ckt.vsource("VOUT", "out", "0", 1.0)
+        sol = DCAnalysis(ckt).solve()
+        assert diode.nodes[2] == "vdd"  # source terminal
+        assert sol.branch_current("VOUT") == pytest.approx(20e-6, rel=0.08)
+
+    def test_device_naming(self):
+        ckt = Circuit("names")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.isource("IB", "vdd", "ref", 1e-6)
+        add_current_mirror(ckt, "tail", nmos_180, "ref", "out",
+                           10e-6, 1e-6, 10e-6, 1e-6)
+        assert ckt.device("tail_ref") is not None
+        assert ckt.device("tail_out") is not None
+
+
+class TestDifferentialPair:
+    def test_balanced_split(self):
+        ckt = Circuit("dp")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.isource("ITAIL", "vdd", "tail", 40e-6)
+        add_differential_pair(ckt, "pair", pmos_180, "inp", "inn",
+                              "o1", "o2", "tail", 40e-6, 0.5e-6)
+        ckt.vsource("VP", "inp", "0", 0.9)
+        ckt.vsource("VN", "inn", "0", 0.9)
+        ckt.resistor("R1", "o1", "0", 10e3)
+        ckt.resistor("R2", "o2", "0", 10e3)
+        sol = DCAnalysis(ckt).solve()
+        assert sol.voltage("o1") == pytest.approx(sol.voltage("o2"), rel=1e-6)
+        assert sol.op("pair_p").ids == pytest.approx(-20e-6, rel=0.05)
+
+    def test_imbalance_steers_current(self):
+        ckt = Circuit("dp2")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.isource("ITAIL", "vdd", "tail", 40e-6)
+        add_differential_pair(ckt, "pair", pmos_180, "inp", "inn",
+                              "o1", "o2", "tail", 40e-6, 0.5e-6)
+        ckt.vsource("VP", "inp", "0", 0.80)  # lower gate -> more current
+        ckt.vsource("VN", "inn", "0", 1.00)
+        ckt.resistor("R1", "o1", "0", 10e3)
+        ckt.resistor("R2", "o2", "0", 10e3)
+        sol = DCAnalysis(ckt).solve()
+        assert sol.voltage("o1") > sol.voltage("o2")
+
+
+class TestCascodePair:
+    def test_nmos_orientation(self):
+        ckt = Circuit("cp")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        left, right = add_cascode_pair(
+            ckt, "c", nmos_180, ("b1", "b2"), ("t1", "t2"), "vb",
+            20e-6, 0.3e-6,
+        )
+        assert left.nodes[0] == "t1"  # drain on top
+        assert left.nodes[2] == "b1"  # source on bottom
+
+    def test_pmos_orientation(self):
+        ckt = Circuit("cp2")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        left, _ = add_cascode_pair(
+            ckt, "c", pmos_180, ("b1", "b2"), ("t1", "t2"), "vb",
+            20e-6, 0.3e-6,
+        )
+        assert left.nodes[0] == "b1"  # drain on bottom for PMOS
+        assert left.nodes[2] == "t1"
+
+
+class TestBiasStack:
+    def test_stack_voltages_increase(self):
+        ckt = Circuit("bs")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        add_bias_diode_stack(ckt, "bn", nmos_180, 20e-6, 2, 10e-6, 0.5e-6)
+        sol = DCAnalysis(ckt).solve()
+        v1, v2 = sol.voltage("bn_d1"), sol.voltage("bn_d2")
+        assert 0.3 < v1 < 1.0
+        assert v2 > v1 + 0.3  # second stacked Vgs
+
+    def test_stack_carries_bias_current(self):
+        ckt = Circuit("bs2")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        devices = add_bias_diode_stack(ckt, "bn", nmos_180, 15e-6, 2,
+                                       10e-6, 0.5e-6)
+        sol = DCAnalysis(ckt).solve()
+        assert sol.op(devices[0].name).ids == pytest.approx(15e-6, rel=0.02)
+
+    def test_pmos_stack_descends_from_vdd(self):
+        ckt = Circuit("bs3")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        add_bias_diode_stack(ckt, "bp", pmos_180, 20e-6, 2, 20e-6, 0.5e-6)
+        sol = DCAnalysis(ckt).solve()
+        assert sol.voltage("bp_d1") < 1.8
+        assert sol.voltage("bp_d2") < sol.voltage("bp_d1")
+
+    def test_validation(self):
+        ckt = Circuit("bs4")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        with pytest.raises(ValueError):
+            add_bias_diode_stack(ckt, "b", nmos_180, 1e-6, 0, 1e-6, 1e-6)
+        with pytest.raises(ValueError):
+            add_bias_diode_stack(ckt, "b", nmos_180, -1e-6, 1, 1e-6, 1e-6)

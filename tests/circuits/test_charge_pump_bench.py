@@ -1,0 +1,175 @@
+"""Tests for the charge-pump testbench (Table II circuit).
+
+Full 18-corner evaluations take ~0.3 s; most tests use a reduced corner
+set to keep the suite fast, with one module-scoped full evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.pvt import NOMINAL, standard_corners
+from repro.circuits.testbenches import ChargePumpProblem
+
+_UM = 1e-6
+
+
+def hand_design(problem):
+    """A near-feasible hand sizing validated during bring-up."""
+    p = {}
+    for dev in ["mn0", "mp0"]:
+        p[f"w_{dev}"], p[f"l_{dev}"] = 4 * _UM, 0.5 * _UM
+    for dev in ["mn1", "mnr"]:
+        p[f"w_{dev}"], p[f"l_{dev}"] = 36 * _UM, 0.1 * _UM
+    for dev in ["mp1", "mpr"]:
+        p[f"w_{dev}"], p[f"l_{dev}"] = 40 * _UM, 0.06 * _UM
+    p["w_mn2"], p["l_mn2"] = 15.05 * _UM, 0.5 * _UM
+    p["w_mp2"], p["l_mp2"] = 15.1 * _UM, 0.5 * _UM
+    for dev in ["mn3", "mns"]:
+        p[f"w_{dev}"], p[f"l_{dev}"] = 38 * _UM, 0.1 * _UM
+    for dev in ["mp3", "mps"]:
+        p[f"w_{dev}"], p[f"l_{dev}"] = 40 * _UM, 0.06 * _UM
+    for dev in ["mnsb", "mnpd", "mpsb", "mppd"]:
+        p[f"w_{dev}"], p[f"l_{dev}"] = 1 * _UM, 0.1 * _UM
+    p["r_dn"], p["r_dp"] = 3e3, 3e3
+    p["r_cn"], p["r_cp"] = 310e3, 320e3
+    return p, np.array([p[v.name] for v in problem.variables])
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    """Two corners only: fast evaluations for mechanism tests."""
+    return ChargePumpProblem(
+        corners=standard_corners(processes=("TT",), vdd_scales=(1.0,),
+                                 temps_c=(27.0, 125.0))
+    )
+
+
+@pytest.fixture(scope="module")
+def full_problem():
+    return ChargePumpProblem()
+
+
+@pytest.fixture(scope="module")
+def hand_metrics(small_problem):
+    _, x = hand_design(small_problem)
+    return small_problem.simulate(x)
+
+
+class TestProblemDefinition:
+    def test_thirty_six_design_variables(self, full_problem):
+        """Paper Sec. IV-B: 'There are 36 design variables in this test case'."""
+        assert full_problem.dim == 36
+
+    def test_five_constraints(self, full_problem):
+        """Eq. 15: diff1..4 and deviation."""
+        assert full_problem.n_constraints == 5
+
+    def test_default_eighteen_corners(self, full_problem):
+        """Paper: 'a total of 18 PVT corners'."""
+        assert len(full_problem.corners) == 18
+
+    def test_geometry_and_resistor_variables(self, full_problem):
+        names = full_problem.variable_names
+        assert sum(n.startswith("w_") for n in names) == 16
+        assert sum(n.startswith("l_") for n in names) == 16
+        assert sum(n.startswith("r_") for n in names) == 4
+
+
+class TestSimulation:
+    def test_metric_keys(self, hand_metrics):
+        for key in ("diff1_ua", "diff2_ua", "diff3_ua", "diff4_ua",
+                    "deviation_ua", "diff_ua", "fom"):
+            assert key in hand_metrics
+
+    def test_fom_formula(self, hand_metrics):
+        """FOM = 0.3 * diff + 0.5 * deviation (eq. 16)."""
+        expected = 0.3 * hand_metrics["diff_ua"] + 0.5 * hand_metrics["deviation_ua"]
+        assert hand_metrics["fom"] == pytest.approx(expected, rel=1e-12)
+
+    def test_diff_is_sum_of_components(self, hand_metrics):
+        total = sum(hand_metrics[f"diff{i}_ua"] for i in range(1, 5))
+        assert hand_metrics["diff_ua"] == pytest.approx(total, rel=1e-12)
+
+    def test_all_metrics_nonnegative(self, hand_metrics):
+        assert all(v >= 0 for v in hand_metrics.values())
+
+    def test_hand_design_currents_near_target(self, small_problem):
+        p, _ = hand_design(small_problem)
+        i_up = small_problem._branch_currents(p, "p", NOMINAL)
+        i_dn = small_problem._branch_currents(p, "n", NOMINAL)
+        assert abs(np.mean(i_up) - 40e-6) < 5e-6
+        assert abs(np.mean(i_dn) - 40e-6) < 5e-6
+
+    def test_deterministic(self, small_problem):
+        _, x = hand_design(small_problem)
+        a = small_problem.simulate(x)
+        b = small_problem.simulate(x)
+        assert a["fom"] == b["fom"]
+
+
+class TestPhysicalTrends:
+    def test_smaller_mirror_less_current(self, small_problem):
+        """Quartering the mirror width must cut the output current hard;
+        source degeneration feedback softens the ratio below 4x."""
+        p, _ = hand_design(small_problem)
+        p_small = dict(p)
+        p_small["w_mn2"] = p["w_mn2"] / 4
+        i_ref = small_problem._branch_currents(p, "n", NOMINAL).mean()
+        i_small = small_problem._branch_currents(p_small, "n", NOMINAL).mean()
+        assert i_small < i_ref * 0.75
+
+    def test_cascode_starvation_physics(self, small_problem):
+        """Collapsing the cascode bias resistor starves the branch — the
+        failure mode discovered during bring-up, now locked in as a test."""
+        p, _ = hand_design(small_problem)
+        p_low = dict(p)
+        p_low["r_cn"] = 60e3  # Vcn = 0.3 V: cascode cannot support 40 uA
+        i = small_problem._branch_currents(p_low, "n", NOMINAL).mean()
+        assert i < 20e-6
+
+    def test_mirror_ratio_resistor_prescaling(self, small_problem):
+        """The reference branch degeneration is the design value times the
+        intended mirror ratio (matched IR drops)."""
+        p, _ = hand_design(small_problem)
+        nmos = small_problem.nmos_nom
+        pmos = small_problem.pmos_nom
+        ckt = small_problem.build_reference_circuit(
+            p, "n", nmos, pmos, small_problem.vdd_nom
+        )
+        rd = ckt.device("RD")
+        assert rd.resistance == pytest.approx(p["r_dn"] * small_problem.mirror_ratio)
+
+
+class TestEvaluationMapping:
+    def test_constraint_normalization(self, small_problem, hand_metrics):
+        _, x = hand_design(small_problem)
+        ev = small_problem.evaluate(x)
+        limits = small_problem.limits_ua
+        values = np.array([
+            hand_metrics["diff1_ua"], hand_metrics["diff2_ua"],
+            hand_metrics["diff3_ua"], hand_metrics["diff4_ua"],
+            hand_metrics["deviation_ua"],
+        ])
+        np.testing.assert_allclose(ev.constraints, (values - limits) / limits)
+
+    def test_objective_is_fom(self, small_problem, hand_metrics):
+        _, x = hand_design(small_problem)
+        assert small_problem.evaluate(x).objective == pytest.approx(
+            hand_metrics["fom"]
+        )
+
+    def test_failure_evaluation_is_penalty(self, small_problem):
+        penalty = small_problem._failure_evaluation()
+        assert not penalty.feasible
+        assert penalty.objective > 100.0
+
+
+@pytest.mark.slow
+class TestFullCornerEvaluation:
+    def test_full_18_corner_run(self, full_problem):
+        _, x = hand_design(full_problem)
+        metrics = full_problem.simulate(x)
+        # validated during bring-up: this sizing is within ~1.5x of feasible
+        assert metrics["deviation_ua"] < 12.0
+        assert metrics["diff1_ua"] < 20.0
+        assert metrics["fom"] < 12.0

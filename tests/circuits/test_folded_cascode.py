@@ -1,0 +1,79 @@
+"""Tests for the folded-cascode OTA testbench (extra workload)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.testbenches import FoldedCascodeOTAProblem
+
+_UM = 1e-6
+
+# validated hand sizing:
+# w_in l_in w_nb l_nb w_nc l_nc w_p l_p w_tail l_tail ibias
+GOOD_X = np.array([
+    60 * _UM, 0.4 * _UM,
+    40 * _UM, 0.5 * _UM,
+    60 * _UM, 0.25 * _UM,
+    60 * _UM, 0.4 * _UM,
+    120 * _UM, 0.5 * _UM,
+    30e-6,
+])
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return FoldedCascodeOTAProblem()
+
+
+@pytest.fixture(scope="module")
+def metrics(problem):
+    return problem.simulate(GOOD_X)
+
+
+class TestDefinition:
+    def test_eleven_variables(self, problem):
+        assert problem.dim == 11
+
+    def test_two_constraints(self, problem):
+        assert problem.n_constraints == 2
+
+
+class TestSimulation:
+    def test_high_gain_single_stage(self, metrics):
+        """A folded cascode reaches two-stage-like gain in one stage."""
+        assert 70.0 < metrics["gain_db"] < 120.0
+
+    def test_good_design_is_feasible(self, problem):
+        ev = problem.evaluate(GOOD_X)
+        assert ev.feasible
+
+    def test_output_biased_near_midrail(self, metrics, problem):
+        assert abs(metrics["vout_dc"] - problem.vcm) < 0.3
+
+    def test_supply_current_tracks_bias(self, problem, metrics):
+        x = GOOD_X.copy()
+        x[10] = 60e-6  # double Ibias
+        hungry = problem.simulate(x)
+        assert hungry["idd_a"] > metrics["idd_a"]
+
+    def test_ugf_scales_with_input_gm(self, problem, metrics):
+        """Single-stage OTA: UGF ~ gm_in / (2 pi CL); smaller pair -> slower."""
+        x = GOOD_X.copy()
+        x[0] = 10 * _UM  # much narrower input pair
+        slower = problem.simulate(x)
+        assert slower["ugf_hz"] < metrics["ugf_hz"]
+
+    def test_evaluation_mapping(self, problem, metrics):
+        ev = problem.evaluate(GOOD_X)
+        assert ev.objective == pytest.approx(-metrics["gain_db"])
+        assert (ev.constraints[0] < 0) == (metrics["ugf_hz"] > problem.ugf_spec)
+
+
+class TestOptimizationSmoke:
+    def test_weibo_finds_feasible_design(self):
+        """End-to-end check that the extra workload is optimizable."""
+        from repro.baselines import WEIBO
+
+        problem = FoldedCascodeOTAProblem()
+        result = WEIBO(problem, n_initial=12, max_evaluations=24, seed=1).run()
+        assert result.n_evaluations == 24
+        assert result.success

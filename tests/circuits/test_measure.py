@@ -1,0 +1,112 @@
+"""Tests for UGF/PM/gain extraction on synthetic transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.measure import (
+    dc_gain_db,
+    gain_db,
+    gain_margin_db,
+    phase_deg,
+    phase_margin_deg,
+    unity_gain_frequency,
+)
+
+
+def single_pole(freqs, a0, fp):
+    """One-pole response a0 / (1 + j f/fp)."""
+    return a0 / (1.0 + 1j * freqs / fp)
+
+
+def two_pole(freqs, a0, fp1, fp2):
+    return a0 / ((1.0 + 1j * freqs / fp1) * (1.0 + 1j * freqs / fp2))
+
+
+FREQS = np.logspace(0, 9, 400)
+
+
+class TestUnityGainFrequency:
+    def test_single_pole_ugf_is_gbw(self):
+        """For a one-pole response, UGF ~= a0 * fp (gain-bandwidth)."""
+        a0, fp = 1000.0, 1e3
+        tf = single_pole(FREQS, a0, fp)
+        ugf = unity_gain_frequency(FREQS, tf)
+        assert ugf == pytest.approx(a0 * fp, rel=0.01)
+
+    def test_never_drops_below_zero_db_returns_zero(self):
+        tf = single_pole(FREQS, 100.0, 1e12)  # stays above 0 dB in-band
+        assert unity_gain_frequency(FREQS, tf) == 0.0
+
+    def test_starts_below_zero_db(self):
+        tf = single_pole(FREQS, 0.9, 1e3)
+        assert unity_gain_frequency(FREQS, tf) == FREQS[0]
+
+    def test_interpolation_beats_grid_resolution(self):
+        a0, fp = 100.0, 1e4
+        coarse = np.logspace(2, 8, 25)
+        ugf = unity_gain_frequency(coarse, single_pole(coarse, a0, fp))
+        assert ugf == pytest.approx(1e6, rel=0.05)
+
+
+class TestPhaseMargin:
+    def test_single_pole_pm_is_90(self):
+        tf = single_pole(FREQS, 1000.0, 1e3)
+        assert phase_margin_deg(FREQS, tf) == pytest.approx(90.0, abs=2.0)
+
+    def test_coincident_two_pole_crossing(self):
+        """Second pole at the UGF costs ~45 degrees."""
+        a0, fp1 = 1000.0, 1e3
+        fp2 = a0 * fp1  # at the (approximate) crossover
+        tf = two_pole(FREQS, a0, fp1, fp2)
+        pm = phase_margin_deg(FREQS, tf)
+        assert 35.0 < pm < 55.0
+
+    def test_inverting_response_same_pm(self):
+        """PM measured relative to the DC phase is parity-independent."""
+        tf = single_pole(FREQS, 1000.0, 1e3)
+        assert phase_margin_deg(FREQS, -tf) == pytest.approx(
+            phase_margin_deg(FREQS, tf), abs=1e-6
+        )
+
+    def test_no_crossing_returns_zero(self):
+        tf = single_pole(FREQS, 100.0, 1e12)  # no 0-dB crossing in-band
+        assert phase_margin_deg(FREQS, tf) == 0.0
+
+
+class TestGainHelpers:
+    def test_dc_gain_db(self):
+        tf = single_pole(FREQS, 100.0, 1e6)
+        assert dc_gain_db(tf) == pytest.approx(40.0, abs=0.1)
+
+    def test_gain_db_shape(self):
+        assert gain_db(single_pole(FREQS, 10.0, 1e3)).shape == FREQS.shape
+
+    def test_phase_unwrap(self):
+        tf = two_pole(FREQS, 1e4, 1e2, 1e3)
+        phase = phase_deg(tf)
+        # unwrapped two-pole phase approaches -180 without jumps
+        assert phase[-1] == pytest.approx(-180.0, abs=2.0)
+        assert np.all(np.abs(np.diff(phase)) < 30.0)
+
+    def test_gain_margin_infinite_for_single_pole(self):
+        tf = single_pole(FREQS, 100.0, 1e3)
+        assert gain_margin_db(FREQS, tf) == np.inf
+
+    def test_gain_margin_finite_for_three_pole(self):
+        freqs = np.logspace(0, 10, 600)
+        tf = (
+            1e4
+            / (1 + 1j * freqs / 1e3)
+            / (1 + 1j * freqs / 1e5)
+            / (1 + 1j * freqs / 1e6)
+        )
+        gm = gain_margin_db(freqs, tf)
+        assert np.isfinite(gm)
+
+    def test_dc_gain_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dc_gain_db(np.array([]))
+
+    def test_ugf_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            unity_gain_frequency(FREQS, FREQS[:10].astype(complex))

@@ -1,0 +1,92 @@
+"""Tests for MNA stamp primitives."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mna import ACSystem, MNASystem
+
+
+class TestMNASystem:
+    def test_ground_stamps_dropped(self):
+        sys = MNASystem(2)
+        sys.add_matrix(-1, 0, 5.0)
+        sys.add_matrix(0, -1, 5.0)
+        sys.add_rhs(-1, 1.0)
+        assert np.all(sys.matrix == 0.0)
+        assert np.all(sys.rhs == 0.0)
+
+    def test_conductance_stamp_pattern(self):
+        sys = MNASystem(2)
+        sys.add_conductance(0, 1, 2.0)
+        expected = np.array([[2.0, -2.0], [-2.0, 2.0]])
+        np.testing.assert_allclose(sys.matrix, expected)
+
+    def test_conductance_to_ground(self):
+        sys = MNASystem(2)
+        sys.add_conductance(0, -1, 3.0)
+        assert sys.matrix[0, 0] == 3.0
+        assert sys.matrix[1, 1] == 0.0
+
+    def test_vccs_stamp_pattern(self):
+        sys = MNASystem(4)
+        sys.add_vccs(0, 1, 2, 3, 1e-3)
+        assert sys.matrix[0, 2] == 1e-3
+        assert sys.matrix[0, 3] == -1e-3
+        assert sys.matrix[1, 2] == -1e-3
+        assert sys.matrix[1, 3] == 1e-3
+
+    def test_current_injection(self):
+        sys = MNASystem(2)
+        sys.add_current_injection(0, 1, 1e-3)
+        assert sys.rhs[0] == -1e-3
+        assert sys.rhs[1] == 1e-3
+
+    def test_voltage_branch(self):
+        sys = MNASystem(3)
+        sys.add_voltage_branch(0, 1, 2, 5.0)
+        assert sys.matrix[0, 2] == 1.0
+        assert sys.matrix[1, 2] == -1.0
+        assert sys.matrix[2, 0] == 1.0
+        assert sys.matrix[2, 1] == -1.0
+        assert sys.rhs[2] == 5.0
+
+    def test_gmin_applied_to_node_rows_only(self):
+        sys = MNASystem(3, gmin=1e-9)
+        sys.apply_gmin(n_nodes=2)
+        assert sys.matrix[0, 0] == 1e-9
+        assert sys.matrix[1, 1] == 1e-9
+        assert sys.matrix[2, 2] == 0.0
+
+    def test_solve_simple(self):
+        sys = MNASystem(1)
+        sys.add_conductance(0, -1, 0.5)
+        sys.add_rhs(0, 1.0)
+        assert sys.solve()[0] == pytest.approx(2.0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            MNASystem(0)
+
+
+class TestACSystem:
+    def test_capacitor_admittance(self):
+        sys = ACSystem(1)
+        sys.add_capacitor(0, -1, 1e-9, omega=2 * np.pi * 1e6)
+        expected = 1j * 2 * np.pi * 1e6 * 1e-9
+        assert sys.matrix[0, 0] == pytest.approx(expected)
+
+    def test_complex_solve(self):
+        # series R into parallel C to ground driven by unit current
+        sys = ACSystem(1)
+        omega = 2 * np.pi * 1e6
+        sys.add_conductance(0, -1, 1e-3)
+        sys.add_capacitor(0, -1, 1e-9, omega)
+        sys.add_rhs(0, 1.0)
+        v = sys.solve()[0]
+        expected = 1.0 / (1e-3 + 1j * omega * 1e-9)
+        assert v == pytest.approx(expected)
+
+    def test_shares_stamp_helpers(self):
+        sys = ACSystem(2)
+        sys.add_vccs(0, 1, 0, 1, 1e-3)
+        assert sys.matrix[0, 0] == pytest.approx(1e-3)

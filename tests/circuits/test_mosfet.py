@@ -1,0 +1,204 @@
+"""Tests for the Level-1+ MOSFET model: regions, continuity, derivatives,
+polarity symmetry, and temperature/corner adjustments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.mosfet import (
+    MOSFET,
+    MOSFETParams,
+    nmos_180,
+    pmos_180,
+)
+from repro.circuits.pvt import FF, SS, TT
+
+
+def make_nmos(w=10e-6, l=1e-6, params=nmos_180):
+    return MOSFET("M1", "d", "g", "s", "b", params, w, l)
+
+
+def make_pmos(w=10e-6, l=1e-6, params=pmos_180):
+    return MOSFET("M1", "d", "g", "s", "b", params, w, l)
+
+
+class TestRegions:
+    def test_cutoff_zero_current(self):
+        m = make_nmos()
+        ids, *_ = m.evaluate(vd=1.0, vg=0.1, vs=0.0, vb=0.0)
+        assert ids == 0.0
+        assert m.last_op.region == "cutoff"
+
+    def test_saturation_square_law(self):
+        m = make_nmos()
+        vgs, vds = 1.0, 1.5
+        ids, *_ = m.evaluate(vd=vds, vg=vgs, vs=0.0, vb=0.0)
+        vov = vgs - m.params.vth0
+        expected = 0.5 * m.beta * vov**2 * (1 + m.lam * vds)
+        assert ids == pytest.approx(expected, rel=1e-12)
+        assert m.last_op.region == "saturation"
+
+    def test_triode_law(self):
+        m = make_nmos()
+        vgs, vds = 1.2, 0.2
+        ids, *_ = m.evaluate(vd=vds, vg=vgs, vs=0.0, vb=0.0)
+        vov = vgs - m.params.vth0
+        expected = m.beta * (vov * vds - 0.5 * vds**2) * (1 + m.lam * vds)
+        assert ids == pytest.approx(expected, rel=1e-12)
+        assert m.last_op.region == "triode"
+
+    def test_current_continuous_at_saturation_edge(self):
+        m = make_nmos()
+        vov = 1.0 - m.params.vth0
+        below, *_ = m.evaluate(vd=vov - 1e-9, vg=1.0, vs=0.0, vb=0.0)
+        above, *_ = m.evaluate(vd=vov + 1e-9, vg=1.0, vs=0.0, vb=0.0)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_current_continuous_at_threshold(self):
+        m = make_nmos()
+        below, *_ = m.evaluate(vd=1.0, vg=m.params.vth0 - 1e-9, vs=0.0, vb=0.0)
+        above, *_ = m.evaluate(vd=1.0, vg=m.params.vth0 + 1e-9, vs=0.0, vb=0.0)
+        assert below == 0.0
+        assert above == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "bias",
+        [
+            (1.5, 1.0, 0.0, 0.0),   # saturation
+            (0.2, 1.2, 0.0, 0.0),   # triode
+            (1.0, 1.0, 0.3, 0.0),   # body effect active
+            (-0.5, 0.8, 0.0, 0.0),  # swapped drain/source
+        ],
+    )
+    def test_partials_match_finite_difference_nmos(self, bias):
+        m = make_nmos()
+        vd, vg, vs, vb = bias
+        _, g_d, g_g, g_s, g_b = m.evaluate(vd, vg, vs, vb)
+        eps = 1e-7
+        for idx, analytic in zip(range(4), (g_d, g_g, g_s, g_b)):
+            v = list(bias)
+            v[idx] += eps
+            up, *_ = m.evaluate(*v)
+            v[idx] -= 2 * eps
+            down, *_ = m.evaluate(*v)
+            numeric = (up - down) / (2 * eps)
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "bias",
+        [
+            (0.3, 0.8, 1.8, 1.8),   # PMOS saturation (source at vdd)
+            (1.6, 0.6, 1.8, 1.8),   # PMOS triode
+        ],
+    )
+    def test_partials_match_finite_difference_pmos(self, bias):
+        m = make_pmos()
+        _, g_d, g_g, g_s, g_b = m.evaluate(*bias)
+        eps = 1e-7
+        for idx, analytic in zip(range(4), (g_d, g_g, g_s, g_b)):
+            v = list(bias)
+            v[idx] += eps
+            up, *_ = m.evaluate(*v)
+            v[idx] -= 2 * eps
+            down, *_ = m.evaluate(*v)
+            numeric = (up - down) / (2 * eps)
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-9)
+
+    @given(
+        vd=st.floats(-2.0, 2.0),
+        vg=st.floats(-2.0, 2.0),
+        vs=st.floats(-2.0, 2.0),
+    )
+    def test_property_partials_sum_to_zero(self, vd, vg, vs):
+        """Translation invariance: shifting all terminals equally leaves the
+        current unchanged, so the four partials must sum to ~0."""
+        m = make_nmos()
+        _, g_d, g_g, g_s, g_b = m.evaluate(vd, vg, vs, 0.0)
+        assert g_d + g_g + g_s + g_b == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSymmetries:
+    def test_pmos_mirrors_nmos(self):
+        """A PMOS with identical parameters carries the exact negated
+        current of the NMOS at negated terminal voltages."""
+        pn = MOSFETParams("n", vth0=0.5, kp=2e-4, lambda_l=5e-8, gamma=0.4)
+        pp = MOSFETParams("p", vth0=0.5, kp=2e-4, lambda_l=5e-8, gamma=0.4)
+        mn = MOSFET("MN", "d", "g", "s", "b", pn, 10e-6, 1e-6)
+        mp = MOSFET("MP", "d", "g", "s", "b", pp, 10e-6, 1e-6)
+        for bias in [(1.0, 1.2, 0.0, 0.0), (0.3, 0.9, 0.1, 0.0)]:
+            i_n, *_ = mn.evaluate(*bias)
+            i_p, *_ = mp.evaluate(*(-v for v in bias))
+            assert i_p == pytest.approx(-i_n, rel=1e-12)
+
+    def test_drain_source_swap_antisymmetric(self):
+        """With vb low enough, swapping d/s negates the current exactly
+        (the body terminal breaks the symmetry otherwise)."""
+        m = make_nmos(params=MOSFETParams("n", 0.45, 3e-4, 5e-8, gamma=0.0))
+        i_fwd, *_ = m.evaluate(vd=0.3, vg=1.2, vs=0.0, vb=0.0)
+        i_rev, *_ = m.evaluate(vd=0.0, vg=1.2, vs=0.3, vb=0.0)
+        assert i_rev == pytest.approx(-i_fwd, rel=1e-12)
+
+    def test_gm_increases_with_width(self):
+        narrow = make_nmos(w=5e-6)
+        wide = make_nmos(w=50e-6)
+        narrow.evaluate(1.5, 1.0, 0.0, 0.0)
+        wide.evaluate(1.5, 1.0, 0.0, 0.0)
+        assert wide.last_op.gm > narrow.last_op.gm
+
+    def test_lambda_shrinks_with_length(self):
+        short = make_nmos(l=0.18e-6)
+        long = make_nmos(l=2e-6)
+        assert short.lam > long.lam
+
+    def test_body_effect_raises_threshold(self):
+        m = make_nmos()
+        m.evaluate(1.5, 1.0, 0.0, 0.0)
+        ids_no_body = m.last_op.ids
+        m.evaluate(2.0, 1.5, 0.5, 0.0)  # same vgs/vds, vsb = 0.5
+        assert m.last_op.ids < ids_no_body
+
+
+class TestParamAdjustments:
+    def test_temperature_lowers_vth_and_mobility(self):
+        hot = nmos_180.at_temperature(398.15)
+        assert hot.vth0 < nmos_180.vth0
+        assert hot.kp < nmos_180.kp
+
+    def test_cold_raises_vth(self):
+        cold = nmos_180.at_temperature(233.15)
+        assert cold.vth0 > nmos_180.vth0
+
+    def test_process_corners(self):
+        fast = nmos_180.at_process(FF)
+        slow = nmos_180.at_process(SS)
+        assert fast.vth0 < nmos_180.vth0 < slow.vth0
+        assert fast.kp > nmos_180.kp > slow.kp
+
+    def test_tt_is_identity(self):
+        tt = nmos_180.at_process(TT)
+        assert tt.vth0 == nmos_180.vth0
+        assert tt.kp == nmos_180.kp
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            MOSFETParams("x", 0.5, 1e-4, 5e-8)
+        with pytest.raises(ValueError):
+            MOSFETParams("n", -0.5, 1e-4, 5e-8)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            make_nmos(w=-1e-6)
+        with pytest.raises(ValueError):
+            MOSFET("M", "d", "g", "s", "b", nmos_180, 1e-6, 1e-6, m=0)
+
+    def test_multiplier_scales_current(self):
+        m1 = make_nmos()
+        m4 = MOSFET("M4", "d", "g", "s", "b", nmos_180, 10e-6, 1e-6, m=4)
+        i1, *_ = m1.evaluate(1.5, 1.0, 0.0, 0.0)
+        i4, *_ = m4.evaluate(1.5, 1.0, 0.0, 0.0)
+        assert i4 == pytest.approx(4 * i1, rel=1e-12)
+
+    def test_repr(self):
+        assert "nmos" in repr(make_nmos())

@@ -1,0 +1,124 @@
+"""Tests for the Circuit container and MNA index assignment."""
+
+import pytest
+
+from repro.circuits import Circuit, nmos_180
+from repro.circuits.devices import Resistor
+
+
+class TestNodeManagement:
+    def test_ground_aliases(self):
+        ckt = Circuit("g")
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.resistor("R2", "a", "gnd", 1e3)
+        ckt.resistor("R3", "a", "GND", 1e3)
+        assert ckt.node_index("0") == -1
+        assert ckt.node_index("gnd") == -1
+        assert ckt.n_nodes == 1
+
+    def test_node_indices_stable(self):
+        ckt = Circuit("n")
+        ckt.resistor("R1", "a", "b", 1e3)
+        ckt.resistor("R2", "b", "c", 1e3)
+        assert ckt.node_index("a") == 0
+        assert ckt.node_index("b") == 1
+        assert ckt.node_index("c") == 2
+
+    def test_unknown_node_raises(self):
+        ckt = Circuit("u")
+        ckt.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(KeyError):
+            ckt.node_index("zz")
+
+    def test_n_unknowns_counts_branches(self):
+        ckt = Circuit("b")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.vsource("V2", "b", "0", 2.0)
+        ckt.resistor("R1", "a", "b", 1e3)
+        assert ckt.n_unknowns == 2 + 2  # two nodes + two branch currents
+
+    def test_branch_indices_after_nodes(self):
+        ckt = Circuit("bi")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.finalize()
+        v1 = ckt.device("V1")
+        assert v1.branch_idx == 1  # one node then the branch
+
+    def test_node_names_sorted_by_index(self):
+        ckt = Circuit("nn")
+        ckt.resistor("R1", "x", "y", 1e3)
+        ckt.resistor("R2", "y", "0", 1e3)
+        assert ckt.node_names == ["x", "y"]
+
+
+class TestDeviceManagement:
+    def test_duplicate_names_rejected(self):
+        ckt = Circuit("d")
+        ckt.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.resistor("R1", "b", "0", 1e3)
+
+    def test_device_lookup(self):
+        ckt = Circuit("l")
+        r = ckt.resistor("R1", "a", "0", 1e3)
+        assert ckt.device("R1") is r
+
+    def test_missing_device(self):
+        ckt = Circuit("m")
+        ckt.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(KeyError):
+            ckt.device("R9")
+
+    def test_add_returns_device(self):
+        ckt = Circuit("ar")
+        dev = ckt.add(Resistor("R1", "a", "0", 1e3))
+        assert isinstance(dev, Resistor)
+
+    def test_convenience_constructors(self):
+        ckt = Circuit("c")
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.capacitor("C1", "a", "0", 1e-12)
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.isource("I1", "a", "0", 1e-6)
+        ckt.vcvs("E1", "b", "0", "a", "0", 2.0)
+        ckt.vccs("G1", "b", "0", "a", "0", 1e-3)
+        ckt.mosfet("M1", "b", "a", "0", "0", nmos_180, 1e-6, 1e-6)
+        assert len(ckt.devices) == 7
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit("e").finalize()
+
+    def test_only_ground_rejected(self):
+        ckt = Circuit("og")
+        ckt.resistor("R1", "0", "gnd", 1e3)
+        with pytest.raises(ValueError):
+            ckt.finalize()
+
+    def test_finalize_idempotent(self):
+        ckt = Circuit("fi")
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.finalize()
+        n = ckt.n_nodes
+        ckt.finalize()
+        assert ckt.n_nodes == n
+
+    def test_adding_after_finalize_refinalizes(self):
+        ckt = Circuit("af")
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.finalize()
+        ckt.resistor("R2", "b", "0", 1e3)
+        assert ckt.n_nodes == 2
+
+    def test_invalid_component_values(self):
+        ckt = Circuit("iv")
+        with pytest.raises(ValueError):
+            ckt.resistor("R1", "a", "0", -5.0)
+        with pytest.raises(ValueError):
+            ckt.capacitor("C1", "a", "0", -1e-12)
+
+    def test_repr(self):
+        ckt = Circuit("rp")
+        ckt.resistor("R1", "a", "0", 1e3)
+        assert "rp" in repr(ckt)

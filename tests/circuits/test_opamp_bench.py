@@ -1,0 +1,138 @@
+"""Tests for the two-stage op-amp testbench (Table I circuit)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.pvt import PVTCorner, SS, TT
+from repro.circuits.testbenches import TwoStageOpAmpProblem
+
+# a known-good hand sizing (validated during bring-up):
+# w12 l12 w34 l34 w5 l5 w67 l67 cc ibias
+GOOD_X = np.array(
+    [40e-6, 0.5e-6, 10e-6, 0.5e-6, 80e-6, 0.3e-6, 40e-6, 0.5e-6, 3e-12, 10e-6]
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return TwoStageOpAmpProblem()
+
+
+@pytest.fixture(scope="module")
+def good_metrics(problem):
+    return problem.simulate(GOOD_X)
+
+
+class TestProblemDefinition:
+    def test_ten_design_variables(self, problem):
+        """The paper's Sec. IV-A: 'This circuit has 10 design variables'."""
+        assert problem.dim == 10
+
+    def test_two_constraints(self, problem):
+        """UGF > 40 MHz and PM > 60 deg (eq. 14)."""
+        assert problem.n_constraints == 2
+
+    def test_bounds_positive_geometry(self, problem):
+        assert np.all(problem.lower > 0)
+        assert np.all(problem.upper > problem.lower)
+
+    def test_variable_names(self, problem):
+        assert "cc" in problem.variable_names
+        assert "ibias" in problem.variable_names
+
+
+class TestSimulation:
+    def test_metrics_present(self, good_metrics):
+        for key in ("gain_db", "ugf_hz", "pm_deg", "idd_a", "regions"):
+            assert key in good_metrics
+
+    def test_plausible_amplifier(self, good_metrics):
+        assert 40.0 < good_metrics["gain_db"] < 130.0
+        assert good_metrics["ugf_hz"] > 1e6
+        assert 0.0 <= good_metrics["pm_deg"] <= 180.0
+        assert 0.0 < good_metrics["idd_a"] < 5e-3
+
+    def test_servo_biases_output_near_midrail(self, good_metrics, problem):
+        assert abs(good_metrics["vout_dc"] - problem.vcm) < 0.3
+
+    def test_all_devices_saturated_for_good_design(self, good_metrics):
+        assert all(r == "saturation" for r in good_metrics["regions"].values())
+
+    def test_deterministic(self, problem):
+        a = problem.simulate(GOOD_X)
+        b = problem.simulate(GOOD_X)
+        assert a["gain_db"] == b["gain_db"]
+
+
+class TestPhysicalTrends:
+    def test_larger_cc_lowers_ugf(self, problem, good_metrics):
+        """Miller compensation: UGF ~ gm1 / (2 pi Cc)."""
+        x = GOOD_X.copy()
+        x[8] = 6e-12  # Cc doubled from 3 pF
+        slower = problem.simulate(x)
+        assert slower["ugf_hz"] < 0.7 * good_metrics["ugf_hz"]
+
+    def test_larger_cc_improves_pm(self, problem, good_metrics):
+        x = GOOD_X.copy()
+        x[8] = 6e-12
+        assert problem.simulate(x)["pm_deg"] > good_metrics["pm_deg"]
+
+    def test_more_bias_current_increases_supply_draw(self, problem, good_metrics):
+        x = GOOD_X.copy()
+        x[9] = 30e-6
+        assert problem.simulate(x)["idd_a"] > good_metrics["idd_a"]
+
+    def test_longer_l34_increases_gain(self, problem, good_metrics):
+        """Longer mirror-load channel -> smaller lambda -> higher first-stage
+        output resistance -> higher gain (gm1 unchanged)."""
+        x = GOOD_X.copy()
+        x[3] = 1.5e-6
+        assert problem.simulate(x)["gain_db"] > good_metrics["gain_db"]
+
+
+class TestEvaluationMapping:
+    def test_objective_is_negated_gain(self, problem, good_metrics):
+        ev = problem.evaluate(GOOD_X)
+        assert ev.objective == pytest.approx(-good_metrics["gain_db"])
+
+    def test_constraints_signs(self, problem):
+        ev = problem.evaluate(GOOD_X)
+        metrics = ev.metrics
+        ugf_ok = metrics["ugf_hz"] > problem.ugf_spec
+        assert (ev.constraints[0] < 0) == ugf_ok
+        pm_ok = metrics["pm_deg"] > problem.pm_spec
+        assert (ev.constraints[1] < 0) == pm_ok
+
+    def test_unit_evaluation_roundtrip(self, problem):
+        u = problem.scaler.transform(GOOD_X)
+        ev_u = problem.evaluate_unit(u)
+        ev_x = problem.evaluate(GOOD_X)
+        assert ev_u.objective == pytest.approx(ev_x.objective, rel=1e-9)
+
+
+class TestCorners:
+    def test_slow_corner_changes_performance(self):
+        nominal = TwoStageOpAmpProblem()
+        slow_hot = TwoStageOpAmpProblem(corner=PVTCorner(SS, 0.9, 125.0))
+        m_nom = nominal.simulate(GOOD_X)
+        m_sh = slow_hot.simulate(GOOD_X)
+        assert m_sh["ugf_hz"] != pytest.approx(m_nom["ugf_hz"], rel=1e-3)
+
+    def test_supply_scale_applied(self):
+        low = TwoStageOpAmpProblem(corner=PVTCorner(TT, 0.9, 27.0))
+        assert low.vdd == pytest.approx(1.62)
+
+
+class TestCircuitExport:
+    def test_build_circuit_is_inspectable(self, problem):
+        ckt = problem.build_circuit(GOOD_X)
+        assert len(ckt.devices) >= 13
+        m1 = ckt.device("M1")
+        assert m1.w == pytest.approx(GOOD_X[0])
+
+    def test_netlist_exports_to_spice(self, problem):
+        from repro.circuits.spice import write_netlist
+
+        deck = write_netlist(problem.build_circuit(GOOD_X))
+        assert "M5" in deck
+        assert ".END" in deck

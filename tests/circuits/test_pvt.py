@@ -1,0 +1,71 @@
+"""Tests for PVT corner modelling."""
+
+import pytest
+
+from repro.circuits.pvt import (
+    FF,
+    NOMINAL,
+    PROCESS_CORNERS,
+    PVTCorner,
+    SS,
+    TT,
+    standard_corners,
+)
+
+
+class TestProcessCorners:
+    def test_all_five_defined(self):
+        assert set(PROCESS_CORNERS) == {"TT", "FF", "SS", "FS", "SF"}
+
+    def test_skewed_corners_differ_by_polarity(self):
+        fs = PROCESS_CORNERS["FS"]
+        assert fs.nmos_vth_shift < 0 < fs.pmos_vth_shift
+        sf = PROCESS_CORNERS["SF"]
+        assert sf.pmos_vth_shift < 0 < sf.nmos_vth_shift
+
+    def test_tt_neutral(self):
+        assert TT.nmos_vth_shift == 0.0
+        assert TT.nmos_kp_scale == 1.0
+
+
+class TestPVTCorner:
+    def test_kelvin_conversion(self):
+        corner = PVTCorner(TT, 1.0, 27.0)
+        assert corner.temp_k == pytest.approx(300.15)
+
+    def test_name_format(self):
+        corner = PVTCorner(SS, 0.9, 125.0)
+        assert corner.name == "SS/0.90V/125C"
+
+    def test_nominal(self):
+        assert NOMINAL.process is TT
+        assert NOMINAL.vdd_scale == 1.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NOMINAL.vdd_scale = 2.0
+
+
+class TestStandardCorners:
+    def test_paper_grid_is_18(self):
+        """3 process x 2 supply x 3 temperature = the paper's 18 corners."""
+        assert len(standard_corners()) == 18
+
+    def test_all_unique(self):
+        corners = standard_corners()
+        assert len({c.name for c in corners}) == 18
+
+    def test_custom_subset(self):
+        corners = standard_corners(processes=("TT",), vdd_scales=(1.0,),
+                                   temps_c=(27.0,))
+        assert len(corners) == 1
+        assert corners[0].name == "TT/1.00V/27C"
+
+    def test_accepts_corner_objects(self):
+        corners = standard_corners(processes=(FF,), vdd_scales=(1.0,),
+                                   temps_c=(27.0,))
+        assert corners[0].process is FF
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            standard_corners(processes=())

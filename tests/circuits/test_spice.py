@@ -1,0 +1,216 @@
+"""Tests for the SPICE-subset parser and writer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, DCAnalysis, nmos_180
+from repro.circuits.devices import Capacitor, Resistor, VoltageSource
+from repro.circuits.mosfet import MOSFET
+from repro.circuits.spice import (
+    SpiceError,
+    parse_netlist,
+    parse_value,
+    write_netlist,
+)
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("4.7k", 4.7e3),
+            ("1meg", 1e6),
+            ("10u", 10e-6),
+            ("2.2n", 2.2e-9),
+            ("5p", 5e-12),
+            ("3f", 3e-15),
+            ("1e-3", 1e-3),
+            ("-2.5", -2.5),
+            ("1.5E6", 1.5e6),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_unit_letters_after_suffix_ignored(self):
+        """SPICE convention: 10kohm == 10k, 5pF == 5p."""
+        assert parse_value("10kohm") == pytest.approx(10e3)
+        assert parse_value("5pf") == pytest.approx(5e-12)
+
+    def test_invalid(self):
+        with pytest.raises(SpiceError):
+            parse_value("abc")
+
+
+class TestParser:
+    def test_rc_divider(self):
+        deck = """* divider
+V1 a 0 DC 10
+R1 a b 3k
+R2 b 0 1k
+.END
+"""
+        ckt = parse_netlist(deck)
+        sol = DCAnalysis(ckt).solve()
+        assert sol.voltage("b") == pytest.approx(2.5, rel=1e-6)
+
+    def test_title_line_skipped(self):
+        deck = "my amplifier title\nR1 a 0 1k\n.END\n"
+        ckt = parse_netlist(deck)
+        assert ckt.name == "my amplifier title"
+        assert len(ckt.devices) == 1
+
+    def test_comments_and_continuations(self):
+        deck = """* test
+R1 a b
++ 2k
+* a comment line
+C1 b 0 1p $ trailing comment
+"""
+        ckt = parse_netlist(deck)
+        assert isinstance(ckt.device("R1"), Resistor)
+        assert ckt.device("R1").resistance == pytest.approx(2e3)
+        assert ckt.device("C1").capacitance == pytest.approx(1e-12)
+
+    def test_source_with_ac(self):
+        deck = "V1 in 0 DC 0.9 AC 1\nR1 in 0 1k\n"
+        ckt = parse_netlist(deck)
+        src = ckt.device("V1")
+        assert isinstance(src, VoltageSource)
+        assert src.dc == pytest.approx(0.9)
+        assert src.ac == pytest.approx(1.0)
+
+    def test_mosfet_with_model(self):
+        deck = """* mos test
+VDD vdd 0 1.8
+VIN g 0 0.9
+RD vdd d 10k
+M1 d g 0 0 nch W=20u L=1u
+.MODEL nch NMOS (LEVEL=1 VTO=0.45 KP=300u LAMBDA=0.05 GAMMA=0.45 PHI=0.85)
+.END
+"""
+        ckt = parse_netlist(deck)
+        m1 = ckt.device("M1")
+        assert isinstance(m1, MOSFET)
+        assert m1.w == pytest.approx(20e-6)
+        assert m1.params.vth0 == pytest.approx(0.45)
+        # SPICE lambda converts to per-length form: lambda_l = lambda * L
+        assert m1.lam == pytest.approx(0.05, rel=1e-9)
+        sol = DCAnalysis(ckt).solve()
+        assert 0.0 < sol.voltage("d") < 1.8
+
+    def test_pmos_model(self):
+        deck = """M1 d g vdd vdd pch W=10u L=1u
+VDD vdd 0 1.8
+VG g 0 0.9
+RD d 0 10k
+.MODEL pch PMOS (LEVEL=1 VTO=-0.45 KP=80u)
+"""
+        ckt = parse_netlist(deck)
+        assert ckt.device("M1").params.polarity == "p"
+        assert ckt.device("M1").params.vth0 == pytest.approx(0.45)  # magnitude
+
+    def test_controlled_sources(self):
+        deck = "E1 out 0 in 0 10\nG1 out2 0 in 0 1m\nVIN in 0 1\nR1 out 0 1k\nR2 out2 0 1k\n"
+        ckt = parse_netlist(deck)
+        sol = DCAnalysis(ckt).solve()
+        assert sol.voltage("out") == pytest.approx(10.0, rel=1e-9)
+        assert sol.voltage("out2") == pytest.approx(-1.0, rel=1e-9)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SpiceError, match="unknown model"):
+            parse_netlist("M1 d g 0 0 nomodel W=1u L=1u\n")
+
+    def test_unsupported_card_rejected(self):
+        with pytest.raises(SpiceError, match="unsupported card"):
+            parse_netlist("* title\nQ1 c b e npn\nR1 a 0 1k\n")
+
+    def test_bjt_title_heuristic(self):
+        """A first line that merely *starts* with a card letter but is not a
+        well-formed card is the title (SPICE line-1 convention)."""
+        ckt = parse_netlist("ring oscillator bias cell\nR1 a 0 1k\n")
+        assert ckt.name == "ring oscillator bias cell"
+
+    def test_missing_geometry_rejected(self):
+        with pytest.raises(SpiceError, match="W="):
+            parse_netlist(".MODEL n NMOS (LEVEL=1)\nM1 d g 0 0 n\n")
+
+    def test_level_2_rejected(self):
+        with pytest.raises(SpiceError, match="LEVEL"):
+            parse_netlist(".MODEL n NMOS (LEVEL=2 VTO=0.5)\nM1 d g 0 0 n W=1u L=1u\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpiceError):
+            parse_netlist("")
+
+    def test_dangling_continuation_rejected(self):
+        with pytest.raises(SpiceError):
+            parse_netlist("* title only\n+ R1 a 0 1k\n")
+
+    def test_pulse_source(self):
+        deck = "V1 in 0 PULSE(0 1.8 1n 0.1n 0.1n 5n 10n)\nR1 in 0 1k\n"
+        ckt = parse_netlist(deck)
+        src = ckt.device("V1")
+        assert src.waveform is not None
+        assert src.value_at(0.0) == pytest.approx(0.0)
+        assert src.value_at(3e-9) == pytest.approx(1.8)
+        assert src.value_at(13e-9) == pytest.approx(1.8)  # periodic
+
+    def test_sin_source(self):
+        deck = "I1 0 a SIN(1u 0.5u 1meg)\nR1 a 0 1k\n"
+        ckt = parse_netlist(deck)
+        src = ckt.device("I1")
+        assert src.value_at(0.0) == pytest.approx(1e-6)
+        assert src.value_at(0.25e-6) == pytest.approx(1.5e-6, rel=1e-6)
+
+    def test_pulse_source_runs_transient(self):
+        from repro.circuits.transient import TransientAnalysis
+
+        deck = "V1 in 0 PULSE(0 1 0 1p 1p 1)\nR1 in out 1k\nC1 out 0 1n\n"
+        ckt = parse_netlist(deck)
+        result = TransientAnalysis(ckt).run(t_stop=5e-6, dt=10e-9)
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_malformed_pulse_rejected(self):
+        with pytest.raises(SpiceError, match="PULSE"):
+            parse_netlist("V1 in 0 PULSE(0 1)\nR1 in 0 1k\n")
+
+
+class TestWriter:
+    def build(self):
+        ckt = Circuit("roundtrip")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.vsource("VIN", "g", "0", 0.9, ac=1.0)
+        ckt.resistor("RD", "vdd", "d", 10e3)
+        ckt.capacitor("CL", "d", "0", 1e-12)
+        ckt.mosfet("M1", "d", "g", "0", "0", nmos_180, 20e-6, 1e-6)
+        return ckt
+
+    def test_roundtrip_preserves_dc_solution(self):
+        original = self.build()
+        deck = write_netlist(original)
+        clone = parse_netlist(deck)
+        v_orig = DCAnalysis(original).solve().voltage("d")
+        v_clone = DCAnalysis(clone).solve().voltage("d")
+        assert v_clone == pytest.approx(v_orig, rel=1e-6)
+
+    def test_roundtrip_preserves_devices(self):
+        deck = write_netlist(self.build())
+        clone = parse_netlist(deck)
+        assert isinstance(clone.device("RD"), Resistor)
+        assert isinstance(clone.device("CL"), Capacitor)
+        assert isinstance(clone.device("M1"), MOSFET)
+        assert clone.device("M1").w == pytest.approx(20e-6)
+
+    def test_deck_ends_with_end_card(self):
+        deck = write_netlist(self.build())
+        assert deck.strip().endswith(".END")
+
+    def test_ac_value_emitted(self):
+        deck = write_netlist(self.build())
+        assert "AC 1" in deck
+
+    def test_model_card_contains_lambda(self):
+        deck = write_netlist(self.build())
+        assert "LAMBDA=" in deck

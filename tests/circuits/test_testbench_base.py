@@ -1,0 +1,95 @@
+"""Tests for the sizing-testbench base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bo.problem import Evaluation
+from repro.circuits.dc import ConvergenceError
+from repro.circuits.testbenches.base import DesignVariable, SizingProblem
+
+
+class FakeBench(SizingProblem):
+    """Configurable stub exercising the base-class evaluate() flow."""
+
+    def __init__(self, fail=False):
+        variables = [
+            DesignVariable("a", 0.0, 1.0),
+            DesignVariable("b", 10.0, 20.0, unit="Ohm"),
+        ]
+        super().__init__("fake", variables, n_constraints=1)
+        self.fail = fail
+
+    def simulate(self, x):
+        if self.fail:
+            raise ConvergenceError("no bias point")
+        return {"value": float(np.sum(x))}
+
+    def _to_evaluation(self, metrics):
+        return Evaluation(metrics["value"], np.array([-1.0]), metrics=metrics)
+
+    def _failure_evaluation(self):
+        return Evaluation(1e6, np.array([1.0]), metrics={})
+
+
+class TestDesignVariable:
+    def test_valid(self):
+        v = DesignVariable("w", 1e-6, 1e-4, "m")
+        assert v.unit == "m"
+
+    def test_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            DesignVariable("w", 2.0, 1.0)
+
+    def test_nonfinite_bounds(self):
+        with pytest.raises(ValueError):
+            DesignVariable("w", 0.0, np.inf)
+
+    def test_frozen(self):
+        v = DesignVariable("w", 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            v.lower = -1.0
+
+
+class TestSizingProblem:
+    def test_variable_names_ordered(self):
+        bench = FakeBench()
+        assert bench.variable_names == ["a", "b"]
+
+    def test_as_dict(self):
+        bench = FakeBench()
+        d = bench.as_dict(np.array([0.5, 15.0]))
+        assert d == {"a": 0.5, "b": 15.0}
+
+    def test_as_dict_wrong_length(self):
+        with pytest.raises(ValueError):
+            FakeBench().as_dict(np.array([0.5]))
+
+    def test_bounds_from_variables(self):
+        bench = FakeBench()
+        np.testing.assert_allclose(bench.lower, [0.0, 10.0])
+        np.testing.assert_allclose(bench.upper, [1.0, 20.0])
+
+    def test_evaluate_success_path(self):
+        bench = FakeBench()
+        ev = bench.evaluate(np.array([0.5, 15.0]))
+        assert ev.objective == pytest.approx(15.5)
+        assert ev.feasible
+        assert bench.n_failures == 0
+
+    def test_evaluate_failure_becomes_penalty(self):
+        bench = FakeBench(fail=True)
+        ev = bench.evaluate(np.array([0.5, 15.0]))
+        assert not ev.feasible
+        assert ev.objective == 1e6
+        assert ev.metrics["failed"] is True
+        assert bench.n_failures == 1
+
+    def test_failure_counter_accumulates(self):
+        bench = FakeBench(fail=True)
+        bench.evaluate(np.array([0.5, 15.0]))
+        bench.evaluate(np.array([0.6, 16.0]))
+        assert bench.n_failures == 2
+
+    def test_requires_variables(self):
+        with pytest.raises(ValueError):
+            SizingProblem("empty", [], n_constraints=0)

@@ -1,0 +1,160 @@
+"""Tests for transient analysis against analytic time-domain responses."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, nmos_180, pmos_180
+from repro.circuits.transient import TransientAnalysis, pulse, sine
+
+
+class TestWaveforms:
+    def test_pulse_levels(self):
+        wf = pulse(0.0, 1.8, delay=1e-9, rise=1e-10, fall=1e-10, width=5e-9)
+        assert wf(0.0) == 0.0
+        assert wf(2e-9) == pytest.approx(1.8)
+        assert wf(1e-9 + 5e-11) == pytest.approx(0.9, rel=1e-6)  # mid-rise
+        assert wf(20e-9) == 0.0
+
+    def test_pulse_periodic(self):
+        wf = pulse(0.0, 1.0, delay=0.0, rise=0.0, fall=0.0, width=1e-9,
+                   period=2e-9)
+        assert wf(0.5e-9) == pytest.approx(1.0)
+        assert wf(1.5e-9) == pytest.approx(0.0)
+        assert wf(2.5e-9) == pytest.approx(1.0)  # second period
+
+    def test_sine(self):
+        wf = sine(0.9, 0.1, freq=1e6)
+        assert wf(0.0) == pytest.approx(0.9)
+        assert wf(0.25e-6) == pytest.approx(1.0, rel=1e-9)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            pulse(0, 1, 0, -1e-9, 0, 1e-9)
+        with pytest.raises(ValueError):
+            sine(0, 1, freq=0.0)
+
+
+class TestRCStep:
+    def build(self, r=1e3, c=1e-9, v_hi=1.0):
+        ckt = Circuit("rc_step")
+        ckt.vsource(
+            "VIN", "in", "0", 0.0,
+        ).waveform = pulse(0.0, v_hi, delay=0.0, rise=1e-12, fall=1e-12,
+                           width=1.0)
+        ckt.resistor("R1", "in", "out", r)
+        ckt.capacitor("C1", "out", "0", c)
+        return ckt
+
+    def test_exponential_charging(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        ckt = self.build(r, c)
+        result = TransientAnalysis(ckt).run(t_stop=5 * tau, dt=tau / 100)
+        v_out = result.voltage("out")
+        expected = 1.0 - np.exp(-result.times / tau)
+        np.testing.assert_allclose(v_out[5:], expected[5:], atol=0.02)
+
+    def test_one_tau_point(self):
+        r, c = 10e3, 100e-12
+        tau = r * c
+        ckt = self.build(r, c)
+        result = TransientAnalysis(ckt).run(t_stop=2 * tau, dt=tau / 200)
+        k = int(np.argmin(np.abs(result.times - tau)))
+        assert result.voltage("out")[k] == pytest.approx(1 - np.e**-1, abs=0.01)
+
+    def test_final_value(self):
+        ckt = self.build()
+        result = TransientAnalysis(ckt).run(t_stop=10e-6, dt=50e-9)
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_capacitor_current_conservation(self):
+        """Source branch current equals the capacitor charging current."""
+        r, c = 1e3, 1e-9
+        ckt = self.build(r, c)
+        result = TransientAnalysis(ckt).run(t_stop=3e-6, dt=10e-9)
+        i_src = -result.branch_current("VIN")  # current delivered
+        v_out = result.voltage("out")
+        i_r = (result.voltage("in") - v_out) / r
+        np.testing.assert_allclose(i_src[2:], i_r[2:], rtol=1e-6, atol=1e-12)
+
+
+class TestSineSteadyState:
+    def test_rc_lowpass_attenuation_matches_ac(self):
+        """Drive far above the corner: transient amplitude must match the
+        AC-analysis magnitude."""
+        r, c = 1e3, 1e-9
+        f = 1.0 / (2 * np.pi * r * c)  # corner: |H| = 1/sqrt(2)
+        ckt = Circuit("rc_sin")
+        ckt.vsource("VIN", "in", "0", 0.0).waveform = sine(0.0, 1.0, f)
+        ckt.resistor("R1", "in", "out", r)
+        ckt.capacitor("C1", "out", "0", c)
+        period = 1.0 / f
+        result = TransientAnalysis(ckt).run(t_stop=10 * period, dt=period / 200)
+        # measure amplitude over the last two periods (transient settled)
+        tail = result.voltage("out")[-400:]
+        amplitude = 0.5 * (tail.max() - tail.min())
+        assert amplitude == pytest.approx(1 / np.sqrt(2), abs=0.02)
+
+
+class TestInverterSwitching:
+    def test_cmos_inverter_transient(self):
+        ckt = Circuit("inv_tran")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        vin = ckt.vsource("VIN", "in", "0", 0.0)
+        vin.waveform = pulse(0.0, 1.8, delay=2e-9, rise=0.1e-9, fall=0.1e-9,
+                             width=5e-9)
+        ckt.mosfet("MP", "out", "in", "vdd", "vdd", pmos_180, 4e-6, 0.18e-6)
+        ckt.mosfet("MN", "out", "in", "0", "0", nmos_180, 2e-6, 0.18e-6)
+        ckt.capacitor("CL", "out", "0", 10e-15)
+        result = TransientAnalysis(ckt).run(t_stop=10e-9, dt=0.02e-9)
+        v_out = result.voltage("out")
+        t = result.times
+        assert v_out[t < 1.9e-9].min() > 1.7  # high before the pulse
+        mid = v_out[(t > 4e-9) & (t < 6.5e-9)]
+        assert mid.max() < 0.1  # pulled low during the pulse
+        assert v_out[-1] > 1.7  # recovers high after
+
+    def test_load_cap_slows_edge(self):
+        def fall_time(cl):
+            ckt = Circuit(f"inv_{cl}")
+            ckt.vsource("VDD", "vdd", "0", 1.8)
+            vin = ckt.vsource("VIN", "in", "0", 0.0)
+            vin.waveform = pulse(0.0, 1.8, delay=1e-9, rise=0.05e-9,
+                                 fall=0.05e-9, width=20e-9)
+            ckt.mosfet("MN", "out", "in", "0", "0", nmos_180, 1e-6, 0.18e-6)
+            ckt.resistor("RP", "vdd", "out", 50e3)
+            ckt.capacitor("CL", "out", "0", cl)
+            result = TransientAnalysis(ckt).run(t_stop=6e-9, dt=0.01e-9)
+            v = result.voltage("out")
+            t = result.times
+            below = np.nonzero((t > 1e-9) & (v < 0.9))[0]
+            return t[below[0]] if below.size else np.inf
+
+        assert fall_time(100e-15) > fall_time(5e-15)
+
+
+class TestValidation:
+    def test_rejects_bad_timebase(self):
+        ckt = Circuit("v")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "0", 1e3)
+        analysis = TransientAnalysis(ckt)
+        with pytest.raises(ValueError):
+            analysis.run(t_stop=0.0, dt=1e-9)
+        with pytest.raises(ValueError):
+            analysis.run(t_stop=1e-6, dt=-1e-9)
+
+    def test_initial_vector_shape_checked(self):
+        ckt = Circuit("v2")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(ValueError):
+            TransientAnalysis(ckt).run(1e-6, 1e-9, initial=np.zeros(17))
+
+    def test_dc_only_circuit_flat(self):
+        ckt = Circuit("flat")
+        ckt.vsource("V1", "a", "0", 2.0)
+        ckt.resistor("R1", "a", "b", 1e3)
+        ckt.resistor("R2", "b", "0", 1e3)
+        result = TransientAnalysis(ckt).run(1e-6, 1e-8)
+        np.testing.assert_allclose(result.voltage("b"), 1.0, rtol=1e-9)

@@ -1,0 +1,61 @@
+"""Tests for unit helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.units import (
+    MEGA,
+    MICRO,
+    PICO,
+    celsius_to_kelvin,
+    db20,
+    format_si,
+    from_db20,
+)
+
+
+class TestDb:
+    def test_db20_of_ten(self):
+        assert db20(10.0) == pytest.approx(20.0)
+
+    def test_roundtrip(self):
+        assert from_db20(db20(3.7)) == pytest.approx(3.7)
+
+    def test_array_input(self):
+        out = db20(np.array([1.0, 100.0]))
+        np.testing.assert_allclose(out, [0.0, 40.0])
+
+    def test_zero_does_not_explode(self):
+        assert np.isfinite(db20(0.0))
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (4.7e-12, "F", "4.7pF"),
+            (40e6, "Hz", "40MHz"),
+            (2.5e3, "Ohm", "2.5kOhm"),
+            (10e-6, "A", "10uA"),
+            (1.8, "V", "1.8V"),
+        ],
+    )
+    def test_common_values(self, value, unit, expected):
+        assert format_si(value, unit) == expected
+
+    def test_zero(self):
+        assert format_si(0.0, "V") == "0V"
+
+    def test_negative(self):
+        assert format_si(-2e-3, "A") == "-2mA"
+
+    def test_constants(self):
+        assert MEGA == 1e6
+        assert MICRO == 1e-6
+        assert PICO == 1e-12
+
+
+class TestTemperature:
+    def test_celsius_to_kelvin(self):
+        assert celsius_to_kelvin(27.0) == pytest.approx(300.15)
+        assert celsius_to_kelvin(-40.0) == pytest.approx(233.15)

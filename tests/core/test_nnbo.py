@@ -1,0 +1,78 @@
+"""Tests for the complete NN-BO algorithm (paper Algorithm 1)."""
+
+import numpy as np
+
+from repro.benchfns import toy_constrained_quadratic
+from repro.core import NNBO
+from repro.core.bo import _TrainedEnsemble
+
+
+def tiny_nnbo(problem, **overrides):
+    defaults = dict(
+        n_initial=8,
+        max_evaluations=16,
+        n_ensemble=2,
+        hidden_dims=(12, 12),
+        n_features=8,
+        epochs=50,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return NNBO(problem, **defaults)
+
+
+class TestNNBO:
+    def test_runs_within_budget(self):
+        result = tiny_nnbo(toy_constrained_quadratic(2)).run()
+        assert result.n_evaluations == 16
+        assert result.algorithm == "NN-BO"
+
+    def test_finds_feasible_and_improves(self):
+        result = tiny_nnbo(
+            toy_constrained_quadratic(2), max_evaluations=24, seed=1
+        ).run()
+        assert result.success
+        # must improve on the best initial sample
+        curve = result.best_so_far()
+        assert curve[-1] <= curve[7]
+
+    def test_surrogate_factory_builds_configured_ensemble(self):
+        problem = toy_constrained_quadratic(2)
+        nnbo = tiny_nnbo(problem, n_ensemble=3)
+        surrogate = nnbo.surrogate_factory(np.random.default_rng(0))
+        assert isinstance(surrogate, _TrainedEnsemble)
+        assert len(surrogate.members) == 3
+        member = surrogate.members[0]
+        assert member.input_dim == problem.dim
+        assert member.n_features == 8
+
+    def test_fresh_random_init_each_iteration(self):
+        """Algorithm 1 re-initializes hyper-parameters every round: two
+        factory calls must give differently initialized networks."""
+        nnbo = tiny_nnbo(toy_constrained_quadratic(2))
+        rng = np.random.default_rng(0)
+        a = nnbo.surrogate_factory(rng).members[0].network.get_flat_params()
+        b = nnbo.surrogate_factory(rng).members[0].network.get_flat_params()
+        assert not np.allclose(a, b)
+
+    def test_ensemble_members_differ_within_one_surrogate(self):
+        nnbo = tiny_nnbo(toy_constrained_quadratic(2), n_ensemble=2)
+        surrogate = nnbo.surrogate_factory(np.random.default_rng(0))
+        a = surrogate.members[0].network.get_flat_params()
+        b = surrogate.members[1].network.get_flat_params()
+        assert not np.allclose(a, b)
+
+    def test_trained_ensemble_fit_predict(self, rng):
+        nnbo = tiny_nnbo(toy_constrained_quadratic(2))
+        surrogate = nnbo.surrogate_factory(rng)
+        x = rng.uniform(size=(10, 2))
+        y = np.sum(x, axis=1)
+        surrogate.fit(x, y)
+        mean, var = surrogate.predict(x[:4])
+        assert mean.shape == (4,)
+        assert np.all(var > 0)
+
+    def test_reproducible(self):
+        a = tiny_nnbo(toy_constrained_quadratic(2), seed=9).run()
+        b = tiny_nnbo(toy_constrained_quadratic(2), seed=9).run()
+        np.testing.assert_allclose(a.x_matrix, b.x_matrix)

@@ -1,0 +1,108 @@
+"""Tests for the multi-run statistics harness."""
+
+import numpy as np
+import pytest
+
+from repro.bo.history import OptimizationResult
+from repro.bo.problem import Evaluation
+from repro.experiments.runner import run_repeats, summarize
+
+
+def fake_result(best_values, success=True, metrics=None):
+    result = OptimizationResult("toy", "FAKE")
+    for i, value in enumerate(best_values):
+        g = np.array([-1.0]) if success else np.array([1.0])
+        ev = Evaluation(value, g, metrics=metrics or {})
+        result.append(np.array([float(i)]), ev)
+    return result
+
+
+class FakeOptimizer:
+    def __init__(self, result):
+        self._result = result
+
+    def run(self):
+        return self._result
+
+
+class TestSummarize:
+    def test_paper_statistics(self):
+        results = [
+            fake_result([5.0, 3.0]),
+            fake_result([4.0]),
+            fake_result([6.0, 2.0, 2.0]),
+        ]
+        summary = summarize(results)
+        assert summary.n_runs == 3
+        assert summary.n_success == 3
+        assert summary.best == 2.0
+        assert summary.worst == 4.0
+        assert summary.mean == pytest.approx(np.mean([3.0, 4.0, 2.0]))
+        assert summary.median == pytest.approx(3.0)
+        assert summary.success_rate == "3/3"
+
+    def test_avg_sims_uses_first_attainment(self):
+        results = [fake_result([9.0, 1.0, 1.0])]  # best first reached at sim 2
+        assert summarize(results).avg_sims == 2.0
+
+    def test_failed_runs_excluded(self):
+        results = [fake_result([3.0]), fake_result([1.0], success=False)]
+        summary = summarize(results)
+        assert summary.n_success == 1
+        assert summary.success_rate == "1/2"
+        assert summary.best == 3.0
+
+    def test_all_failed(self):
+        summary = summarize([fake_result([1.0], success=False)])
+        assert summary.n_success == 0
+        assert np.isnan(summary.mean)
+        assert np.isnan(summary.avg_sims)
+
+    def test_best_run_metrics_from_best_run(self):
+        results = [
+            fake_result([5.0], metrics={"tag": "worse"}),
+            fake_result([2.0], metrics={"tag": "better"}),
+        ]
+        assert summarize(results).best_run_metrics["tag"] == "better"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRunRepeats:
+    def test_runs_requested_count(self):
+        calls = []
+
+        def make(seed):
+            calls.append(seed)
+            return FakeOptimizer(fake_result([1.0]))
+
+        results = run_repeats(make, n_repeats=4, seed=0)
+        assert len(results) == 4
+        assert len(calls) == 4
+
+    def test_distinct_seeds(self):
+        seeds = []
+        run_repeats(
+            lambda s: (seeds.append(s), FakeOptimizer(fake_result([1.0])))[1],
+            n_repeats=5,
+            seed=1,
+        )
+        assert len(set(seeds)) == 5
+
+    def test_reproducible_seed_stream(self):
+        seeds_a, seeds_b = [], []
+        run_repeats(
+            lambda s: (seeds_a.append(s), FakeOptimizer(fake_result([1.0])))[1],
+            n_repeats=3, seed=7,
+        )
+        run_repeats(
+            lambda s: (seeds_b.append(s), FakeOptimizer(fake_result([1.0])))[1],
+            n_repeats=3, seed=7,
+        )
+        assert seeds_a == seeds_b
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_repeats(lambda s: None, n_repeats=0)

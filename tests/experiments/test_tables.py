@@ -1,0 +1,57 @@
+"""Tests for paper-style table rendering."""
+
+import pytest
+
+from repro.experiments.tables import render_markdown_table, render_table
+
+
+COLUMNS = {
+    "Ours": {"mean": 88.17, "# Success": "10/10", "Avg. # Sim": 86},
+    "WEIBO": {"mean": 87.95, "# Success": "10/10", "Avg. # Sim": 92},
+}
+ROWS = ["mean", "Avg. # Sim", "# Success"]
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        text = render_table("Table I", ROWS, COLUMNS)
+        for token in ("Table I", "Ours", "WEIBO", "88.17", "87.95", "10/10", "86", "92"):
+            assert token in text
+
+    def test_row_order_preserved(self):
+        text = render_table("T", ROWS, COLUMNS)
+        lines = text.splitlines()
+        assert lines[4].startswith("mean")
+        assert lines[6].startswith("# Success")
+
+    def test_missing_cell_renders_dash(self):
+        cols = {"A": {"x": 1.0}, "B": {}}
+        text = render_table("T", ["x"], cols)
+        assert "-" in text.splitlines()[-1]
+
+    def test_nan_renders_dash(self):
+        cols = {"A": {"x": float("nan")}}
+        assert "-" in render_table("T", ["x"], cols).splitlines()[-1]
+
+    def test_large_and_small_numbers(self):
+        cols = {"A": {"big": 4.2e7, "small": 3.3e-6}}
+        text = render_table("T", ["big", "small"], cols)
+        assert "4.2e+07" in text
+        assert "3.3e-06" in text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["x"], {})
+
+
+class TestMarkdownTable:
+    def test_valid_markdown_structure(self):
+        text = render_markdown_table(ROWS, COLUMNS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| Metric |")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 2 + len(ROWS)
+
+    def test_cell_values(self):
+        text = render_markdown_table(ROWS, COLUMNS)
+        assert "| 88.17 |" in text

@@ -1,0 +1,132 @@
+"""Tests for exact GP regression: posterior math, MLE, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GPRegression, Matern52, RBF
+
+
+def make_data(rng, n=25, noise=0.0):
+    x = rng.uniform(0, 1, size=(n, 2))
+    y = np.sin(4 * x[:, 0]) + 0.5 * x[:, 1] + noise * rng.normal(size=n)
+    return x, y
+
+
+class TestPosterior:
+    def test_interpolates_training_data_noise_free(self, rng):
+        x, y = make_data(rng, n=15)
+        gp = GPRegression(noise_variance=1e-8, optimize=False)
+        gp.fit(x, y)
+        mean, var = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(var < 1e-3)
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        x = np.array([[0.1, 0.1], [0.2, 0.2], [0.15, 0.3]])
+        y = np.array([0.0, 1.0, 0.5])
+        gp = GPRegression(optimize=False)
+        gp.fit(x, y)
+        _, var_near = gp.predict(np.array([[0.15, 0.2]]))
+        _, var_far = gp.predict(np.array([[0.9, 0.9]]))
+        assert var_far[0] > var_near[0]
+
+    def test_include_noise_adds_variance(self, rng):
+        x, y = make_data(rng)
+        gp = GPRegression(noise_variance=0.01, optimize=False)
+        gp.fit(x, y)
+        _, var_f = gp.predict(x[:3], include_noise=False)
+        _, var_y = gp.predict(x[:3], include_noise=True)
+        assert np.all(var_y > var_f)
+
+    def test_prediction_shapes(self, rng):
+        x, y = make_data(rng)
+        gp = GPRegression(optimize=False).fit(x, y)
+        mean, var = gp.predict(rng.uniform(size=(7, 2)))
+        assert mean.shape == (7,)
+        assert var.shape == (7,)
+
+
+class TestMLE:
+    def test_likelihood_gradient_matches_finite_difference(self, rng):
+        x, y = make_data(rng, n=12, noise=0.05)
+        gp = GPRegression(kernel=RBF(2), optimize=False)
+        gp.fit(x, y)
+        theta = gp._get_theta()
+        nll, grad = gp._nll_and_grad(theta)
+        eps = 1e-6
+        for i in range(theta.size):
+            t = theta.copy()
+            t[i] += eps
+            up, _ = gp._nll_and_grad(t)
+            t[i] -= 2 * eps
+            down, _ = gp._nll_and_grad(t)
+            numeric = (up - down) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_optimization_improves_likelihood(self, rng):
+        x, y = make_data(rng, n=30, noise=0.05)
+        gp_fixed = GPRegression(kernel=RBF(2), optimize=False)
+        gp_fixed.fit(x, y)
+        ll_before = gp_fixed.log_marginal_likelihood()
+        gp_opt = GPRegression(kernel=RBF(2), n_restarts=2, seed=0)
+        gp_opt.fit(x, y)
+        ll_after = gp_opt.log_marginal_likelihood()
+        assert ll_after >= ll_before - 1e-6
+
+    def test_fit_recovers_noise_scale(self, rng):
+        x = rng.uniform(0, 1, size=(80, 1))
+        y = np.sin(6 * x[:, 0]) + 0.1 * rng.normal(size=80)
+        gp = GPRegression(n_restarts=3, seed=1)
+        gp.fit(x, y)
+        # normalized-target units; noise_std 0.1 / data std
+        noise_std = np.sqrt(gp.noise_variance) * gp._y_scaler.scale_
+        assert 0.02 < noise_std < 0.4
+
+    def test_matern_kernel_works(self, rng):
+        x, y = make_data(rng, n=20)
+        gp = GPRegression(kernel=Matern52(2), n_restarts=1, seed=0)
+        gp.fit(x, y)
+        mean, _ = gp.predict(x[:5])
+        np.testing.assert_allclose(mean, y[:5], atol=0.3)
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            GPRegression().fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_dim_mismatch_kernel(self, rng):
+        x, y = make_data(rng)
+        with pytest.raises(ValueError):
+            GPRegression(kernel=RBF(5)).fit(x, y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GPRegression().predict(np.zeros((1, 2)))
+
+    def test_nan_targets_rejected(self, rng):
+        x, _ = make_data(rng)
+        y = np.full(x.shape[0], np.nan)
+        with pytest.raises(ValueError):
+            GPRegression().fit(x, y)
+
+    def test_nonpositive_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GPRegression(noise_variance=0.0)
+
+
+class TestNormalization:
+    def test_large_scale_targets(self, rng):
+        """FOM values of 80-100 dB must not break the fit."""
+        x, y = make_data(rng)
+        gp = GPRegression(n_restarts=1, seed=0)
+        gp.fit(x, 90.0 + 5.0 * y)
+        mean, _ = gp.predict(x[:5])
+        np.testing.assert_allclose(mean, 90.0 + 5.0 * y[:5], atol=2.0)
+
+    def test_without_normalization(self, rng):
+        x, y = make_data(rng)
+        gp = GPRegression(normalize_y=False, optimize=False, noise_variance=1e-6)
+        gp.fit(x, y)
+        mean, _ = gp.predict(x[:5])
+        np.testing.assert_allclose(mean, y[:5], atol=0.05)

@@ -1,0 +1,105 @@
+"""Tests for covariance kernels: PSD property, gradients, parameter API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gp.kernels import Matern52, RBF, make_kernel
+
+KERNELS = [RBF, Matern52]
+
+
+@pytest.mark.parametrize("cls", KERNELS)
+class TestKernelBasics:
+    def test_symmetric(self, cls, rng):
+        k = cls(3)
+        x = rng.normal(size=(8, 3))
+        mat = k(x)
+        np.testing.assert_allclose(mat, mat.T, atol=1e-12)
+
+    def test_positive_semidefinite(self, cls, rng):
+        k = cls(2, lengthscales=[0.5, 1.5], signal_variance=2.0)
+        x = rng.normal(size=(12, 2))
+        eigs = np.linalg.eigvalsh(k(x))
+        assert np.all(eigs > -1e-8)
+
+    def test_diagonal_is_signal_variance(self, cls, rng):
+        k = cls(2, signal_variance=3.0)
+        x = rng.normal(size=(5, 2))
+        np.testing.assert_allclose(np.diag(k(x)), 3.0, rtol=1e-10)
+        np.testing.assert_allclose(k.diag(x), 3.0, rtol=1e-10)
+
+    def test_decreases_with_distance(self, cls):
+        k = cls(1)
+        x = np.array([[0.0], [0.5], [2.0]])
+        mat = k(x)
+        assert mat[0, 0] > mat[0, 1] > mat[0, 2]
+
+    def test_cross_covariance_shape(self, cls, rng):
+        k = cls(2)
+        mat = k(rng.normal(size=(4, 2)), rng.normal(size=(7, 2)))
+        assert mat.shape == (4, 7)
+
+    def test_gradients_match_finite_difference(self, cls, rng):
+        k = cls(2, lengthscales=[0.7, 1.3], signal_variance=1.5)
+        x = rng.normal(size=(6, 2))
+        grads = k.gradients(x)
+        params = k.get_params()
+        eps = 1e-6
+        for i in range(k.n_params):
+            p = params.copy()
+            p[i] += eps
+            k.set_params(p)
+            up = k(x)
+            p[i] -= 2 * eps
+            k.set_params(p)
+            down = k(x)
+            k.set_params(params)
+            numeric = (up - down) / (2 * eps)
+            np.testing.assert_allclose(grads[i], numeric, rtol=1e-4, atol=1e-7)
+
+    def test_params_roundtrip(self, cls):
+        k = cls(3)
+        p = k.get_params() + 0.3
+        k.set_params(p)
+        np.testing.assert_allclose(k.get_params(), p)
+
+    def test_rejects_wrong_lengthscale_count(self, cls):
+        with pytest.raises(ValueError):
+            cls(3, lengthscales=[1.0, 1.0])
+
+    def test_rejects_nonpositive_params(self, cls):
+        with pytest.raises(ValueError):
+            cls(1, lengthscales=[0.0])
+        with pytest.raises(ValueError):
+            cls(1, signal_variance=-1.0)
+
+
+class TestARDProperty:
+    def test_large_lengthscale_dimension_is_ignored(self, rng):
+        """ARD: a dimension with a huge lengthscale barely affects k."""
+        k = RBF(2, lengthscales=[0.5, 1e6])
+        x1 = np.array([[0.0, 0.0]])
+        x2 = np.array([[0.0, 100.0]])  # far only along the long dimension
+        assert k(x1, x2)[0, 0] == pytest.approx(k.signal_variance, rel=1e-6)
+
+    @given(shift=st.floats(-3.0, 3.0))
+    def test_property_stationarity(self, shift):
+        """k(x1+s, x2+s) == k(x1, x2) for stationary kernels."""
+        k = Matern52(2, lengthscales=[0.8, 1.2])
+        x1 = np.array([[0.3, -0.4]])
+        x2 = np.array([[1.1, 0.9]])
+        a = k(x1, x2)[0, 0]
+        b = k(x1 + shift, x2 + shift)[0, 0]
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("rbf", RBF), ("gaussian", RBF),
+                                          ("matern52", Matern52)])
+    def test_names(self, name, cls):
+        assert isinstance(make_kernel(name, 2), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("linear", 2)

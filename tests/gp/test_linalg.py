@@ -1,0 +1,51 @@
+"""Tests for robust Cholesky helpers."""
+
+import numpy as np
+import pytest
+
+from repro.gp.linalg import (
+    CholeskyError,
+    jitter_cholesky,
+    log_det_from_cholesky,
+    solve_cholesky,
+)
+
+
+class TestJitterCholesky:
+    def test_spd_matrix_exact(self, rng):
+        a = rng.normal(size=(6, 6))
+        mat = a @ a.T + 6 * np.eye(6)
+        chol = jitter_cholesky(mat)
+        np.testing.assert_allclose(chol @ chol.T, mat, rtol=1e-10, atol=1e-10)
+
+    def test_semidefinite_gets_jitter(self, rng):
+        v = rng.normal(size=(8, 2))
+        mat = v @ v.T  # rank 2, PSD but singular
+        chol = jitter_cholesky(mat)
+        assert np.all(np.isfinite(chol))
+
+    def test_indefinite_raises(self):
+        mat = np.diag([1.0, -5.0])
+        with pytest.raises(CholeskyError):
+            jitter_cholesky(mat, max_tries=3)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            jitter_cholesky(np.zeros((2, 3)))
+
+
+class TestSolvers:
+    def test_solve_cholesky(self, rng):
+        a = rng.normal(size=(5, 5))
+        mat = a @ a.T + 5 * np.eye(5)
+        chol = jitter_cholesky(mat)
+        rhs = rng.normal(size=5)
+        x = solve_cholesky(chol, rhs)
+        np.testing.assert_allclose(mat @ x, rhs, rtol=1e-9, atol=1e-9)
+
+    def test_log_det(self, rng):
+        a = rng.normal(size=(4, 4))
+        mat = a @ a.T + 4 * np.eye(4)
+        chol = jitter_cholesky(mat)
+        expected = np.linalg.slogdet(mat)[1]
+        assert log_det_from_cholesky(chol) == pytest.approx(expected, rel=1e-10)

@@ -1,0 +1,20 @@
+"""Tests for mean functions."""
+
+import numpy as np
+
+from repro.gp.mean import ConstantMean
+
+
+class TestConstantMean:
+    def test_value_broadcast(self):
+        mean = ConstantMean(2.5)
+        out = mean(np.zeros((4, 3)))
+        np.testing.assert_allclose(out, [2.5] * 4)
+
+    def test_default_zero(self):
+        assert ConstantMean()(np.zeros((2, 1)))[0] == 0.0
+
+    def test_mutable_value(self):
+        mean = ConstantMean(0.0)
+        mean.value = -1.0
+        assert mean(np.zeros((1, 1)))[0] == -1.0

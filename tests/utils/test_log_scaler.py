@@ -1,0 +1,62 @@
+"""Tests for the log-space box scaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.scaling import LogBoxScaler
+
+
+class TestLogBoxScaler:
+    def test_roundtrip(self):
+        scaler = LogBoxScaler([1e-7, 500.0], [1e-4, 3.2e5])
+        x = np.array([[4e-6, 10e3], [1e-7, 3.2e5]])
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, rtol=1e-12
+        )
+
+    def test_bounds_map_to_corners(self):
+        scaler = LogBoxScaler([1e-6], [1e-3])
+        assert scaler.transform(np.array([1e-6]))[0] == pytest.approx(0.0)
+        assert scaler.transform(np.array([1e-3]))[0] == pytest.approx(1.0)
+
+    def test_geometric_midpoint_is_half(self):
+        """Equal resolution per octave: sqrt(lo*hi) maps to 0.5."""
+        scaler = LogBoxScaler([1e-6], [1e-2])
+        mid = np.sqrt(1e-6 * 1e-2)
+        assert scaler.transform(np.array([mid]))[0] == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            LogBoxScaler([0.0], [1.0])
+        with pytest.raises(ValueError):
+            LogBoxScaler([-1.0], [1.0])
+
+    def test_rejects_nonpositive_inputs(self):
+        scaler = LogBoxScaler([1.0], [10.0])
+        with pytest.raises(ValueError):
+            scaler.transform(np.array([0.0]))
+
+    @given(
+        lo_exp=st.floats(-9, 0),
+        decades=st.floats(0.5, 8),
+        u=st.floats(0.0, 1.0),
+    )
+    def test_property_inverse_in_box(self, lo_exp, decades, u):
+        lo = 10.0**lo_exp
+        hi = lo * 10.0**decades
+        scaler = LogBoxScaler([lo], [hi])
+        x = scaler.inverse_transform(np.array([u]))[0]
+        assert lo * (1 - 1e-9) <= x <= hi * (1 + 1e-9)
+
+    def test_usable_as_problem_scaler(self):
+        """A Problem with a log scaler searches uniformly in decades."""
+        from repro.bo.problem import FunctionProblem
+
+        prob = FunctionProblem(
+            "logspace", [1e-6], [1e-2],
+            objective=lambda x: float(np.log10(x[0]) + 4) ** 2,
+        )
+        prob.scaler = LogBoxScaler(prob.lower, prob.upper)
+        ev = prob.evaluate_unit(np.array([0.5]))
+        assert ev.objective == pytest.approx(0.0)  # geometric mid = 1e-4

@@ -1,0 +1,99 @@
+"""Tests for BoxScaler and StandardScaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.scaling import BoxScaler, StandardScaler
+
+
+class TestBoxScaler:
+    def test_forward_inverse_roundtrip(self, rng):
+        scaler = BoxScaler([-1.0, 0.0, 10.0], [1.0, 5.0, 20.0])
+        x = rng.uniform([-1, 0, 10], [1, 5, 20], size=(20, 3))
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, rtol=1e-12
+        )
+
+    def test_bounds_map_to_unit_corners(self):
+        scaler = BoxScaler([-2.0, 1.0], [2.0, 3.0])
+        np.testing.assert_allclose(scaler.transform(scaler.lower), [0.0, 0.0])
+        np.testing.assert_allclose(scaler.transform(scaler.upper), [1.0, 1.0])
+
+    def test_clip(self):
+        scaler = BoxScaler([0.0], [1.0])
+        np.testing.assert_allclose(scaler.clip(np.array([-5.0])), [0.0])
+        np.testing.assert_allclose(scaler.clip(np.array([5.0])), [1.0])
+
+    def test_dim(self):
+        assert BoxScaler([0, 0, 0, 0], [1, 1, 1, 1]).dim == 4
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoxScaler([1.0], [0.0])
+
+    def test_rejects_equal_bounds(self):
+        with pytest.raises(ValueError):
+            BoxScaler([1.0, 0.0], [1.0, 2.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            BoxScaler([0.0], [np.inf])
+
+    @given(
+        lower=st.floats(-1e6, 1e6 - 1),
+        width=st.floats(1e-3, 1e6),
+        u=st.floats(0.0, 1.0),
+    )
+    def test_property_inverse_lands_in_box(self, lower, width, u):
+        scaler = BoxScaler([lower], [lower + width])
+        x = scaler.inverse_transform(np.array([u]))
+        assert lower - 1e-6 <= x[0] <= lower + width + 1e-6
+
+
+class TestStandardScaler:
+    def test_transform_zero_mean_unit_std(self, rng):
+        y = rng.normal(3.0, 2.0, size=200)
+        z = StandardScaler().fit_transform(y)
+        assert abs(z.mean()) < 1e-10
+        assert abs(z.std() - 1.0) < 1e-10
+
+    def test_roundtrip(self, rng):
+        y = rng.normal(-5.0, 0.3, size=50)
+        scaler = StandardScaler().fit(y)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(y)), y, rtol=1e-12
+        )
+
+    def test_variance_inverse(self):
+        scaler = StandardScaler().fit(np.array([0.0, 2.0, 4.0]))
+        var = np.array([1.0])
+        np.testing.assert_allclose(
+            scaler.inverse_transform_variance(var), scaler.scale_**2
+        )
+
+    def test_constant_targets_do_not_blow_up(self):
+        scaler = StandardScaler().fit(np.full(10, 7.0))
+        z = scaler.transform(np.array([7.0]))
+        assert np.all(np.isfinite(z))
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.array([1.0]))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.array([]))
+
+    @given(
+        hnp.arrays(
+            float,
+            st.integers(2, 30),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_property_roundtrip(self, y):
+        scaler = StandardScaler().fit(y)
+        back = scaler.inverse_transform(scaler.transform(y))
+        np.testing.assert_allclose(back, y, rtol=1e-6, atol=1e-6)

@@ -1,0 +1,102 @@
+"""Tests for run/model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.bo.history import OptimizationResult
+from repro.bo.problem import Evaluation
+from repro.core import FeatureGPTrainer, NeuralFeatureGP
+from repro.utils.serialization import (
+    load_model_into,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_model,
+    save_result,
+)
+
+
+def sample_result():
+    result = OptimizationResult("opamp", "NN-BO")
+    result.append(
+        np.array([1.0, 2.0]),
+        Evaluation(-80.0, np.array([-0.5, -0.1]), metrics={"gain_db": 80.0}),
+        phase="initial",
+    )
+    result.append(
+        np.array([1.5, 2.5]),
+        Evaluation(-85.0, np.array([-0.6, -0.2]),
+                   metrics={"gain_db": 85.0, "regions": {"M1": "sat"}}),
+    )
+    return result
+
+
+class TestResultRoundtrip:
+    def test_dict_roundtrip_preserves_trace(self):
+        original = sample_result()
+        clone = result_from_dict(result_to_dict(original))
+        assert clone.algorithm == "NN-BO"
+        assert clone.n_evaluations == 2
+        np.testing.assert_allclose(clone.x_matrix, original.x_matrix)
+        np.testing.assert_allclose(clone.objectives, original.objectives)
+        np.testing.assert_allclose(
+            clone.constraint_matrix, original.constraint_matrix
+        )
+        assert [r.phase for r in clone.records] == ["initial", "search"]
+
+    def test_scalar_metrics_survive_nested_dropped(self):
+        clone = result_from_dict(result_to_dict(sample_result()))
+        metrics = clone.records[1].evaluation.metrics
+        assert metrics["gain_db"] == 85.0
+        assert "regions" not in metrics  # non-scalar metrics are dropped
+
+    def test_file_roundtrip(self, tmp_path):
+        original = sample_result()
+        path = save_result(original, tmp_path / "run.json")
+        clone = load_result(path)
+        assert clone.best_objective() == original.best_objective()
+        assert clone.n_sims_to_best() == original.n_sims_to_best()
+
+    def test_summary_statistics_preserved(self):
+        original = sample_result()
+        clone = result_from_dict(result_to_dict(original))
+        assert clone.success == original.success
+        np.testing.assert_allclose(clone.best_so_far(), original.best_so_far())
+
+
+class TestModelRoundtrip:
+    def make_fitted(self, seed=0):
+        rng = np.random.default_rng(3)
+        model = NeuralFeatureGP(2, hidden_dims=(10, 10), n_features=6, seed=seed)
+        x = rng.uniform(size=(15, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1]
+        model.fit(x, y, trainer=FeatureGPTrainer(epochs=50))
+        return model, x
+
+    def test_predictions_identical_after_reload(self, tmp_path):
+        model, x = self.make_fitted()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        clone = NeuralFeatureGP(2, hidden_dims=(10, 10), n_features=6, seed=99)
+        load_model_into(clone, path)
+        mean_a, var_a = model.predict(x)
+        mean_b, var_b = clone.predict(x)
+        np.testing.assert_allclose(mean_b, mean_a, rtol=1e-12)
+        np.testing.assert_allclose(var_b, var_a, rtol=1e-12)
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        model = NeuralFeatureGP(2, hidden_dims=(10, 10), n_features=6)
+        with pytest.raises(ValueError):
+            save_model(model, tmp_path / "m.npz")
+
+    def test_wrong_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "m.npz")
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        model, _ = self.make_fitted()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        wrong = NeuralFeatureGP(2, hidden_dims=(20, 20), n_features=6)
+        with pytest.raises(ValueError):
+            load_model_into(wrong, path)

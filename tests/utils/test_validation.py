@@ -1,0 +1,72 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_box_bounds,
+    check_finite,
+    check_matrix_2d,
+    check_vector_1d,
+)
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        out = check_finite([1.0, 2.0], "x")
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="x"):
+            check_finite([1.0, np.nan], "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite([np.inf], "y")
+
+
+class TestCheckMatrix2d:
+    def test_promotes_1d_to_row(self):
+        out = check_matrix_2d([1.0, 2.0, 3.0], "x")
+        assert out.shape == (1, 3)
+
+    def test_keeps_2d(self):
+        out = check_matrix_2d(np.zeros((4, 2)), "x")
+        assert out.shape == (4, 2)
+
+    def test_checks_columns(self):
+        with pytest.raises(ValueError, match="columns"):
+            check_matrix_2d(np.zeros((4, 2)), "x", n_cols=3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_matrix_2d(np.zeros((2, 2, 2)), "x")
+
+
+class TestCheckVector1d:
+    def test_flattens(self):
+        out = check_vector_1d(np.zeros((3, 1)), "v")
+        assert out.shape == (3,)
+
+    def test_length_check(self):
+        with pytest.raises(ValueError, match="length"):
+            check_vector_1d([1.0, 2.0], "v", length=3)
+
+
+class TestCheckBoxBounds:
+    def test_valid(self):
+        lo, hi = check_box_bounds([0, 1], [1, 2])
+        np.testing.assert_allclose(lo, [0, 1])
+        np.testing.assert_allclose(hi, [1, 2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            check_box_bounds([0], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_box_bounds([], [])
+
+    def test_reports_bad_dimension(self):
+        with pytest.raises(ValueError, match=r"\[1\]"):
+            check_box_bounds([0.0, 5.0], [1.0, 2.0])
