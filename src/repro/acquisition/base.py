@@ -8,9 +8,21 @@ throughout, matching the paper's problem statement (eq. 1).
 from __future__ import annotations
 
 import numpy as np
-from scipy import stats
+from scipy import special
 
 _MIN_SIGMA = 1e-12
+
+# Standard-normal CDF/PDF via scipy.special rather than scipy.stats: the
+# acquisition maximizer's polish phase evaluates these thousands of times on
+# tiny arrays, where stats.norm's distribution machinery costs ~30 us per
+# call against ~0.5 us for the direct special functions.  Values are bitwise
+# identical (stats.norm delegates to ndtr / this exact pdf formula).
+_norm_cdf = special.ndtr
+_NORM_PDF_C = np.sqrt(2.0 * np.pi)
+
+
+def _norm_pdf(x: np.ndarray) -> np.ndarray:
+    return np.exp(-(x**2) / 2.0) / _NORM_PDF_C
 
 
 def _sigma(var: np.ndarray) -> np.ndarray:
@@ -27,7 +39,7 @@ def expected_improvement(mean, var, tau: float) -> np.ndarray:
     mean = np.asarray(mean, dtype=float)
     sigma = _sigma(var)
     lam = (tau - mean) / sigma
-    ei = sigma * (lam * stats.norm.cdf(lam) + stats.norm.pdf(lam))
+    ei = sigma * (lam * _norm_cdf(lam) + _norm_pdf(lam))
     return np.maximum(ei, 0.0)
 
 
@@ -35,7 +47,7 @@ def probability_of_improvement(mean, var, tau: float) -> np.ndarray:
     """Probability that the objective at x is below the incumbent ``tau``."""
     mean = np.asarray(mean, dtype=float)
     sigma = _sigma(var)
-    return stats.norm.cdf((tau - mean) / sigma)
+    return _norm_cdf((tau - mean) / sigma)
 
 
 def lower_confidence_bound(mean, var, kappa: float = 2.0) -> np.ndarray:
@@ -64,4 +76,4 @@ def probability_of_feasibility(mean, var) -> np.ndarray:
     """
     mean = np.asarray(mean, dtype=float)
     sigma = _sigma(var)
-    return stats.norm.cdf(-mean / sigma)
+    return _norm_cdf(-mean / sigma)

@@ -41,6 +41,11 @@ class OptimizationResult:
         self.problem_name = str(problem_name)
         self.algorithm = str(algorithm)
         self.records: list[EvaluationRecord] = []
+        #: simulator-cache traffic during this run (filled by the optimizer
+        #: from Problem.cache_stats deltas); hits are proposals answered
+        #: from the memoization cache without re-running the simulator
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- recording ------------------------------------------------------------
 

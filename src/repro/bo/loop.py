@@ -39,7 +39,18 @@ class SurrogateBO:
     surrogate_factory:
         Callable ``(rng) -> model`` returning a fresh surrogate with
         ``fit(x, y)`` and ``predict(x) -> (mean, var)``.  Called once per
-        modelled quantity per iteration.
+        modelled quantity per iteration (the per-target loop path used by
+        the WEIBO/GP baselines).
+    surrogate_bank_factory:
+        Callable ``(rng, n_targets) -> bank`` returning a fresh
+        :class:`~repro.core.batched_gp.SurrogateBank`-style object with
+        ``fit(x, targets)`` (``targets`` of shape ``(n_targets, N)``) and
+        ``target_model(t) -> predict-protocol model``.  When provided it
+        replaces the per-target factory loop with ONE batched fit of the
+        objective and all constraints together (the paper method's hot
+        path); ``surrogate_factory`` may still be passed alongside for
+        introspection/compatibility but is not called by :meth:`_propose`.
+        Only supported with the ``"wei"`` acquisition.
     n_initial:
         Size of the random initial design (Algorithm 1, line 1).
     max_evaluations:
@@ -71,7 +82,7 @@ class SurrogateBO:
     def __init__(
         self,
         problem: Problem,
-        surrogate_factory,
+        surrogate_factory=None,
         n_initial: int = 30,
         max_evaluations: int = 100,
         initial_design: str = "lhs",
@@ -79,6 +90,7 @@ class SurrogateBO:
         acquisition: str = "wei",
         log_space_acq: bool | None = None,
         duplicate_tol: float = 1e-9,
+        surrogate_bank_factory=None,
         seed=None,
         verbose: bool = False,
         callback=None,
@@ -91,8 +103,13 @@ class SurrogateBO:
                 f"max_evaluations ({max_evaluations}) must cover the initial "
                 f"design ({n_initial})"
             )
+        if surrogate_factory is None and surrogate_bank_factory is None:
+            raise ValueError(
+                "provide surrogate_factory and/or surrogate_bank_factory"
+            )
         self.problem = problem
         self.surrogate_factory = surrogate_factory
+        self.surrogate_bank_factory = surrogate_bank_factory
         self.n_initial = int(n_initial)
         self.max_evaluations = int(max_evaluations)
         self.initial_design = str(initial_design)
@@ -100,6 +117,11 @@ class SurrogateBO:
         if acquisition not in ("wei", "thompson"):
             raise ValueError(
                 f"acquisition must be 'wei' or 'thompson', got {acquisition!r}"
+            )
+        if surrogate_bank_factory is not None and acquisition == "thompson":
+            raise ValueError(
+                "the banked surrogate path supports only the 'wei' acquisition; "
+                "use the per-target surrogate_factory for Thompson sampling"
             )
         self.acquisition = str(acquisition)
         if log_space_acq is None:
@@ -118,6 +140,7 @@ class SurrogateBO:
         """Execute Algorithm 1 and return the evaluation trace."""
         result = OptimizationResult(self.problem.name, self.algorithm_name)
         unit_x: list[np.ndarray] = []
+        self._cache_hits0, self._cache_misses0 = self.problem.cache_stats
 
         for u in make_design(self.initial_design, self.n_initial, self.problem.dim, self.rng):
             self._evaluate_and_record(u, result, unit_x, phase="initial")
@@ -143,10 +166,33 @@ class SurrogateBO:
         evaluation = self.problem.evaluate_unit(u)
         result.append(self.problem.scaler.inverse_transform(u), evaluation, phase=phase)
         unit_x.append(np.asarray(u, dtype=float))
+        hits, misses = self.problem.cache_stats
+        result.cache_hits = hits - self._cache_hits0
+        result.cache_misses = misses - self._cache_misses0
 
-    def _propose(self, x_unit: np.ndarray, result: OptimizationResult) -> np.ndarray:
+    def _fit_surrogates(self, x_unit: np.ndarray, result: OptimizationResult):
+        """Fit this iteration's models; returns ``(objective, constraints)``.
+
+        With a bank factory the objective and every constraint ensemble are
+        fitted in ONE batched call; the legacy path invokes the per-target
+        factory ``n_constraints + 1`` times.
+        """
         objective = _sanitize_targets(result.objectives)
         constraints = result.constraint_matrix
+
+        if self.surrogate_bank_factory is not None:
+            n_targets = 1 + self.problem.n_constraints
+            targets = np.empty((n_targets, objective.shape[0]))
+            targets[0] = objective
+            for i in range(self.problem.n_constraints):
+                targets[1 + i] = _sanitize_targets(constraints[:, i])
+            bank = self.surrogate_bank_factory(self.rng, n_targets)
+            bank.fit(x_unit, targets)
+            objective_model = bank.target_model(0)
+            constraint_models = [
+                bank.target_model(1 + i) for i in range(self.problem.n_constraints)
+            ]
+            return objective_model, constraint_models
 
         objective_model = self.surrogate_factory(self.rng)
         objective_model.fit(x_unit, objective)
@@ -155,6 +201,10 @@ class SurrogateBO:
             model = self.surrogate_factory(self.rng)
             model.fit(x_unit, _sanitize_targets(constraints[:, i]))
             constraint_models.append(model)
+        return objective_model, constraint_models
+
+    def _propose(self, x_unit: np.ndarray, result: OptimizationResult) -> np.ndarray:
+        objective_model, constraint_models = self._fit_surrogates(x_unit, result)
 
         if self.acquisition == "thompson":
             from repro.acquisition.thompson import ThompsonSamplingAcquisition
@@ -175,12 +225,28 @@ class SurrogateBO:
             acquisition_fn, self.problem.dim, self.rng
         )
         if self._is_duplicate(proposal, x_unit):
-            proposal = self.rng.uniform(0.0, 1.0, size=self.problem.dim)
+            proposal = self._resample_non_duplicate(x_unit)
         return proposal
 
     def _is_duplicate(self, proposal: np.ndarray, x_unit: np.ndarray) -> bool:
         dists = np.max(np.abs(x_unit - proposal[None, :]), axis=1)
         return bool(np.any(dists < self.duplicate_tol))
+
+    _MAX_RESAMPLE_TRIES = 32
+
+    def _resample_non_duplicate(self, x_unit: np.ndarray) -> np.ndarray:
+        """Draw a random replacement point that is itself not a duplicate.
+
+        A single uniform draw can land on an already-evaluated design
+        (likely with coarse ``duplicate_tol`` or a near-exhausted discrete
+        region), which would waste a simulation on a known point; retry a
+        bounded number of times and keep the final draw regardless.
+        """
+        for _ in range(self._MAX_RESAMPLE_TRIES):
+            proposal = self.rng.uniform(0.0, 1.0, size=self.problem.dim)
+            if not self._is_duplicate(proposal, x_unit):
+                return proposal
+        return proposal
 
 
 def _sanitize_targets(y: np.ndarray) -> np.ndarray:

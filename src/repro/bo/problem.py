@@ -58,8 +58,25 @@ class Problem:
     """Base class for constrained minimization problems over a box.
 
     Subclasses implement :meth:`evaluate`; this class provides bound
-    handling and the unit-box mapping every optimizer works in.
+    handling, the unit-box mapping every optimizer works in, and a
+    memoization cache over :meth:`evaluate_unit` so repeated proposals
+    never re-run the (deterministic) simulator.
     """
+
+    #: unit-box coordinates are rounded to this many decimals for the cache
+    #: key.  The 1e-12 resolution is three orders finer than the
+    #: optimizers' default duplicate tolerance (1e-9), so any proposal the
+    #: optimizer accepts as "new" maps to its own cache entry; only exact
+    #: (or solver-noise-level) re-proposals hit the cache.  If you lower an
+    #: optimizer's ``duplicate_tol`` below 1e-12, raise this accordingly —
+    #: the cache resolution must stay finer than the duplicate tolerance
+    #: or distinct accepted proposals could alias one entry.
+    cache_decimals = 12
+
+    #: set False (class- or instance-level) to disable memoization — e.g.
+    #: for stochastic simulators, where caching would freeze the first
+    #: noise realization of each design
+    cache_evaluations = True
 
     def __init__(self, name: str, lower, upper, n_constraints: int):
         if n_constraints < 0:
@@ -67,6 +84,9 @@ class Problem:
         self.name = str(name)
         self.scaler = BoxScaler(lower, upper)
         self.n_constraints = int(n_constraints)
+        self._eval_cache: dict[tuple, Evaluation] = {}
+        self.n_cache_hits = 0
+        self.n_cache_misses = 0
 
     @property
     def dim(self) -> int:
@@ -88,9 +108,34 @@ class Problem:
         raise NotImplementedError
 
     def evaluate_unit(self, u: np.ndarray) -> Evaluation:
-        """Evaluate a point given in unit-box coordinates."""
+        """Evaluate a point given in unit-box coordinates (memoized).
+
+        Results are cached keyed on the rounded unit coordinates (see
+        :attr:`cache_decimals`); :attr:`n_cache_hits` / misses count the
+        lookups and :meth:`clear_evaluation_cache` resets the store.
+        """
         u = check_vector_1d(u, "u", length=self.dim)
-        return self.evaluate(self.scaler.inverse_transform(np.clip(u, 0.0, 1.0)))
+        u_clipped = np.clip(u, 0.0, 1.0)
+        if not self.cache_evaluations:
+            return self.evaluate(self.scaler.inverse_transform(u_clipped))
+        key = tuple(np.round(u_clipped, self.cache_decimals).tolist())
+        cached = self._eval_cache.get(key)
+        if cached is not None:
+            self.n_cache_hits += 1
+            return cached
+        self.n_cache_misses += 1
+        evaluation = self.evaluate(self.scaler.inverse_transform(u_clipped))
+        self._eval_cache[key] = evaluation
+        return evaluation
+
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """Lifetime ``(hits, misses)`` of the evaluation cache."""
+        return self.n_cache_hits, self.n_cache_misses
+
+    def clear_evaluation_cache(self):
+        """Drop all memoized evaluations (counters are kept)."""
+        self._eval_cache.clear()
 
     def __repr__(self) -> str:
         return (

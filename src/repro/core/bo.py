@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from repro.bo.loop import SurrogateBO
 from repro.bo.problem import Problem
+from repro.core.batched_gp import SurrogateBank
 from repro.core.ensemble import DeepEnsemble
 from repro.core.feature_gp import NeuralFeatureGP
-from repro.core.trainer import FeatureGPTrainer
+from repro.core.trainer import BatchedFeatureGPTrainer, FeatureGPTrainer
 
 
 class _TrainedEnsemble:
@@ -58,6 +59,16 @@ class NNBO(SurrogateBO):
         output, ReLU).
     epochs, lr, pretrain_epochs:
         Trainer settings for the likelihood maximization (Sec. III-B).
+    engine:
+        ``"batched"`` fits the objective and all constraint ensembles as
+        one stacked tensor program (:class:`~repro.core.batched_gp.
+        SurrogateBank`); ``"loop"`` trains the K x T members one by one
+        (the original path, numerically equivalent for the default
+        ``pretrain_epochs=0`` — the optional MSE warm start uses
+        independent random head draws in each engine); ``"auto"``
+        (default) picks ``"batched"`` except for the Thompson
+        acquisition, which samples individual members and therefore
+        needs the loop path.
     """
 
     algorithm_name = "NN-BO"
@@ -79,6 +90,7 @@ class NNBO(SurrogateBO):
         acq_maximizer=None,
         acquisition: str = "wei",
         log_space_acq: bool | None = None,
+        engine: str = "auto",
         seed=None,
         verbose: bool = False,
         callback=None,
@@ -92,6 +104,13 @@ class NNBO(SurrogateBO):
         self.lr = float(lr)
         self.pretrain_epochs = int(pretrain_epochs)
         self.patience = patience
+        if engine not in ("auto", "batched", "loop"):
+            raise ValueError(
+                f"engine must be 'auto', 'batched' or 'loop', got {engine!r}"
+            )
+        if engine == "auto":
+            engine = "loop" if acquisition == "thompson" else "batched"
+        self.engine = engine
 
         def member_factory(rng):
             return NeuralFeatureGP(
@@ -117,6 +136,27 @@ class NNBO(SurrogateBO):
             )
             return _TrainedEnsemble(ensemble, trainer_factory)
 
+        def batched_trainer_factory():
+            return BatchedFeatureGPTrainer(
+                epochs=self.epochs,
+                lr=self.lr,
+                pretrain_epochs=self.pretrain_epochs,
+                patience=self.patience,
+            )
+
+        def surrogate_bank_factory(rng, n_targets):
+            return SurrogateBank(
+                input_dim=problem.dim,
+                n_targets=n_targets,
+                n_members=self.n_ensemble,
+                hidden_dims=self.hidden_dims,
+                n_features=self.n_features,
+                activation=self.activation,
+                output_activation=self.output_activation,
+                trainer_factory=batched_trainer_factory,
+                seed=rng,
+            )
+
         super().__init__(
             problem,
             surrogate_factory,
@@ -125,6 +165,9 @@ class NNBO(SurrogateBO):
             acq_maximizer=acq_maximizer,
             acquisition=acquisition,
             log_space_acq=log_space_acq,
+            surrogate_bank_factory=(
+                surrogate_bank_factory if self.engine == "batched" else None
+            ),
             seed=seed,
             verbose=verbose,
             callback=callback,

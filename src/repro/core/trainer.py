@@ -22,10 +22,11 @@ from repro.core.feature_gp import (
     LOG_PRIOR_BOUNDS,
     NeuralFeatureGP,
 )
+from repro.nn.batched import BatchedLinear
 from repro.nn.layers import Linear
 from repro.nn.losses import mse_loss
-from repro.nn.optimizers import Adam, Optimizer
-from repro.utils.rng import ensure_rng
+from repro.nn.optimizers import Adam, Optimizer, StackedAdam
+from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import check_matrix_2d, check_vector_1d
 
 
@@ -174,3 +175,182 @@ class FeatureGPTrainer:
         model.log_noise_variance = float(params[0])
         model.log_prior_variance = float(params[1])
         model.network.set_flat_params(params[2:])
+
+
+class BatchedFeatureGPTrainer:
+    """Stacked counterpart of :class:`FeatureGPTrainer` for S models at once.
+
+    Runs the identical training procedure on a
+    :class:`~repro.core.batched_gp.BatchedNeuralFeatureGP`: every slice's
+    parameter row evolves exactly as a dedicated :class:`FeatureGPTrainer`
+    would evolve that member — the same Adam updates
+    (:class:`~repro.nn.optimizers.StackedAdam` with per-slice state), the
+    same best/stall bookkeeping, the same restart-from-best on a non-finite
+    likelihood, and the same early stop (a stalled slice is frozen while
+    the rest keep training).  The only difference is wall-clock: one epoch
+    advances all S models through stacked tensor operations.
+
+    One caveat: the exact slice-for-slice equivalence holds for the NLL
+    training phase (the default, ``pretrain_epochs=0``).  The optional MSE
+    pre-training warm start draws its throwaway head weights from this
+    trainer's own random stream (one sub-stream per slice), which cannot
+    replicate the serial path's per-member head draws — with pretraining
+    enabled the two engines are statistically equivalent but not
+    numerically identical.
+
+    Parameters mirror :class:`FeatureGPTrainer`; ``loss_history`` holds one
+    ``(S,)`` NLL vector per epoch.
+    """
+
+    def __init__(
+        self,
+        epochs: int = 500,
+        lr: float = 5e-3,
+        pretrain_epochs: int = 0,
+        pretrain_lr: float = 1e-2,
+        patience: int | None = 100,
+        optimizer_factory=None,
+        seed=None,
+    ):
+        if epochs < 0 or pretrain_epochs < 0:
+            raise ValueError("epoch counts must be non-negative")
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.pretrain_epochs = int(pretrain_epochs)
+        self.pretrain_lr = float(pretrain_lr)
+        self.patience = patience
+        self._optimizer_factory = optimizer_factory or (lambda: StackedAdam(lr=self.lr))
+        self._rng = ensure_rng(seed)
+        self.loss_history: list[np.ndarray] = []
+
+    # -- public API -------------------------------------------------------------
+
+    def train(self, model, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Train all slices; return the per-slice best NLL, shape ``(S,)``.
+
+        ``z`` has shape ``(S, N)`` in the model's normalized-target units
+        (the contract with ``BatchedNeuralFeatureGP.fit``).
+        """
+        x = check_matrix_2d(x, "x", model.input_dim)
+        z = np.asarray(z, dtype=float)
+        if z.shape != (model.n_stack, x.shape[0]):
+            raise ValueError(
+                f"expected z shape ({model.n_stack}, {x.shape[0]}), got {z.shape}"
+            )
+        self.loss_history = []
+        if self.pretrain_epochs > 0:
+            self._pretrain(model, x, z)
+        if self.epochs > 0:
+            return self._train_nll(model, x, z)
+        feats = model.features(x)
+        return model.marginal_nll(feats, z)
+
+    # -- phases -----------------------------------------------------------------
+
+    def _pretrain(self, model, x: np.ndarray, z: np.ndarray):
+        """MSE warm start with throwaway per-slice linear heads."""
+        s_stack = model.n_stack
+        head = BatchedLinear(model.n_features, 1, rngs=spawn_rngs(self._rng, s_stack))
+        optimizer = StackedAdam(lr=self.pretrain_lr)
+        net = model.network
+        params = np.concatenate(
+            [
+                net.get_stacked_params(),
+                head.weight.reshape(s_stack, -1),
+                head.bias.reshape(s_stack, -1),
+            ],
+            axis=1,
+        )
+        n_net = net.num_params_per_slice
+        target = z[..., None]
+        n = x.shape[0]
+        for _ in range(self.pretrain_epochs):
+            net.set_stacked_params(params[:, :n_net])
+            head.weight[...] = params[:, n_net:-1].reshape(head.weight.shape)
+            head.bias[...] = params[:, -1:].reshape(head.bias.shape)
+            feats = net.forward(x)
+            pred = head.forward(feats)
+            # per-slice MSE gradient (the serial loss normalizes by one
+            # member's residual count, not the whole stack's)
+            grad_pred = 2.0 * (pred - target) / n
+            head.zero_grad()
+            grad_feats = head.backward(grad_pred)
+            net.zero_grad()
+            net.backward(grad_feats)
+            grads = np.concatenate(
+                [
+                    net.get_stacked_grads(),
+                    head.grad_weight.reshape(s_stack, -1),
+                    head.grad_bias.reshape(s_stack, -1),
+                ],
+                axis=1,
+            )
+            params = optimizer.step(params, grads)
+        net.set_stacked_params(params[:, :n_net])
+
+    def _train_nll(self, model, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Stacked full-batch Adam on ``[log sigma_n^2, log sigma_p^2, eta]``."""
+        optimizer = self._optimizer_factory()
+        net = model.network
+        s_stack = model.n_stack
+        params = np.concatenate(
+            [
+                np.stack([model.log_noise_variance, model.log_prior_variance], axis=1),
+                net.get_stacked_params(),
+            ],
+            axis=1,
+        )
+        best_nll = np.full(s_stack, np.inf)
+        best_params = params.copy()
+        stall = np.zeros(s_stack, dtype=int)
+        active = np.ones(s_stack, dtype=bool)
+        for _ in range(self.epochs):
+            if not active.any():
+                break
+            self._write_params(model, params)
+            feats = model.features(x)
+            nll, dfeats, d_log_noise, d_log_prior = model.marginal_nll(
+                feats, z, with_grads=True
+            )
+            self.loss_history.append(np.asarray(nll, dtype=float).copy())
+            finite = np.isfinite(nll)
+            bad = active & ~finite
+            if bad.any():
+                # restart those slices from their best point (serial: params
+                # reset + optimizer.reset + continue)
+                params[bad] = best_params[bad]
+                optimizer.reset_slices(bad)
+                stall[bad] += 1
+                if self.patience is not None:
+                    active &= ~(bad & (stall > self.patience))
+            improved = active & finite & (nll < best_nll - 1e-9)
+            if improved.any():
+                best_nll[improved] = nll[improved]
+                best_params[improved] = params[improved]
+                stall[improved] = 0
+            worse = active & finite & ~improved
+            stall[worse] += 1
+            if self.patience is not None:
+                # serial breaks before taking the step, so freeze first
+                active &= ~(worse & (stall > self.patience))
+            step_mask = active & finite
+            if step_mask.any():
+                grad_eta = model.backprop_feature_grad(dfeats)
+                grads = np.concatenate(
+                    [d_log_noise[:, None], d_log_prior[:, None], grad_eta], axis=1
+                )
+                params = optimizer.step(params, grads, mask=step_mask)
+                params[:, 0] = np.clip(params[:, 0], *LOG_NOISE_BOUNDS)
+                params[:, 1] = np.clip(params[:, 1], *LOG_PRIOR_BOUNDS)
+        self._write_params(model, best_params)
+        if np.all(np.isfinite(best_nll)):
+            return best_nll
+        feats = model.features(x)
+        fallback = model.marginal_nll(feats, z)
+        return np.where(np.isfinite(best_nll), best_nll, fallback)
+
+    @staticmethod
+    def _write_params(model, params: np.ndarray):
+        model.log_noise_variance = params[:, 0].copy()
+        model.log_prior_variance = params[:, 1].copy()
+        model.network.set_stacked_params(params[:, 2:])

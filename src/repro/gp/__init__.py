@@ -7,7 +7,12 @@ N x N covariance matrix must be factorized (paper Sec. II-C / III-D).
 
 from repro.gp.gpr import GPRegression
 from repro.gp.kernels import Kernel, Matern52, RBF
-from repro.gp.linalg import jitter_cholesky, solve_cholesky
+from repro.gp.linalg import (
+    batched_jitter_cholesky,
+    jitter_cholesky,
+    lapack_jitter_cholesky,
+    solve_cholesky,
+)
 from repro.gp.mean import ConstantMean
 
 __all__ = [
@@ -16,6 +21,8 @@ __all__ = [
     "Kernel",
     "Matern52",
     "RBF",
+    "batched_jitter_cholesky",
     "jitter_cholesky",
+    "lapack_jitter_cholesky",
     "solve_cholesky",
 ]

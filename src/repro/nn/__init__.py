@@ -11,14 +11,17 @@ be optimized jointly by one Adam instance.
 """
 
 from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Softplus, Tanh
+from repro.nn.batched import BatchedLinear, BatchedSequential, make_batched_mlp
 from repro.nn.initializers import he_normal, xavier_uniform, zeros_init
 from repro.nn.layers import Layer, Linear
 from repro.nn.losses import mse_loss
 from repro.nn.network import Sequential, make_mlp
-from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.optimizers import SGD, Adam, Optimizer, StackedAdam
 
 __all__ = [
     "Adam",
+    "BatchedLinear",
+    "BatchedSequential",
     "Identity",
     "Layer",
     "LeakyReLU",
@@ -29,8 +32,10 @@ __all__ = [
     "Sequential",
     "Sigmoid",
     "Softplus",
+    "StackedAdam",
     "Tanh",
     "he_normal",
+    "make_batched_mlp",
     "make_mlp",
     "mse_loss",
     "xavier_uniform",

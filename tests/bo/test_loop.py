@@ -3,14 +3,28 @@
 import numpy as np
 import pytest
 
+from repro.acquisition.maximize import AcquisitionMaximizer
 from repro.bo.loop import SurrogateBO, _sanitize_targets
 from repro.bo.problem import FunctionProblem
 from repro.benchfns import toy_constrained_quadratic
+from repro.core import BatchedFeatureGPTrainer, SurrogateBank
 from repro.gp import GPRegression
 
 
 def gp_factory(rng):
     return GPRegression(n_restarts=1, seed=rng)
+
+
+def tiny_bank_factory(rng, n_targets):
+    return SurrogateBank(
+        2,
+        n_targets=n_targets,
+        n_members=2,
+        hidden_dims=(10, 10),
+        n_features=6,
+        trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=25),
+        seed=rng,
+    )
 
 
 class TestLoopMechanics:
@@ -73,6 +87,122 @@ class TestLoopMechanics:
         a = SurrogateBO(problem, gp_factory, n_initial=5, max_evaluations=9, seed=5).run()
         b = SurrogateBO(problem, gp_factory, n_initial=5, max_evaluations=9, seed=5).run()
         np.testing.assert_allclose(a.x_matrix, b.x_matrix)
+
+    def test_requires_some_surrogate_source(self):
+        with pytest.raises(ValueError):
+            SurrogateBO(toy_constrained_quadratic(2), n_initial=4, max_evaluations=6)
+
+    def test_bank_rejects_thompson(self):
+        with pytest.raises(ValueError):
+            SurrogateBO(
+                toy_constrained_quadratic(2),
+                surrogate_bank_factory=tiny_bank_factory,
+                acquisition="thompson",
+                n_initial=4,
+                max_evaluations=6,
+            )
+
+    def test_cache_counters_on_result(self):
+        """A fresh problem records only misses; rerunning the same points
+        on the same problem instance hits the memoization cache."""
+        problem = toy_constrained_quadratic(2)
+        result = SurrogateBO(
+            problem, gp_factory, n_initial=5, max_evaluations=8, seed=0
+        ).run()
+        assert result.cache_misses == result.n_evaluations
+        assert result.cache_hits == 0
+        again = SurrogateBO(
+            problem, gp_factory, n_initial=5, max_evaluations=8, seed=0
+        ).run()
+        # identical seed -> the 5 initial-design points repeat exactly
+        assert again.cache_hits >= 5
+
+
+class TestBankPath:
+    def test_bank_driven_run(self):
+        problem = toy_constrained_quadratic(2)
+        bo = SurrogateBO(
+            problem,
+            surrogate_bank_factory=tiny_bank_factory,
+            n_initial=6,
+            max_evaluations=9,
+            seed=2,
+        )
+        result = bo.run()
+        assert result.n_evaluations == 9
+        assert bo.surrogate_factory is None
+
+    def test_bank_preferred_over_factory(self):
+        """With both sources configured, _propose fits through the bank."""
+        problem = toy_constrained_quadratic(2)
+        calls = []
+
+        def counting_factory(rng):
+            calls.append(1)
+            return GPRegression(n_restarts=1, seed=rng)
+
+        bo = SurrogateBO(
+            problem,
+            counting_factory,
+            surrogate_bank_factory=tiny_bank_factory,
+            n_initial=5,
+            max_evaluations=7,
+            seed=0,
+        )
+        bo.run()
+        assert calls == []
+
+
+class TestDuplicateResampling:
+    class _ReturnExisting(AcquisitionMaximizer):
+        """Always proposes the first already-evaluated design."""
+
+        def __init__(self, outer):
+            self.outer = outer
+
+        def maximize(self, acquisition, dim, rng=None):
+            return self.outer["x0"].copy()
+
+    def test_resampled_point_is_not_a_duplicate(self):
+        problem = toy_constrained_quadratic(2)
+        holder = {}
+        bo = SurrogateBO(
+            problem,
+            gp_factory,
+            n_initial=4,
+            max_evaluations=8,
+            acq_maximizer=self._ReturnExisting(holder),
+            duplicate_tol=1e-6,
+            seed=7,
+        )
+        original_propose = bo._propose
+        seen = []
+
+        def spying_propose(x_unit, result):
+            holder["x0"] = x_unit[0]
+            proposal = original_propose(x_unit, result)
+            seen.append((proposal, x_unit.copy()))
+            return proposal
+
+        bo._propose = spying_propose
+        bo.run()
+        assert seen, "search phase never ran"
+        for proposal, x_unit in seen:
+            dists = np.max(np.abs(x_unit - proposal[None, :]), axis=1)
+            assert np.all(dists >= bo.duplicate_tol)
+
+    def test_resample_is_bounded(self):
+        """When every draw is a duplicate the loop terminates anyway."""
+        problem = toy_constrained_quadratic(1)
+        bo = SurrogateBO(
+            problem, gp_factory, n_initial=2, max_evaluations=3,
+            duplicate_tol=2.0,  # the whole unit box is "duplicate"
+            seed=0,
+        )
+        x_unit = np.array([[0.5]])
+        proposal = bo._resample_non_duplicate(x_unit)
+        assert proposal.shape == (1,)
+        assert 0.0 <= proposal[0] <= 1.0
 
 
 class TestOptimizationQuality:

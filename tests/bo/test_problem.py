@@ -91,3 +91,75 @@ class TestFunctionProblem:
 
     def test_repr(self):
         assert "quad" in repr(self.make())
+
+
+class TestEvaluationCache:
+    def make_counting(self):
+        calls = []
+
+        def objective(x):
+            calls.append(x.copy())
+            return float(np.sum(x**2))
+
+        prob = FunctionProblem("counting", [-1.0, -1.0], [1.0, 1.0], objective)
+        return prob, calls
+
+    def test_repeat_evaluation_hits_cache(self):
+        prob, calls = self.make_counting()
+        u = np.array([0.25, 0.75])
+        first = prob.evaluate_unit(u)
+        second = prob.evaluate_unit(u)
+        assert len(calls) == 1
+        assert second is first
+        assert prob.cache_stats == (1, 1)
+
+    def test_rounded_coordinates_share_an_entry(self):
+        prob, calls = self.make_counting()
+        prob.evaluate_unit(np.array([0.25, 0.75]))
+        # perturbation below the cache resolution (1e-12 decimals)
+        prob.evaluate_unit(np.array([0.25 + 1e-14, 0.75]))
+        assert len(calls) == 1
+        assert prob.n_cache_hits == 1
+
+    def test_points_finer_than_duplicate_tol_stay_distinct(self):
+        """Resolution is finer than the optimizers' duplicate_tol, so two
+        accepted (non-duplicate) proposals never alias one entry."""
+        prob, calls = self.make_counting()
+        prob.evaluate_unit(np.array([0.25, 0.75]))
+        prob.evaluate_unit(np.array([0.25 + 1e-9, 0.75]))
+        assert len(calls) == 2
+
+    def test_cache_opt_out_for_stochastic_problems(self):
+        prob, calls = self.make_counting()
+        prob.cache_evaluations = False
+        u = np.array([0.25, 0.75])
+        prob.evaluate_unit(u)
+        prob.evaluate_unit(u)
+        assert len(calls) == 2
+        assert prob.cache_stats == (0, 0)
+
+    def test_distinct_points_both_simulate(self):
+        prob, calls = self.make_counting()
+        prob.evaluate_unit(np.array([0.25, 0.75]))
+        prob.evaluate_unit(np.array([0.26, 0.75]))
+        assert len(calls) == 2
+        assert prob.cache_stats == (0, 2)
+
+    def test_clear_cache_forces_resimulation(self):
+        prob, calls = self.make_counting()
+        u = np.array([0.5, 0.5])
+        prob.evaluate_unit(u)
+        prob.clear_evaluation_cache()
+        prob.evaluate_unit(u)
+        assert len(calls) == 2
+        # counters survive the clear
+        assert prob.cache_stats == (0, 2)
+
+    def test_out_of_box_points_clip_to_same_key(self):
+        """Clipping happens before the cache key, so points outside the
+        box alias to their clipped design (same simulator behaviour)."""
+        prob, calls = self.make_counting()
+        prob.evaluate_unit(np.array([1.0, 0.5]))
+        prob.evaluate_unit(np.array([1.7, 0.5]))
+        assert len(calls) == 1
+        assert prob.n_cache_hits == 1

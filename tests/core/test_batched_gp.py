@@ -1,0 +1,226 @@
+"""Tests for the batched surrogate engine (stacked GP + SurrogateBank).
+
+The engine's headline contract: training and predicting S stacked models
+is *numerically equivalent* to fitting the S members one by one — the
+seeded equivalence tests here pin batched-vs-loop agreement to <= 1e-8
+(means are bitwise identical by construction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedFeatureGPTrainer,
+    BatchedNeuralFeatureGP,
+    DeepEnsemble,
+    FeatureGPTrainer,
+    NeuralFeatureGP,
+    SurrogateBank,
+    serial_reference_bank,
+)
+
+KW = dict(hidden_dims=(12, 12), n_features=8)
+
+
+def make_data(n=24, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(size=(n, d))
+    targets = np.stack(
+        [
+            np.sin(3.0 * x[:, 0]) + x[:, 1],
+            np.cos(2.0 * x[:, 1]) - 0.5 * x[:, 2],
+        ]
+    )
+    return x, targets
+
+
+class TestBatchedNeuralFeatureGP:
+    def test_construction_and_shapes(self):
+        gp = BatchedNeuralFeatureGP(3, n_stack=4, seed=0, **KW)
+        assert gp.n_stack == 4
+        assert gp.feature_dim == 9  # 8 features + bias column
+        assert gp.noise_variance.shape == (4,)
+        feats = gp.features(np.zeros((5, 3)))
+        assert feats.shape == (4, 5, 9)
+        np.testing.assert_array_equal(feats[:, :, -1], np.ones((4, 5)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchedNeuralFeatureGP(3, n_stack=0, **KW)
+        with pytest.raises(ValueError):
+            BatchedNeuralFeatureGP(3, n_stack=2, noise_variance=-1.0, **KW)
+        with pytest.raises(ValueError):
+            BatchedNeuralFeatureGP(3, n_stack=2, seed=[0], **KW)  # wrong count
+        gp = BatchedNeuralFeatureGP(3, n_stack=2, seed=0, **KW)
+        x, targets = make_data()
+        with pytest.raises(ValueError):
+            gp.fit(x, np.zeros((3, x.shape[0])))  # wrong target stack
+        with pytest.raises(RuntimeError):
+            gp.predict(x)  # not fitted
+
+    def test_marginal_nll_matches_serial(self):
+        """Stacked NLL and gradients == per-member values on shared data."""
+        x, targets = make_data()
+        seeds = [21, 22]
+        serial = [NeuralFeatureGP(3, seed=np.random.default_rng(s), **KW) for s in seeds]
+        batched = BatchedNeuralFeatureGP(
+            3, n_stack=2, seed=[np.random.default_rng(s) for s in seeds], **KW
+        )
+        z = np.stack([targets[0], targets[1]])
+        feats_b = batched.features(x)
+        nll_b, dfeats_b, dln_b, dlp_b = batched.marginal_nll(feats_b, z, with_grads=True)
+        for s, model in enumerate(serial):
+            feats_s = model.features(x)
+            nll_s, dfeats_s, dln_s, dlp_s = model.marginal_nll(
+                feats_s, z[s], with_grads=True
+            )
+            assert nll_b[s] == nll_s
+            np.testing.assert_array_equal(dfeats_b[s], dfeats_s)
+            assert dln_b[s] == dln_s and dlp_b[s] == dlp_s
+
+    def test_seeded_training_equivalence(self):
+        """Full fit: batched predictions == per-member loop within 1e-8.
+
+        Uses a patience small enough that early stopping actually triggers
+        for some slices, exercising the per-slice freeze bookkeeping.
+        """
+        x, targets = make_data(n=30)
+        seeds = [31, 32, 33, 34]
+        z_rows = [targets[0], targets[0], targets[1], targets[1]]
+
+        serial = []
+        for s, y in zip(seeds, z_rows):
+            model = NeuralFeatureGP(3, seed=np.random.default_rng(s), **KW)
+            model.fit(x, y, trainer=FeatureGPTrainer(epochs=80, patience=15))
+            serial.append(model)
+
+        batched = BatchedNeuralFeatureGP(
+            3, n_stack=4, seed=[np.random.default_rng(s) for s in seeds], **KW
+        )
+        batched.fit(
+            x,
+            np.stack(z_rows),
+            trainer=BatchedFeatureGPTrainer(epochs=80, patience=15),
+        )
+
+        x_query = np.random.default_rng(77).uniform(size=(11, 3))
+        means_b, vars_b = batched.predict(x_query)
+        for s, model in enumerate(serial):
+            mean_s, var_s = model.predict(x_query)
+            np.testing.assert_allclose(means_b[s], mean_s, atol=1e-8, rtol=0)
+            np.testing.assert_allclose(vars_b[s], var_s, atol=1e-8, rtol=0)
+
+    def test_shared_1d_targets_broadcast(self):
+        x, targets = make_data()
+        gp = BatchedNeuralFeatureGP(3, n_stack=3, seed=5, **KW)
+        gp.fit(x, targets[0], trainer=BatchedFeatureGPTrainer(epochs=20))
+        mean, var = gp.predict(x[:4])
+        assert mean.shape == (3, 4)
+        assert np.all(var > 0)
+
+    def test_loss_history_per_slice(self):
+        x, targets = make_data()
+        trainer = BatchedFeatureGPTrainer(epochs=15, patience=None)
+        gp = BatchedNeuralFeatureGP(3, n_stack=2, seed=1, **KW)
+        gp.fit(x, np.stack([targets[0], targets[1]]), trainer=trainer)
+        assert len(trainer.loss_history) == 15
+        assert trainer.loss_history[0].shape == (2,)
+
+
+class TestSurrogateBank:
+    def test_shapes_and_layout(self):
+        x, targets = make_data()
+        bank = SurrogateBank(
+            3,
+            n_targets=2,
+            n_members=3,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=15),
+            seed=0,
+            **KW,
+        )
+        assert bank.n_stack == 6
+        bank.fit(x, targets)
+        x_query = x[:5]
+        mu, var = bank.predict_target(0, x_query)
+        assert mu.shape == (5,) and var.shape == (5,)
+        assert np.all(var > 0)
+        k_means, k_vars = bank.member_predictions(1, x_query)
+        assert k_means.shape == (3, 5) and k_vars.shape == (3, 5)
+
+    def test_target_model_protocol(self):
+        x, targets = make_data()
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=2,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=10),
+            seed=0, **KW,
+        )
+        bank.fit(x, targets)
+        model = bank.target_model(1)
+        mu, var = model.predict(x[:4])
+        np.testing.assert_array_equal(mu, bank.predict_target(1, x[:4])[0])
+        np.testing.assert_array_equal(var, bank.predict_target(1, x[:4])[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateBank(3, n_targets=0, **KW)
+        with pytest.raises(ValueError):
+            SurrogateBank(3, n_targets=1, n_members=0, **KW)
+        bank = SurrogateBank(3, n_targets=2, n_members=2, seed=0, **KW)
+        x, targets = make_data()
+        with pytest.raises(ValueError):
+            bank.fit(x, targets[0])  # 1-D targets
+        with pytest.raises(IndexError):
+            bank.target_model(2)
+        with pytest.raises(IndexError):
+            bank.predict_target(-1, x)
+
+    def test_combine_matches_deep_ensemble_formula(self):
+        """Bank moment matching == DeepEnsemble.predict on the same members."""
+        x, targets = make_data()
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=3,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=15),
+            seed=4, **KW,
+        )
+        bank.fit(x, targets)
+        x_query = x[:6]
+        for t in range(2):
+            k_means, k_vars = bank.member_predictions(t, x_query)
+
+            class _Fixed:
+                def __init__(self, mean, var):
+                    self._mean, self._var = mean, var
+
+                def predict(self, _):
+                    return self._mean, self._var
+
+            ensemble = DeepEnsemble(
+                [_Fixed(k_means[k], k_vars[k]) for k in range(3)]
+            )
+            mu_ref, var_ref = ensemble.predict(x_query)
+            mu, var = bank.predict_target(t, x_query)
+            np.testing.assert_array_equal(mu, mu_ref)
+            np.testing.assert_array_equal(var, var_ref)
+
+    def test_matches_serial_reference_bank(self):
+        """End-to-end: bank == per-member loop with the same seed stream."""
+        x, targets = make_data(n=26)
+        seed = 99
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=2,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=60),
+            seed=np.random.default_rng(seed), **KW,
+        )
+        bank.fit(x, targets)
+        reference = serial_reference_bank(
+            3, n_targets=2, n_members=2,
+            member_kwargs=KW, seed=np.random.default_rng(seed),
+        )
+        x_query = np.random.default_rng(8).uniform(size=(7, 3))
+        for t in range(2):
+            means_b, vars_b = bank.member_predictions(t, x_query)
+            for k, model in enumerate(reference[t]):
+                model.fit(x, targets[t], trainer=FeatureGPTrainer(epochs=60))
+                mean_s, var_s = model.predict(x_query)
+                np.testing.assert_allclose(means_b[k], mean_s, atol=1e-8, rtol=0)
+                np.testing.assert_allclose(vars_b[k], var_s, atol=1e-8, rtol=0)

@@ -76,3 +76,38 @@ class TestNNBO:
         a = tiny_nnbo(toy_constrained_quadratic(2), seed=9).run()
         b = tiny_nnbo(toy_constrained_quadratic(2), seed=9).run()
         np.testing.assert_allclose(a.x_matrix, b.x_matrix)
+
+
+class TestEngineSelection:
+    def test_default_engine_is_batched(self):
+        nnbo = tiny_nnbo(toy_constrained_quadratic(2))
+        assert nnbo.engine == "batched"
+        assert nnbo.surrogate_bank_factory is not None
+
+    def test_thompson_auto_falls_back_to_loop(self):
+        nnbo = tiny_nnbo(toy_constrained_quadratic(2), acquisition="thompson")
+        assert nnbo.engine == "loop"
+        assert nnbo.surrogate_bank_factory is None
+
+    def test_invalid_engine_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            tiny_nnbo(toy_constrained_quadratic(2), engine="warp")
+
+    def test_batched_and_loop_agree(self):
+        """The batched engine replays the loop path exactly: same rng
+        stream, numerically equivalent surrogates, same proposals."""
+        a = tiny_nnbo(toy_constrained_quadratic(2), seed=4).run()
+        b = tiny_nnbo(toy_constrained_quadratic(2), seed=4, engine="loop").run()
+        np.testing.assert_allclose(a.x_matrix, b.x_matrix, atol=1e-10)
+
+    def test_bank_factory_builds_configured_bank(self):
+        from repro.core import SurrogateBank
+
+        nnbo = tiny_nnbo(toy_constrained_quadratic(2), n_ensemble=3)
+        bank = nnbo.surrogate_bank_factory(np.random.default_rng(0), 2)
+        assert isinstance(bank, SurrogateBank)
+        assert bank.n_targets == 2
+        assert bank.n_members == 3
+        assert bank.n_stack == 6

@@ -106,3 +106,37 @@ class TestRunRepeats:
     def test_rejects_zero_repeats(self):
         with pytest.raises(ValueError):
             run_repeats(lambda s: None, n_repeats=0)
+
+
+def _seeded_optimizer(seed):
+    """Module-level (hence picklable) factory for the parallel tests."""
+    rng = np.random.default_rng(seed)
+    return FakeOptimizer(fake_result(rng.uniform(1.0, 2.0, size=3).tolist()))
+
+
+class TestParallelRunRepeats:
+    def test_parallel_matches_serial(self):
+        """Same seeds, same results, same order — workers change nothing."""
+        serial = run_repeats(_seeded_optimizer, n_repeats=4, seed=3)
+        parallel = run_repeats(_seeded_optimizer, n_repeats=4, seed=3, n_workers=2)
+        assert len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(a.objectives, b.objectives)
+            np.testing.assert_array_equal(a.x_matrix, b.x_matrix)
+
+    def test_workers_capped_by_repeats(self):
+        results = run_repeats(_seeded_optimizer, n_repeats=2, seed=1, n_workers=8)
+        assert len(results) == 2
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        reference = run_repeats(_seeded_optimizer, n_repeats=3, seed=5)
+        with pytest.warns(UserWarning, match="not picklable"):
+            results = run_repeats(
+                lambda s: _seeded_optimizer(s), n_repeats=3, seed=5, n_workers=2
+            )
+        for a, b in zip(reference, results):
+            np.testing.assert_array_equal(a.objectives, b.objectives)
+
+    def test_n_workers_one_is_serial(self):
+        results = run_repeats(_seeded_optimizer, n_repeats=2, seed=0, n_workers=1)
+        assert len(results) == 2

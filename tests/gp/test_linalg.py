@@ -49,3 +49,48 @@ class TestSolvers:
         chol = jitter_cholesky(mat)
         expected = np.linalg.slogdet(mat)[1]
         assert log_det_from_cholesky(chol) == pytest.approx(expected, rel=1e-10)
+
+
+class TestBatchedLinalg:
+    def make_stack(self, rng, s=4, m=6):
+        mats = []
+        for _ in range(s):
+            a = rng.normal(size=(m, m))
+            mats.append(a @ a.T + m * np.eye(m))
+        return np.stack(mats)
+
+    def test_lapack_cholesky_matches_scipy(self, rng):
+        from repro.gp.linalg import lapack_jitter_cholesky
+
+        for _ in range(5):
+            a = rng.normal(size=(6, 6))
+            mat = a @ a.T + 6 * np.eye(6)
+            np.testing.assert_array_equal(
+                lapack_jitter_cholesky(mat), jitter_cholesky(mat)
+            )
+
+    def test_lapack_cholesky_jitter_fallback(self, rng):
+        """A semidefinite matrix routes through the jitter ladder."""
+        from repro.gp.linalg import lapack_jitter_cholesky
+
+        v = rng.normal(size=5)
+        mat = np.outer(v, v)  # rank-1, dpotrf fails
+        chol = lapack_jitter_cholesky(mat)
+        np.testing.assert_allclose(chol @ chol.T, mat, atol=1e-6)
+
+    def test_batched_cholesky_matches_per_slice(self, rng):
+        from repro.gp.linalg import batched_jitter_cholesky
+
+        mats = self.make_stack(rng)
+        chols = batched_jitter_cholesky(mats)
+        for mat, chol in zip(mats, chols):
+            np.testing.assert_array_equal(chol, jitter_cholesky(mat))
+
+    def test_batched_cholesky_rejects_bad_shape(self):
+        from repro.gp.linalg import batched_jitter_cholesky
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            batched_jitter_cholesky(np.zeros((3, 4)))
+        with _pytest.raises(ValueError):
+            batched_jitter_cholesky(np.zeros((2, 3, 4)))
