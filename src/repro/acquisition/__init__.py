@@ -13,6 +13,12 @@ from repro.acquisition.base import (
     probability_of_improvement,
     upper_confidence_bound,
 )
+from repro.acquisition.fantasy import (
+    FANTASY_STRATEGIES,
+    FantasyModelSet,
+    constraint_lies,
+    objective_lie,
+)
 from repro.acquisition.maximize import (
     AcquisitionMaximizer,
     DifferentialEvolutionMaximizer,
@@ -23,10 +29,14 @@ from repro.acquisition.wei import WeightedExpectedImprovement
 __all__ = [
     "AcquisitionMaximizer",
     "DifferentialEvolutionMaximizer",
+    "FANTASY_STRATEGIES",
+    "FantasyModelSet",
     "RandomSearchMaximizer",
     "WeightedExpectedImprovement",
+    "constraint_lies",
     "expected_improvement",
     "lower_confidence_bound",
+    "objective_lie",
     "probability_of_feasibility",
     "probability_of_improvement",
     "upper_confidence_bound",

@@ -1,0 +1,106 @@
+"""Fantasy (constant-liar / Kriging-believer) updates for q-point proposals.
+
+Greedy q-point acquisition picks candidates one at a time; between picks the
+surrogates must pretend the pending candidates have already been evaluated,
+otherwise every pick lands on the same argmax.  The pretend value is the
+*lie*:
+
+* ``"believer"`` — the model's own posterior mean at the pending point
+  (Kriging believer); also used for every constraint model regardless of
+  strategy, since constraint means are the natural feasibility stand-in.
+* ``"cl-min"`` / ``"cl-max"`` — the best / worst objective value observed
+  so far (classic constant liar; ``cl-min`` is optimistic and explores
+  harder, ``cl-max`` is pessimistic and packs picks tighter).
+
+Two conditioning paths exist.  The batched :class:`~repro.core.batched_gp.
+SurrogateBank` exposes ``fantasize`` (a cheap posterior-only rank update
+through the stacked engine).  For the per-target legacy surrogates this
+module provides :class:`FantasyModelSet`: models exposing ``condition_on``
+get the same posterior-only update, anything else (e.g. the WEIBO GP
+baseline) is refit on the augmented dataset — the textbook constant-liar
+procedure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FANTASY_STRATEGIES = ("believer", "cl-min", "cl-max")
+
+
+def objective_lie(
+    objective_model, u: np.ndarray, observed: np.ndarray, strategy: str
+) -> float:
+    """The lie value recorded for the objective at pending point ``u``."""
+    if strategy not in FANTASY_STRATEGIES:
+        raise ValueError(
+            f"fantasy strategy must be one of {FANTASY_STRATEGIES}, got {strategy!r}"
+        )
+    observed = np.asarray(observed, dtype=float)
+    if strategy == "cl-min" and observed.size:
+        return float(np.min(observed))
+    if strategy == "cl-max" and observed.size:
+        return float(np.max(observed))
+    mean, _ = objective_model.predict(np.atleast_2d(np.asarray(u, dtype=float)))
+    return float(np.asarray(mean).ravel()[0])
+
+
+def constraint_lies(constraint_models, u: np.ndarray) -> list[float]:
+    """Believer lies (posterior means) for every constraint at ``u``."""
+    u2 = np.atleast_2d(np.asarray(u, dtype=float))
+    lies = []
+    for model in constraint_models:
+        mean, _ = model.predict(u2)
+        lies.append(float(np.asarray(mean).ravel()[0]))
+    return lies
+
+
+class FantasyModelSet:
+    """Per-target surrogates plus the training data their fantasies extend.
+
+    Wraps the legacy (non-bank) fit of one BO iteration: the objective
+    model, the constraint models, and the sanitized targets each was
+    fitted on.  :meth:`add_fantasy` conditions every model on a pending
+    point — via ``condition_on`` when the model supports a posterior-only
+    update, else by refitting on the augmented dataset.  Models are
+    per-iteration throwaways, so conditioning mutates them in place.
+    """
+
+    def __init__(self, x, objective_model, objective_y, constraint_models, constraint_ys):
+        self._x_rows = [np.asarray(x, dtype=float)]
+        self.objective_model = objective_model
+        self._objective_y = [np.asarray(objective_y, dtype=float)]
+        self.constraint_models = list(constraint_models)
+        self._constraint_ys = [
+            [np.asarray(y, dtype=float)] for y in constraint_ys
+        ]
+
+    @property
+    def n_fantasies(self) -> int:
+        """Pending points currently conditioning the models."""
+        return len(self._x_rows) - 1
+
+    def add_fantasy(self, u: np.ndarray, obj_lie: float, cons_lies) -> None:
+        """Condition all models on a fantasy observation of ``u``."""
+        u = np.asarray(u, dtype=float).ravel()
+        cons_lies = list(cons_lies)
+        if len(cons_lies) != len(self.constraint_models):
+            raise ValueError(
+                f"expected {len(self.constraint_models)} constraint lies, "
+                f"got {len(cons_lies)}"
+            )
+        self._x_rows.append(u[None, :])
+        self._objective_y.append(np.array([float(obj_lie)]))
+        for ys, lie in zip(self._constraint_ys, cons_lies):
+            ys.append(np.array([float(lie)]))
+        x_aug = np.vstack(self._x_rows)
+        self._condition(self.objective_model, u, obj_lie, x_aug, self._objective_y)
+        for model, lie, ys in zip(self.constraint_models, cons_lies, self._constraint_ys):
+            self._condition(model, u, lie, x_aug, ys)
+
+    @staticmethod
+    def _condition(model, u, lie, x_aug, y_rows):
+        if hasattr(model, "condition_on"):
+            model.condition_on(u, lie)
+        else:
+            model.fit(x_aug, np.concatenate(y_rows))

@@ -24,6 +24,30 @@ class AcquisitionMaximizer:
         """Return the argmax point, shape ``(dim,)``, inside ``[0, 1]^dim``."""
         raise NotImplementedError
 
+    def maximize_batch(
+        self, acquisition_factory, q: int, dim: int, rng=None, postprocess=None
+    ) -> list[np.ndarray]:
+        """Greedy q-point maximization: q sequential inner maximizations.
+
+        ``acquisition_factory(j, picks)`` builds the stage-``j`` acquisition
+        given the picks chosen so far — the hook where fantasy updates
+        (constant liar, Kriging believer, fresh Thompson draws) make the
+        batch diverse instead of q copies of the argmax.  ``postprocess
+        (pick, picks)`` optionally adjusts each pick before it is committed
+        (e.g. duplicate resampling).  With ``q=1`` this reduces exactly to
+        one :meth:`maximize` call, preserving the single-point RNG stream.
+        """
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        picks: list[np.ndarray] = []
+        for j in range(q):
+            acquisition = acquisition_factory(j, picks)
+            pick = self.maximize(acquisition, dim, rng)
+            if postprocess is not None:
+                pick = postprocess(pick, picks)
+            picks.append(pick)
+        return picks
+
 
 class RandomSearchMaximizer(AcquisitionMaximizer):
     """Pick the best of ``n_samples`` uniform points (cheap baseline engine)."""

@@ -53,6 +53,54 @@ class SampledFunction:
         return self.model._y_scaler.inverse_transform(z)
 
 
+class BankThompsonAcquisition:
+    """One constrained Thompson draw through a stacked :class:`SurrogateBank`.
+
+    The bank counterpart of :class:`ThompsonSamplingAcquisition`: for every
+    target (objective first, then each constraint) a member is chosen
+    uniformly and an exact weight-space posterior function is sampled from
+    that member's slice.  One stacked forward pass serves all targets per
+    evaluation, so a q-point Thompson batch costs q acquisition
+    maximizations over the same batched predict path the wEI loop uses.
+
+    Build a fresh instance per draw (one object = one sampled function per
+    target, as with the serial class).
+    """
+
+    _INFEASIBLE_OFFSET = 1e6
+
+    def __init__(self, bank, rng=None):
+        rng = ensure_rng(rng)
+        self.bank = bank
+        gp = bank.gp
+        self._slices: list[int] = []
+        self._weights: list[np.ndarray] = []
+        for t in range(bank.n_targets):
+            k = int(rng.integers(bank.n_members))
+            s = t * bank.n_members + k
+            self._slices.append(s)
+            self._weights.append(gp.sample_slice_weights(s, rng=rng))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        gp = self.bank.gp
+        feats = gp.features(x)
+        values = [
+            (feats[s] @ w) * float(gp._y_scale[s]) + float(gp._y_mean[s])
+            for s, w in zip(self._slices, self._weights)
+        ]
+        objective = values[0]
+        if len(values) == 1:
+            return -objective
+        violation = np.zeros(x.shape[0])
+        for sampled_g in values[1:]:
+            violation += np.maximum(sampled_g, 0.0)
+        feasible = violation <= 0.0
+        return np.where(
+            feasible, -objective, -(self._INFEASIBLE_OFFSET + violation)
+        )
+
+
 class ThompsonSamplingAcquisition:
     """Callable acquisition realizing one constrained Thompson draw.
 

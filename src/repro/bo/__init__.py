@@ -9,15 +9,29 @@ from repro.bo.design import latin_hypercube, random_uniform, sobol_points
 from repro.bo.history import EvaluationRecord, OptimizationResult
 from repro.bo.loop import SurrogateBO
 from repro.bo.problem import Evaluation, FunctionProblem, Problem
+from repro.bo.scheduler import (
+    EvaluationExecutor,
+    EvaluationScheduler,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    ThreadPoolEvaluator,
+    make_evaluator,
+)
 
 __all__ = [
     "Evaluation",
+    "EvaluationExecutor",
     "EvaluationRecord",
+    "EvaluationScheduler",
     "FunctionProblem",
     "OptimizationResult",
     "Problem",
+    "ProcessPoolEvaluator",
+    "SerialEvaluator",
     "SurrogateBO",
+    "ThreadPoolEvaluator",
     "latin_hypercube",
+    "make_evaluator",
     "random_uniform",
     "sobol_points",
 ]

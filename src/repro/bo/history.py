@@ -21,17 +21,35 @@ class EvaluationRecord:
 
     ``phase`` is ``"initial"`` for the random starting set and ``"search"``
     for points proposed by the optimizer.
+
+    Batch provenance (filled by the propose/evaluate scheduler):
+
+    ``iteration``
+        Proposal round this design belongs to (0 for the initial design,
+        1, 2, ... for search batches); ``None`` for records appended
+        outside the scheduler.
+    ``batch_index``
+        Position of this design inside its proposal batch (0..q-1).
+    ``pending``
+        Global record indices of evaluations that were *pending* (proposed
+        but not yet simulated) when this design was proposed — i.e. the
+        fantasy points the q-point acquisition conditioned on.
     """
 
     index: int
     x: np.ndarray
     evaluation: Evaluation
     phase: str = "search"
+    iteration: int | None = None
+    batch_index: int = 0
+    pending: tuple[int, ...] = ()
 
     def __post_init__(self):
         self.x = np.asarray(self.x, dtype=float).ravel()
         if self.phase not in ("initial", "search"):
             raise ValueError(f"unknown phase {self.phase!r}")
+        self.batch_index = int(self.batch_index)
+        self.pending = tuple(int(i) for i in self.pending)
 
 
 class OptimizationResult:
@@ -49,11 +67,25 @@ class OptimizationResult:
 
     # -- recording ------------------------------------------------------------
 
-    def append(self, x: np.ndarray, evaluation: Evaluation, phase: str = "search"):
-        """Add one evaluated design to the trace."""
+    def append(
+        self,
+        x: np.ndarray,
+        evaluation: Evaluation,
+        phase: str = "search",
+        iteration: int | None = None,
+        batch_index: int = 0,
+        pending: tuple[int, ...] = (),
+    ):
+        """Add one evaluated design to the trace (with batch provenance)."""
         self.records.append(
             EvaluationRecord(
-                index=len(self.records), x=x, evaluation=evaluation, phase=phase
+                index=len(self.records),
+                x=x,
+                evaluation=evaluation,
+                phase=phase,
+                iteration=iteration,
+                batch_index=batch_index,
+                pending=pending,
             )
         )
 
@@ -87,6 +119,25 @@ class OptimizationResult:
     def feasible_mask(self) -> np.ndarray:
         """Boolean mask of feasible evaluations."""
         return np.array([r.evaluation.feasible for r in self.records])
+
+    def batches(self, phase: str | None = "search") -> list[list[EvaluationRecord]]:
+        """Records grouped by proposal round, in iteration order.
+
+        Records without scheduler provenance (``iteration is None``) are
+        skipped; pass ``phase=None`` to include the initial design as
+        iteration 0.
+        """
+        grouped: dict[int, list[EvaluationRecord]] = {}
+        for record in self.records:
+            if record.iteration is None:
+                continue
+            if phase is not None and record.phase != phase:
+                continue
+            grouped.setdefault(record.iteration, []).append(record)
+        return [
+            sorted(grouped[it], key=lambda r: r.batch_index)
+            for it in sorted(grouped)
+        ]
 
     # -- summaries ----------------------------------------------------------------
 

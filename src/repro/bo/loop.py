@@ -10,14 +10,33 @@ Per iteration (Fig. 2):
 1. fit one fresh surrogate to the objective and one per constraint
    (fresh = newly constructed by the factory, so hyper-parameters are
    randomly re-initialized each round as in Algorithm 1),
-2. maximize the wEI acquisition (eq. 7) over the unit box,
-3. simulate the proposed design, append it to the dataset.
+2. propose ``q`` designs by greedy q-point acquisition — the wEI path
+   (eq. 7) interleaves constant-liar/Kriging-believer fantasy updates
+   between picks so the batch is diverse, the Thompson path draws ``q``
+   independent posterior functions,
+3. dispatch the batch to a pluggable evaluation executor
+   (:mod:`repro.bo.scheduler`) and ingest the simulations as they land,
+   recording per-candidate provenance (iteration, batch index, pending
+   set) in the history.
+
+``q=1`` with the serial executor reproduces the original single-point
+loop bitwise: the surrogate fits, acquisition maximization, duplicate
+handling and RNG stream are unchanged (pinned by
+``tests/bo/test_scheduler.py``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.acquisition.fantasy import (
+    FANTASY_STRATEGIES,
+    FantasyModelSet,
+    constraint_lies,
+    objective_lie,
+)
 from repro.acquisition.maximize import (
     AcquisitionMaximizer,
     DifferentialEvolutionMaximizer,
@@ -26,7 +45,26 @@ from repro.acquisition.wei import WeightedExpectedImprovement
 from repro.bo.design import make_design
 from repro.bo.history import OptimizationResult
 from repro.bo.problem import Problem
+from repro.bo.scheduler import EvaluationScheduler, make_evaluator
 from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class _IterationModels:
+    """One iteration's fitted surrogates plus their training data.
+
+    ``bank`` is the :class:`~repro.core.batched_gp.SurrogateBank` when the
+    batched engine fitted the targets jointly (``None`` on the legacy
+    per-target path); the fantasy machinery needs the raw sanitized
+    targets either way.
+    """
+
+    objective: object
+    constraints: list
+    bank: object | None
+    x: np.ndarray
+    objective_y: np.ndarray
+    constraint_ys: list
 
 
 class SurrogateBO:
@@ -49,8 +87,7 @@ class SurrogateBO:
         replaces the per-target factory loop with ONE batched fit of the
         objective and all constraints together (the paper method's hot
         path); ``surrogate_factory`` may still be passed alongside for
-        introspection/compatibility but is not called by :meth:`_propose`.
-        Only supported with the ``"wei"`` acquisition.
+        introspection/compatibility but is not called by the proposer.
     n_initial:
         Size of the random initial design (Algorithm 1, line 1).
     max_evaluations:
@@ -61,20 +98,38 @@ class SurrogateBO:
         Inner-loop engine; defaults to
         :class:`DifferentialEvolutionMaximizer`.
     acquisition:
-        ``"wei"`` (paper, eq. 7) or ``"thompson"`` — the latter draws one
-        exact posterior function per iteration from weight-space surrogates
-        (NN-GP only; an extension documented in DESIGN.md).
+        ``"wei"`` (paper, eq. 7) or ``"thompson"`` — the latter draws
+        exact posterior functions from weight-space surrogates (NN-GP
+        only; an extension documented in DESIGN.md).  Both support q > 1;
+        on the bank path Thompson samples through the stacked predict
+        engine (:class:`~repro.acquisition.thompson.
+        BankThompsonAcquisition`).
     log_space_acq:
         Evaluate wEI in log space.  ``None`` (default) auto-enables it when
         the problem has four or more constraints (the Table II charge pump
         has five, where the plain PF product underflows).
     duplicate_tol:
         Proposals closer than this (in unit-box metric) to an existing
-        sample are replaced by a random point — repeating a deterministic
-        simulation carries no information.
+        sample — or to an earlier pick of the same batch — are replaced by
+        a random point; repeating a deterministic simulation carries no
+        information.
+    q:
+        Designs proposed per iteration.  ``1`` (default) is the paper's
+        serial loop; larger batches trade a modest per-candidate
+        information loss for wall-clock parallelism on the executor.
+    executor:
+        ``"serial"`` (default), ``"thread"``, ``"process"`` or an
+        :class:`~repro.bo.scheduler.EvaluationExecutor` instance — where
+        the q simulations of each batch run.
+    n_eval_workers:
+        Worker count for the pooled executors; defaults to ``q``.
+    fantasy:
+        Lie strategy between wEI picks: ``"believer"`` (posterior mean,
+        default), ``"cl-min"`` or ``"cl-max"`` (constant liar with the
+        best/worst observed objective).
     seed, verbose, callback:
         Reproducibility / reporting hooks.  ``callback(iteration, result)``
-        runs after every evaluation.
+        runs after every ingested batch (every evaluation when ``q=1``).
     """
 
     algorithm_name = "SurrogateBO"
@@ -91,6 +146,10 @@ class SurrogateBO:
         log_space_acq: bool | None = None,
         duplicate_tol: float = 1e-9,
         surrogate_bank_factory=None,
+        q: int = 1,
+        executor="serial",
+        n_eval_workers: int | None = None,
+        fantasy: str = "believer",
         seed=None,
         verbose: bool = False,
         callback=None,
@@ -107,6 +166,12 @@ class SurrogateBO:
             raise ValueError(
                 "provide surrogate_factory and/or surrogate_bank_factory"
             )
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        if fantasy not in FANTASY_STRATEGIES:
+            raise ValueError(
+                f"fantasy must be one of {FANTASY_STRATEGIES}, got {fantasy!r}"
+            )
         self.problem = problem
         self.surrogate_factory = surrogate_factory
         self.surrogate_bank_factory = surrogate_bank_factory
@@ -118,16 +183,15 @@ class SurrogateBO:
             raise ValueError(
                 f"acquisition must be 'wei' or 'thompson', got {acquisition!r}"
             )
-        if surrogate_bank_factory is not None and acquisition == "thompson":
-            raise ValueError(
-                "the banked surrogate path supports only the 'wei' acquisition; "
-                "use the per-target surrogate_factory for Thompson sampling"
-            )
         self.acquisition = str(acquisition)
         if log_space_acq is None:
             log_space_acq = problem.n_constraints >= 4
         self.log_space_acq = bool(log_space_acq)
         self.duplicate_tol = float(duplicate_tol)
+        self.q = int(q)
+        self.executor = executor
+        self.n_eval_workers = None if n_eval_workers is None else int(n_eval_workers)
+        self.fantasy = str(fantasy)
         self.rng = ensure_rng(seed)
         self.verbose = bool(verbose)
         self.callback = callback
@@ -137,41 +201,69 @@ class SurrogateBO:
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> OptimizationResult:
-        """Execute Algorithm 1 and return the evaluation trace."""
+        """Execute Algorithm 1 (batched form) and return the evaluation trace."""
         result = OptimizationResult(self.problem.name, self.algorithm_name)
         unit_x: list[np.ndarray] = []
         self._cache_hits0, self._cache_misses0 = self.problem.cache_stats
 
-        for u in make_design(self.initial_design, self.n_initial, self.problem.dim, self.rng):
-            self._evaluate_and_record(u, result, unit_x, phase="initial")
+        workers = self.n_eval_workers
+        if workers is None and isinstance(self.executor, str) and self.q > 1:
+            workers = self.q
+        # an executor instance + explicit n_eval_workers is contradictory;
+        # make_evaluator raises rather than silently ignoring the count
+        evaluator = make_evaluator(self.executor, workers)
+        owns_evaluator = evaluator is not self.executor
+        scheduler = EvaluationScheduler(self.problem, evaluator)
+        try:
+            initial = list(make_design(
+                self.initial_design, self.n_initial, self.problem.dim, self.rng
+            ))
+            scheduler.run_batch(
+                initial, result, unit_x, phase="initial", iteration=0
+            )
+            self._sync_cache_counters(result)
 
-        iteration = 0
-        while result.n_evaluations < self.max_evaluations:
-            iteration += 1
-            proposal = self._propose(np.stack(unit_x), result)
-            self._evaluate_and_record(proposal, result, unit_x, phase="search")
-            if self.verbose:
-                best = result.best_objective()
-                print(
-                    f"[{self.algorithm_name}] iter {iteration:3d} "
-                    f"evals {result.n_evaluations:4d} best {best:.6g}"
+            iteration = 0
+            while result.n_evaluations < self.max_evaluations:
+                iteration += 1
+                q = min(self.q, self.max_evaluations - result.n_evaluations)
+                if q == 1:
+                    batch = [self._propose(np.stack(unit_x), result)]
+                else:
+                    batch = self._propose_batch(np.stack(unit_x), result, q)
+                scheduler.run_batch(
+                    batch, result, unit_x, phase="search", iteration=iteration
                 )
-            if self.callback is not None:
-                self.callback(iteration, result)
+                self._sync_cache_counters(result)
+                if self.verbose:
+                    best = result.best_objective()
+                    print(
+                        f"[{self.algorithm_name}] iter {iteration:3d} "
+                        f"evals {result.n_evaluations:4d} best {best:.6g}"
+                    )
+                if self.callback is not None:
+                    self.callback(iteration, result)
+        finally:
+            if owns_evaluator:
+                evaluator.close()
         return result
 
     # -- helpers -------------------------------------------------------------------
 
-    def _evaluate_and_record(self, u, result, unit_x, phase):
-        evaluation = self.problem.evaluate_unit(u)
-        result.append(self.problem.scaler.inverse_transform(u), evaluation, phase=phase)
-        unit_x.append(np.asarray(u, dtype=float))
+    def _sync_cache_counters(self, result: OptimizationResult):
         hits, misses = self.problem.cache_stats
         result.cache_hits = hits - self._cache_hits0
         result.cache_misses = misses - self._cache_misses0
 
+    def _evaluate_and_record(self, u, result, unit_x, phase):
+        """Serial single-point evaluate (legacy path, kept for tests/tools)."""
+        evaluation = self.problem.evaluate_unit(u)
+        result.append(self.problem.scaler.inverse_transform(u), evaluation, phase=phase)
+        unit_x.append(np.asarray(u, dtype=float))
+        self._sync_cache_counters(result)
+
     def _fit_surrogates(self, x_unit: np.ndarray, result: OptimizationResult):
-        """Fit this iteration's models; returns ``(objective, constraints)``.
+        """Fit this iteration's models; returns an :class:`_IterationModels`.
 
         With a bank factory the objective and every constraint ensemble are
         fitted in ONE batched call; the legacy path invokes the per-target
@@ -179,54 +271,132 @@ class SurrogateBO:
         """
         objective = _sanitize_targets(result.objectives)
         constraints = result.constraint_matrix
+        constraint_ys = [
+            _sanitize_targets(constraints[:, i])
+            for i in range(self.problem.n_constraints)
+        ]
 
         if self.surrogate_bank_factory is not None:
             n_targets = 1 + self.problem.n_constraints
             targets = np.empty((n_targets, objective.shape[0]))
             targets[0] = objective
-            for i in range(self.problem.n_constraints):
-                targets[1 + i] = _sanitize_targets(constraints[:, i])
+            for i, y in enumerate(constraint_ys):
+                targets[1 + i] = y
             bank = self.surrogate_bank_factory(self.rng, n_targets)
             bank.fit(x_unit, targets)
-            objective_model = bank.target_model(0)
-            constraint_models = [
-                bank.target_model(1 + i) for i in range(self.problem.n_constraints)
-            ]
-            return objective_model, constraint_models
+            return _IterationModels(
+                objective=bank.target_model(0),
+                constraints=[
+                    bank.target_model(1 + i)
+                    for i in range(self.problem.n_constraints)
+                ],
+                bank=bank,
+                x=x_unit,
+                objective_y=objective,
+                constraint_ys=constraint_ys,
+            )
 
         objective_model = self.surrogate_factory(self.rng)
         objective_model.fit(x_unit, objective)
         constraint_models = []
-        for i in range(self.problem.n_constraints):
+        for y in constraint_ys:
             model = self.surrogate_factory(self.rng)
-            model.fit(x_unit, _sanitize_targets(constraints[:, i]))
+            model.fit(x_unit, y)
             constraint_models.append(model)
-        return objective_model, constraint_models
+        return _IterationModels(
+            objective=objective_model,
+            constraints=constraint_models,
+            bank=None,
+            x=x_unit,
+            objective_y=objective,
+            constraint_ys=constraint_ys,
+        )
 
-    def _propose(self, x_unit: np.ndarray, result: OptimizationResult) -> np.ndarray:
-        objective_model, constraint_models = self._fit_surrogates(x_unit, result)
-
+    def _make_acquisition(self, fitted: _IterationModels, result: OptimizationResult):
+        """Build one acquisition callable over the current (fantasy) posterior."""
         if self.acquisition == "thompson":
+            if fitted.bank is not None:
+                from repro.acquisition.thompson import BankThompsonAcquisition
+
+                return BankThompsonAcquisition(fitted.bank, rng=self.rng)
             from repro.acquisition.thompson import ThompsonSamplingAcquisition
 
-            acquisition_fn = ThompsonSamplingAcquisition(
-                objective_model, constraint_models, rng=self.rng
+            return ThompsonSamplingAcquisition(
+                fitted.objective, fitted.constraints, rng=self.rng
             )
-        else:
-            tau = result.best_objective()
-            tau = None if not np.isfinite(tau) else tau
-            acquisition_fn = WeightedExpectedImprovement(
-                objective_model,
-                constraint_models,
-                tau=tau,
-                log_space=self.log_space_acq,
-            )
+        tau = result.best_objective()
+        tau = None if not np.isfinite(tau) else tau
+        return WeightedExpectedImprovement(
+            fitted.objective,
+            fitted.constraints,
+            tau=tau,
+            log_space=self.log_space_acq,
+        )
+
+    def _propose(self, x_unit: np.ndarray, result: OptimizationResult) -> np.ndarray:
+        """Single-point proposal (the q=1 fast path; original loop semantics)."""
+        fitted = self._fit_surrogates(x_unit, result)
+        acquisition_fn = self._make_acquisition(fitted, result)
         proposal = self.acq_maximizer.maximize(
             acquisition_fn, self.problem.dim, self.rng
         )
         if self._is_duplicate(proposal, x_unit):
             proposal = self._resample_non_duplicate(x_unit)
         return proposal
+
+    def _propose_batch(
+        self, x_unit: np.ndarray, result: OptimizationResult, q: int
+    ) -> list[np.ndarray]:
+        """Greedy q-point proposal with fantasy updates between picks.
+
+        One surrogate fit serves all q picks.  On the wEI path each pick is
+        followed by a fantasy observation (bank: posterior-only
+        ``fantasize``; legacy models: :class:`FantasyModelSet`) so pick
+        ``j+1`` avoids the pending region of pick ``j``; the Thompson path
+        simply draws q independent posterior functions.  Every pick also
+        passes the duplicate filter against both the evaluated data and its
+        own batch-mates.
+        """
+        fitted = self._fit_surrogates(x_unit, result)
+        fantasy_set = None
+        if self.acquisition == "wei" and fitted.bank is None:
+            fantasy_set = FantasyModelSet(
+                fitted.x,
+                fitted.objective,
+                fitted.objective_y,
+                fitted.constraints,
+                fitted.constraint_ys,
+            )
+
+        def stage_acquisition(j: int, picks: list[np.ndarray]):
+            if j > 0 and self.acquisition == "wei":
+                self._apply_fantasy(fitted, fantasy_set, picks[-1])
+            return self._make_acquisition(fitted, result)
+
+        def deduplicate(pick: np.ndarray, picks: list[np.ndarray]):
+            known = np.vstack([x_unit, *[p[None, :] for p in picks]])
+            if self._is_duplicate(pick, known):
+                pick = self._resample_non_duplicate(known)
+            return pick
+
+        return self.acq_maximizer.maximize_batch(
+            stage_acquisition,
+            q,
+            self.problem.dim,
+            self.rng,
+            postprocess=deduplicate,
+        )
+
+    def _apply_fantasy(self, fitted: _IterationModels, fantasy_set, pending):
+        """Condition the iteration's models on one pending pick."""
+        obj_lie = objective_lie(
+            fitted.objective, pending, fitted.objective_y, self.fantasy
+        )
+        cons_lies = constraint_lies(fitted.constraints, pending)
+        if fitted.bank is not None:
+            fitted.bank.fantasize(pending, np.array([obj_lie, *cons_lies]))
+        else:
+            fantasy_set.add_fantasy(pending, obj_lie, cons_lies)
 
     def _is_duplicate(self, proposal: np.ndarray, x_unit: np.ndarray) -> bool:
         dists = np.max(np.abs(x_unit - proposal[None, :]), axis=1)

@@ -12,6 +12,10 @@ level; constraint specs like ``UGF > 40 MHz`` become ``g = 40 MHz - UGF``
 
 from __future__ import annotations
 
+import json
+import os
+import re
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,6 +65,13 @@ class Problem:
     handling, the unit-box mapping every optimizer works in, and a
     memoization cache over :meth:`evaluate_unit` so repeated proposals
     never re-run the (deterministic) simulator.
+
+    With ``cache_dir`` set, the memoization cache is additionally persisted
+    to disk (one JSON-lines file per problem name), so expensive
+    SPICE-level evaluations survive across processes and sessions: existing
+    entries are loaded at construction and every fresh simulation is
+    appended.  Cache lookups and stores are lock-protected, so the thread
+    executor of the batch scheduler can share one problem instance.
     """
 
     #: unit-box coordinates are rounded to this many decimals for the cache
@@ -78,7 +89,9 @@ class Problem:
     #: noise realization of each design
     cache_evaluations = True
 
-    def __init__(self, name: str, lower, upper, n_constraints: int):
+    def __init__(
+        self, name: str, lower, upper, n_constraints: int, cache_dir=None
+    ):
         if n_constraints < 0:
             raise ValueError(f"n_constraints must be >= 0, got {n_constraints}")
         self.name = str(name)
@@ -87,6 +100,21 @@ class Problem:
         self._eval_cache: dict[tuple, Evaluation] = {}
         self.n_cache_hits = 0
         self.n_cache_misses = 0
+        self._cache_lock = threading.Lock()
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        if self.cache_dir is not None:
+            self._load_disk_cache()
+
+    # The lock cannot cross process boundaries; recreate it on unpickle so
+    # problems stay shippable to process-pool evaluation workers.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_cache_lock"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
 
     @property
     def dim(self) -> int:
@@ -107,6 +135,51 @@ class Problem:
         """Simulate one design point ``x`` (in natural units)."""
         raise NotImplementedError
 
+    def cache_key(self, u: np.ndarray) -> tuple:
+        """Memoization key for unit-box coordinates (rounded, clipped)."""
+        u = check_vector_1d(u, "u", length=self.dim)
+        u_clipped = np.clip(u, 0.0, 1.0)
+        return tuple(np.round(u_clipped, self.cache_decimals).tolist())
+
+    def lookup_cached(self, u: np.ndarray, count: bool = True) -> Evaluation | None:
+        """Return the memoized evaluation of ``u`` or ``None``.
+
+        ``count=True`` (the default) increments the hit counter on success;
+        a miss never increments the miss counter — only an actual
+        simulation (:meth:`evaluate_unit` / :meth:`store_evaluation`) does.
+        """
+        if not self.cache_evaluations:
+            return None
+        with self._cache_lock:
+            cached = self._eval_cache.get(self.cache_key(u))
+            if cached is not None and count:
+                self.n_cache_hits += 1
+        return cached
+
+    def store_evaluation(self, u: np.ndarray, evaluation: Evaluation) -> None:
+        """Record a simulation performed elsewhere (e.g. a worker process).
+
+        Counts as a cache miss — the simulator genuinely ran, just not in
+        this process — and persists to the on-disk cache when configured.
+        """
+        with self._cache_lock:
+            self.n_cache_misses += 1
+            if self.cache_evaluations:
+                key = self.cache_key(u)
+                self._eval_cache[key] = evaluation
+                self._append_disk_entry(key, evaluation)
+
+    def evaluate_unit_uncached(self, u: np.ndarray) -> Evaluation:
+        """Simulate unit-box coordinates directly, bypassing the cache.
+
+        Used by process-pool evaluation workers: the parent process owns
+        the cache (lookups before dispatch, :meth:`store_evaluation` after
+        results land), so workers must not maintain divergent copies.
+        """
+        u = check_vector_1d(u, "u", length=self.dim)
+        u_clipped = np.clip(u, 0.0, 1.0)
+        return self.evaluate(self.scaler.inverse_transform(u_clipped))
+
     def evaluate_unit(self, u: np.ndarray) -> Evaluation:
         """Evaluate a point given in unit-box coordinates (memoized).
 
@@ -118,14 +191,17 @@ class Problem:
         u_clipped = np.clip(u, 0.0, 1.0)
         if not self.cache_evaluations:
             return self.evaluate(self.scaler.inverse_transform(u_clipped))
-        key = tuple(np.round(u_clipped, self.cache_decimals).tolist())
-        cached = self._eval_cache.get(key)
-        if cached is not None:
-            self.n_cache_hits += 1
-            return cached
-        self.n_cache_misses += 1
+        key = self.cache_key(u)
+        with self._cache_lock:
+            cached = self._eval_cache.get(key)
+            if cached is not None:
+                self.n_cache_hits += 1
+                return cached
         evaluation = self.evaluate(self.scaler.inverse_transform(u_clipped))
-        self._eval_cache[key] = evaluation
+        with self._cache_lock:
+            self.n_cache_misses += 1
+            self._eval_cache[key] = evaluation
+            self._append_disk_entry(key, evaluation)
         return evaluation
 
     @property
@@ -134,14 +210,81 @@ class Problem:
         return self.n_cache_hits, self.n_cache_misses
 
     def clear_evaluation_cache(self):
-        """Drop all memoized evaluations (counters are kept)."""
-        self._eval_cache.clear()
+        """Drop all memoized evaluations (counters and disk files are kept)."""
+        with self._cache_lock:
+            self._eval_cache.clear()
+
+    # -- on-disk persistence -------------------------------------------------------
+
+    @property
+    def _disk_cache_path(self) -> str | None:
+        if self.cache_dir is None:
+            return None
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", self.name) or "problem"
+        return os.path.join(self.cache_dir, f"{slug}.evals.jsonl")
+
+    def _load_disk_cache(self):
+        """Warm the in-memory cache from the JSON-lines store (if present)."""
+        path = self._disk_cache_path
+        if path is None or not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = tuple(float(v) for v in entry["key"])
+                    evaluation = Evaluation(
+                        objective=entry["objective"],
+                        constraints=np.asarray(entry["constraints"], dtype=float),
+                        metrics=dict(entry.get("metrics", {})),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue  # tolerate a torn final line from a crashed run
+                if len(key) == self.dim:
+                    self._eval_cache[key] = evaluation
+
+    def _append_disk_entry(self, key: tuple, evaluation: Evaluation):
+        """Persist one simulation (caller holds the cache lock)."""
+        path = self._disk_cache_path
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        entry = {
+            "key": list(key),
+            "objective": evaluation.objective,
+            "constraints": evaluation.constraints.tolist(),
+            "metrics": _json_safe(evaluation.metrics),
+        }
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry) + "\n")
 
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(name={self.name!r}, d={self.dim}, "
             f"Nc={self.n_constraints})"
         )
+
+
+def _json_safe(value):
+    """Best-effort conversion of metric payloads to JSON-serializable types.
+
+    Simulator metrics are floats in practice; anything exotic is stringified
+    rather than failing the cache write.
+    """
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
 
 class FunctionProblem(Problem):
@@ -157,6 +300,8 @@ class FunctionProblem(Problem):
     metrics:
         Optional ``(x, objective, constraints) -> dict`` hook to record
         named performances.
+    cache_dir:
+        Optional directory for the persistent on-disk evaluation cache.
     """
 
     def __init__(
@@ -167,8 +312,11 @@ class FunctionProblem(Problem):
         objective,
         constraints=(),
         metrics=None,
+        cache_dir=None,
     ):
-        super().__init__(name, lower, upper, n_constraints=len(constraints))
+        super().__init__(
+            name, lower, upper, n_constraints=len(constraints), cache_dir=cache_dir
+        )
         self._objective = objective
         self._constraints = list(constraints)
         self._metrics = metrics

@@ -1,0 +1,311 @@
+"""Propose/evaluate scheduler: batched dispatch of simulator calls.
+
+The single-point BO loop leaves any multi-core simulation budget idle:
+one design is proposed, simulated, and only then is the next one chosen.
+This module supplies the evaluation half of the q-point refactor — the
+proposal half (q-aware acquisition with constant-liar/fantasy updates)
+lives in :mod:`repro.bo.loop` and :mod:`repro.acquisition`.
+
+Three pluggable executors implement the ``evaluate(problem, batch)``
+protocol, yielding ``(batch_index, Evaluation)`` pairs *in completion
+order*:
+
+* :class:`SerialEvaluator` — in-process, in-order; with ``q=1`` this
+  reproduces the legacy loop bitwise.
+* :class:`ThreadPoolEvaluator` — a thread pool sharing one problem
+  instance (the memoization cache is lock-protected).  Suited to
+  simulators that release the GIL or block on subprocess/IO.
+* :class:`ProcessPoolEvaluator` — a process pool for CPU-bound Python
+  simulators.  The problem is shipped to each worker once (pool
+  initializer); workers simulate *uncached* and the parent ingests every
+  result into its own cache (:meth:`repro.bo.problem.Problem.
+  store_evaluation`), so hit/miss counters and the optional on-disk cache
+  stay consistent.  Falls back to serial with a warning when the problem
+  cannot be pickled.
+
+:class:`EvaluationScheduler` sits on top: it dispatches one proposal batch,
+ingests results as they land (an ``on_arrival`` hook fires in completion
+order), and appends them to the :class:`~repro.bo.history.
+OptimizationResult` in *batch order* through a reorder buffer.  Batch-order
+history is what keeps runs deterministic across executors: the surrogate
+refit of iteration ``i+1`` sees the same data matrix row order no matter
+which worker finished first, so the same seed and the same ``q`` yield
+identical proposal batches on every executor.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.bo.history import OptimizationResult
+from repro.bo.problem import Evaluation, Problem
+
+
+class EvaluationExecutor:
+    """Interface: evaluate a batch of unit-box designs on a problem.
+
+    Implementations yield ``(batch_index, evaluation)`` pairs in whatever
+    order simulations complete; callers must not rely on ordering.
+    ``close()`` releases worker resources and must be idempotent.
+    """
+
+    name = "abstract"
+
+    def evaluate(self, problem: Problem, batch):
+        """Yield ``(batch_index, Evaluation)`` as results complete."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release pooled workers (no-op by default)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialEvaluator(EvaluationExecutor):
+    """Evaluate the batch one by one in the calling process."""
+
+    name = "serial"
+
+    def evaluate(self, problem: Problem, batch):
+        for batch_index, u in enumerate(batch):
+            yield batch_index, problem.evaluate_unit(u)
+
+
+class ThreadPoolEvaluator(EvaluationExecutor):
+    """Evaluate batch candidates concurrently on a shared thread pool.
+
+    All threads call ``problem.evaluate_unit`` on the *same* problem
+    instance; the problem's cache lock keeps the memoization bookkeeping
+    consistent.  Python-level simulator code still contends for the GIL —
+    use :class:`ProcessPoolEvaluator` for CPU-bound pure-Python simulators.
+    """
+
+    name = "thread"
+
+    def __init__(self, n_workers: int = 4):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def evaluate(self, problem: Problem, batch):
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(problem.evaluate_unit, u): batch_index
+            for batch_index, u in enumerate(batch)
+        }
+        yield from _drain_futures(futures)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# Worker-side state for the process pool: each worker receives the problem
+# once via the pool initializer instead of with every task.
+_WORKER_PROBLEM: Problem | None = None
+
+
+def _init_worker(problem: Problem):
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = problem
+
+
+def _worker_evaluate(u: np.ndarray) -> Evaluation:
+    """Simulate one design in a worker, bypassing the worker's cache copy.
+
+    The parent process owns all caching: it checks its cache before
+    dispatch and stores worker results afterwards, so worker-side caches
+    would only drift (and double-write any on-disk store).
+    """
+    assert _WORKER_PROBLEM is not None, "process pool not initialized"
+    return _WORKER_PROBLEM.evaluate_unit_uncached(u)
+
+
+class ProcessPoolEvaluator(EvaluationExecutor):
+    """Evaluate batch candidates on a process pool (true CPU parallelism).
+
+    The problem must be picklable; otherwise the first ``evaluate`` call
+    warns and degrades to serial in-process evaluation.  Cache behaviour is
+    parent-owned (see :func:`_worker_evaluate`): already-cached candidates
+    are answered without dispatch, and fresh simulations are ingested with
+    :meth:`~repro.bo.problem.Problem.store_evaluation`.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int = 4):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_problem: Problem | None = None
+        self._serial_fallback = False
+
+    def _ensure_pool(self, problem: Problem) -> ProcessPoolExecutor | None:
+        if self._serial_fallback:
+            return None
+        if self._pool is not None and self._pool_problem is not problem:
+            # a new problem needs freshly initialized workers
+            self.close()
+        if self._pool is None:
+            try:
+                pickle.dumps(problem)
+            except Exception:
+                warnings.warn(
+                    "problem is not picklable; ProcessPoolEvaluator falling "
+                    "back to serial evaluation (use module-level callables "
+                    "or a thread executor)",
+                    stacklevel=3,
+                )
+                self._serial_fallback = True
+                return None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(problem,),
+            )
+            self._pool_problem = problem
+        return self._pool
+
+    def evaluate(self, problem: Problem, batch):
+        batch = list(batch)
+        pool = self._ensure_pool(problem)
+        if pool is None:
+            yield from SerialEvaluator().evaluate(problem, batch)
+            return
+        futures = {}
+        for batch_index, u in enumerate(batch):
+            cached = problem.lookup_cached(u)
+            if cached is not None:
+                yield batch_index, cached
+            else:
+                futures[pool.submit(_worker_evaluate, np.asarray(u, dtype=float))] = (
+                    batch_index
+                )
+        for batch_index, evaluation in _drain_futures(futures):
+            problem.store_evaluation(batch[batch_index], evaluation)
+            yield batch_index, evaluation
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_problem = None
+
+
+def _drain_futures(futures: dict):
+    """Yield ``(batch_index, result)`` pairs as futures complete."""
+    outstanding = set(futures)
+    while outstanding:
+        done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+        for future in done:
+            yield futures[future], future.result()
+
+
+_EXECUTORS = {
+    "serial": SerialEvaluator,
+    "thread": ThreadPoolEvaluator,
+    "process": ProcessPoolEvaluator,
+}
+
+
+def make_evaluator(spec, n_workers: int | None = None) -> EvaluationExecutor:
+    """Resolve an executor spec (name or instance) to an executor.
+
+    ``spec`` is ``"serial"``, ``"thread"``, ``"process"`` or an
+    :class:`EvaluationExecutor` instance (returned unchanged, in which case
+    ``n_workers`` must be left unset).
+    """
+    if isinstance(spec, EvaluationExecutor):
+        if n_workers is not None:
+            raise ValueError("n_workers cannot override an executor instance")
+        return spec
+    try:
+        cls = _EXECUTORS[str(spec).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of {sorted(_EXECUTORS)} "
+            "or an EvaluationExecutor instance"
+        ) from None
+    if cls is SerialEvaluator:
+        return cls()
+    return cls(n_workers=4 if n_workers is None else n_workers)
+
+
+class EvaluationScheduler:
+    """Dispatch proposal batches and ingest results deterministically.
+
+    Results are handed to ``on_arrival(iteration, batch_index, evaluation)``
+    the moment they complete (monitoring/streaming), but are committed to
+    the history in batch order via a reorder buffer, so the recorded trace
+    — and therefore every downstream surrogate fit — is independent of
+    worker scheduling.
+    """
+
+    def __init__(self, problem: Problem, executor: EvaluationExecutor, on_arrival=None):
+        self.problem = problem
+        self.executor = executor
+        self.on_arrival = on_arrival
+
+    def run_batch(
+        self,
+        batch,
+        result: OptimizationResult,
+        unit_x: list[np.ndarray],
+        phase: str,
+        iteration: int,
+    ) -> None:
+        """Evaluate one proposal batch and append it to ``result``.
+
+        ``batch`` is a sequence of unit-box design vectors.  Search-phase
+        candidate ``j`` records the global indices of its batch-mates
+        ``0..j-1`` as its pending-at-propose-time set (those were the
+        fantasy points its acquisition conditioned on); the initial design
+        is generated jointly, so its pending sets are empty.
+        """
+        batch = [np.asarray(u, dtype=float) for u in batch]
+        base = result.n_evaluations
+        buffered: dict[int, Evaluation] = {}
+        next_up = 0
+        for batch_index, evaluation in self.executor.evaluate(self.problem, batch):
+            if self.on_arrival is not None:
+                self.on_arrival(iteration, batch_index, evaluation)
+            buffered[batch_index] = evaluation
+            while next_up in buffered:
+                pending = (
+                    tuple(range(base, base + next_up)) if phase == "search" else ()
+                )
+                u = batch[next_up]
+                result.append(
+                    self.problem.scaler.inverse_transform(u),
+                    buffered.pop(next_up),
+                    phase=phase,
+                    iteration=iteration,
+                    batch_index=next_up,
+                    pending=pending,
+                )
+                unit_x.append(u)
+                next_up += 1
+        if next_up != len(batch):
+            raise RuntimeError(
+                f"executor returned {next_up}/{len(batch)} batch results"
+            )

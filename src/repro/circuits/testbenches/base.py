@@ -42,13 +42,19 @@ class SizingProblem(Problem):
     implement :meth:`_to_evaluation` mapping metrics to the eq. 1 form.
     """
 
-    def __init__(self, name: str, variables: list[DesignVariable], n_constraints: int):
+    def __init__(
+        self,
+        name: str,
+        variables: list[DesignVariable],
+        n_constraints: int,
+        cache_dir=None,
+    ):
         if not variables:
             raise ValueError("sizing problem needs at least one design variable")
         self.variables = list(variables)
         lower = np.array([v.lower for v in self.variables])
         upper = np.array([v.upper for v in self.variables])
-        super().__init__(name, lower, upper, n_constraints)
+        super().__init__(name, lower, upper, n_constraints, cache_dir=cache_dir)
         self.n_failures = 0
 
     @property

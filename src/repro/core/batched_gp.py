@@ -129,6 +129,8 @@ class BatchedNeuralFeatureGP:
         self._y_scale = np.ones(self.n_stack)
         self._x_train: np.ndarray | None = None
         self._z_train: np.ndarray | None = None
+        self._x_fantasy: list[np.ndarray] = []
+        self._z_fantasy: list[np.ndarray] = []
         self._chol_a: np.ndarray | None = None
         self._coef_r: np.ndarray | None = None
         self._a_inv: np.ndarray | None = None
@@ -277,6 +279,8 @@ class BatchedNeuralFeatureGP:
         if x.shape[0] < 2:
             raise ValueError("BatchedNeuralFeatureGP needs at least 2 training points")
         self._x_train = x
+        self._x_fantasy = []
+        self._z_fantasy = []
         if self.normalize_y:
             self._y_mean = np.mean(y, axis=1)
             self._y_scale = np.maximum(np.std(y, axis=1), StandardScaler._MIN_SCALE)
@@ -292,15 +296,62 @@ class BatchedNeuralFeatureGP:
         self.update_posterior()
         return self
 
+    def _posterior_data(self) -> tuple[np.ndarray, np.ndarray]:
+        """Training arrays augmented with any fantasy observations."""
+        if not self._x_fantasy:
+            return self._x_train, self._z_train
+        x = np.vstack([self._x_train, *self._x_fantasy])
+        z = np.concatenate(
+            [self._z_train, np.stack(self._z_fantasy, axis=1)], axis=1
+        )
+        return x, z
+
+    def fantasize(self, x_new: np.ndarray, y_new: np.ndarray):
+        """Condition the posterior on a fantasy observation (no retraining).
+
+        ``x_new`` is one design point and ``y_new`` a per-slice target of
+        shape ``(S,)`` in original units (normalized internally with the
+        scaling statistics of the *real* fit — lies must not move the
+        target normalization).  The network weights and GP scales are
+        untouched: this is the constant-liar/Kriging-believer update used
+        by q-point acquisition, where each pending evaluation temporarily
+        behaves like data so the next pick avoids it.  Use
+        :meth:`clear_fantasies` to restore the real posterior exactly.
+        """
+        self._require_fitted()
+        x_new = np.asarray(x_new, dtype=float).reshape(1, -1)
+        if x_new.shape[1] != self.input_dim:
+            raise ValueError(f"expected a {self.input_dim}-dim point, got {x_new.shape}")
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        if y_new.shape != (self.n_stack,):
+            raise ValueError(f"expected ({self.n_stack},) targets, got {y_new.shape}")
+        self._x_fantasy.append(x_new)
+        self._z_fantasy.append((y_new - self._y_mean) / self._y_scale)
+        self.update_posterior()
+
+    def clear_fantasies(self):
+        """Drop all fantasy observations and restore the real posterior."""
+        if not self._x_fantasy:
+            return
+        self._x_fantasy = []
+        self._z_fantasy = []
+        self.update_posterior()
+
+    @property
+    def n_fantasies(self) -> int:
+        """Number of fantasy observations currently conditioning the posterior."""
+        return len(self._x_fantasy)
+
     def update_posterior(self):
         """(Re)compute the stacked ``A`` factorizations for predictions."""
         if self._x_train is None:
             raise RuntimeError("no training data; call fit() first")
-        feats = self.features(self._x_train)
+        x_data, z_data = self._posterior_data()
+        feats = self.features(x_data)
         m = feats.shape[2]
         feats_t = np.swapaxes(feats, -1, -2)
         a_mat = feats_t @ feats + self.beta[:, None, None] * np.eye(m)
-        u = (feats_t @ self._z_train[..., None])[..., 0]
+        u = (feats_t @ z_data[..., None])[..., 0]
         self._chol_a = np.empty_like(a_mat)
         self._coef_r = np.empty((self.n_stack, m))
         # Cache A^{-1} per slice: predictive variances then cost one stacked
@@ -340,6 +391,62 @@ class BatchedNeuralFeatureGP:
         mean = z_mean * self._y_scale[:, None] + self._y_mean[:, None]
         var = z_var * (self._y_scale**2)[:, None]
         return mean, var
+
+    def sample_slice_weights(self, s: int, rng=None) -> np.ndarray:
+        """Draw one posterior head-weight sample for slice ``s``, shape ``(M,)``.
+
+        The posterior over the Bayesian-linear head is
+        ``w ~ N(A^{-1} Phi z, sigma_n^2 A^{-1})`` (the weight-space view of
+        eq. 10), so an exact function sample is O(M^2) — the cheap-Thompson
+        payoff of the NN-feature GP.  Values are in normalized-target
+        units; scale by ``_y_scale[s]`` / shift by ``_y_mean[s]`` to map a
+        sampled function to original units.
+        """
+        self._require_fitted()
+        if not 0 <= s < self.n_stack:
+            raise IndexError(f"slice {s} out of range [0, {self.n_stack})")
+        rng = ensure_rng(rng)
+        m = self.feature_dim
+        eps = rng.standard_normal(m)
+        # cov = sigma_n^2 A^{-1} = sigma_n^2 L^{-T} L^{-1}; a draw is
+        # sqrt(sigma_n^2) L^{-T} eps
+        half = _lapack.dtrtrs(self._chol_a[s], eps, lower=1, trans=1)[0]
+        return self._coef_r[s] + np.sqrt(self.noise_variance[s]) * half
+
+    def gather_slices(self, idx) -> "BatchedNeuralFeatureGP":
+        """A new stacked model holding copies of the selected slices.
+
+        Used for active-slice compaction during training (frozen slices
+        stop paying for GEMMs) and for member-level views.  The gathered
+        model shares no arrays with its parent; training-data/posterior
+        state is NOT carried over — callers drive it through the stateless
+        compute methods (:meth:`features`, :meth:`marginal_nll`,
+        :meth:`backprop_feature_grad`).
+        """
+        idx = np.asarray(idx, dtype=int)
+        if idx.ndim != 1 or idx.size == 0:
+            raise ValueError("idx must be a non-empty 1-D index array")
+        if np.any(idx < 0) or np.any(idx >= self.n_stack):
+            raise IndexError(f"slice indices out of range [0, {self.n_stack})")
+        sub = object.__new__(BatchedNeuralFeatureGP)
+        sub.input_dim = self.input_dim
+        sub.n_stack = int(idx.size)
+        sub.n_features = self.n_features
+        sub.add_bias_feature = self.add_bias_feature
+        sub.normalize_y = self.normalize_y
+        sub.network = self.network.gather_slices(idx)
+        sub.log_noise_variance = np.asarray(self.log_noise_variance)[idx].copy()
+        sub.log_prior_variance = np.asarray(self.log_prior_variance)[idx].copy()
+        sub._y_mean = self._y_mean[idx].copy()
+        sub._y_scale = self._y_scale[idx].copy()
+        sub._x_train = None
+        sub._z_train = None
+        sub._x_fantasy = []
+        sub._z_fantasy = []
+        sub._chol_a = None
+        sub._coef_r = None
+        sub._a_inv = None
+        return sub
 
     def _require_fitted(self):
         if self._chol_a is None or self._coef_r is None:
@@ -468,6 +575,65 @@ class SurrogateBank:
         self._gp.fit(x, y_stack, trainer=trainer)
         self._pred_cache = None
         return self
+
+    # -- fantasy conditioning (q-point acquisition) ---------------------------------
+
+    def fantasize(self, x_new: np.ndarray, lie_targets: np.ndarray) -> "SurrogateBank":
+        """Condition every ensemble on a fantasy observation of ``x_new``.
+
+        ``lie_targets`` holds one lie value per target (shape
+        ``(n_targets,)``); each target's K member slices all observe the
+        same lie.  Network weights stay fixed — only the Bayesian-linear
+        posteriors update — so a fantasy costs one stacked forward pass
+        plus the M x M refactorizations, a rounding error next to a
+        training run.  Used by the batch proposer to make q-point picks
+        diverse (constant liar / Kriging believer).
+        """
+        lie_targets = np.asarray(lie_targets, dtype=float).ravel()
+        if lie_targets.shape != (self.n_targets,):
+            raise ValueError(
+                f"expected ({self.n_targets},) lie targets, got {lie_targets.shape}"
+            )
+        self._gp.fantasize(x_new, np.repeat(lie_targets, self.n_members))
+        self._pred_cache = None
+        return self
+
+    def clear_fantasies(self) -> "SurrogateBank":
+        """Drop fantasy observations; the real posterior is restored exactly."""
+        self._gp.clear_fantasies()
+        self._pred_cache = None
+        return self
+
+    @property
+    def n_fantasies(self) -> int:
+        """Number of fantasy observations currently conditioning the bank."""
+        return self._gp.n_fantasies
+
+    # -- posterior function sampling (Thompson) -------------------------------------
+
+    def sample_target_function(self, target: int, rng=None):
+        """One ensemble-Thompson draw of a target: a callable ``f(x) -> (n,)``.
+
+        A member ``k`` is chosen uniformly, then an exact weight-space
+        posterior function is sampled from slice ``t * K + k`` (the
+        standard ensemble-Thompson scheme, mirroring the per-member
+        :class:`~repro.acquisition.thompson.SampledFunction`).  Returned
+        values are in original target units.
+        """
+        if not 0 <= target < self.n_targets:
+            raise IndexError(f"target {target} out of range [0, {self.n_targets})")
+        rng = ensure_rng(rng)
+        k = int(rng.integers(self.n_members))
+        s = target * self.n_members + k
+        weights = self._gp.sample_slice_weights(s, rng=rng)
+        scale = float(self._gp._y_scale[s])
+        mean = float(self._gp._y_mean[s])
+
+        def sampled(x: np.ndarray, _s=s, _w=weights) -> np.ndarray:
+            feats = self._gp.features(np.atleast_2d(np.asarray(x, dtype=float)))
+            return (feats[_s] @ _w) * scale + mean
+
+        return sampled
 
     # -- prediction -----------------------------------------------------------------
 

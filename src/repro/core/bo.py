@@ -36,6 +36,12 @@ class _TrainedEnsemble:
     def predict(self, x):
         return self._ensemble.predict(x)
 
+    def condition_on(self, x_new, y_new):
+        """Posterior-only fantasy update of every member (no retraining)."""
+        for member in self._ensemble.members:
+            member.condition_on(x_new, y_new)
+        return self
+
     @property
     def members(self):
         return self._ensemble.members
@@ -66,9 +72,15 @@ class NNBO(SurrogateBO):
         (the original path, numerically equivalent for the default
         ``pretrain_epochs=0`` — the optional MSE warm start uses
         independent random head draws in each engine); ``"auto"``
-        (default) picks ``"batched"`` except for the Thompson
-        acquisition, which samples individual members and therefore
-        needs the loop path.
+        (default) picks ``"batched"`` except for single-point Thompson,
+        which keeps the loop path so historical seeded runs are
+        preserved (q > 1 Thompson samples through the stacked bank).
+    q, executor, n_eval_workers, fantasy:
+        Batch-proposal knobs forwarded to :class:`~repro.bo.loop.
+        SurrogateBO`: propose ``q`` designs per iteration and dispatch
+        them to the ``"serial"``/``"thread"``/``"process"`` evaluation
+        executor, with ``fantasy`` controlling the lie between wEI picks.
+        ``q=1`` (default) reproduces the paper's serial loop bitwise.
     """
 
     algorithm_name = "NN-BO"
@@ -91,6 +103,10 @@ class NNBO(SurrogateBO):
         acquisition: str = "wei",
         log_space_acq: bool | None = None,
         engine: str = "auto",
+        q: int = 1,
+        executor="serial",
+        n_eval_workers: int | None = None,
+        fantasy: str = "believer",
         seed=None,
         verbose: bool = False,
         callback=None,
@@ -109,7 +125,10 @@ class NNBO(SurrogateBO):
                 f"engine must be 'auto', 'batched' or 'loop', got {engine!r}"
             )
         if engine == "auto":
-            engine = "loop" if acquisition == "thompson" else "batched"
+            # single-point Thompson stays on the loop path so seeded runs
+            # from before the bank grew posterior sampling are preserved;
+            # q-point Thompson wants the stacked predict path
+            engine = "loop" if (acquisition == "thompson" and q == 1) else "batched"
         self.engine = engine
 
         def member_factory(rng):
@@ -168,6 +187,10 @@ class NNBO(SurrogateBO):
             surrogate_bank_factory=(
                 surrogate_bank_factory if self.engine == "batched" else None
             ),
+            q=q,
+            executor=executor,
+            n_eval_workers=n_eval_workers,
+            fantasy=fantasy,
             seed=seed,
             verbose=verbose,
             callback=callback,

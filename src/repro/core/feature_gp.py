@@ -252,6 +252,23 @@ class NeuralFeatureGP:
         self.update_posterior()
         return self
 
+    def condition_on(self, x_new: np.ndarray, y_new: float) -> "NeuralFeatureGP":
+        """Append one observation and refresh the posterior only.
+
+        Hyper-parameters, network weights and the target scaler stay fixed
+        — this is the cheap fantasy/constant-liar update used by q-point
+        acquisition (the appended value is typically a lie, so retraining
+        on it would be wrong as well as wasteful).
+        """
+        self._require_fitted()
+        x_new = check_matrix_2d(np.atleast_2d(np.asarray(x_new, dtype=float)),
+                                "x_new", self.input_dim)
+        z_new = self._y_scaler.transform(np.atleast_1d(float(y_new)))
+        self._x_train = np.vstack([self._x_train, x_new])
+        self._z_train = np.concatenate([self._z_train, z_new])
+        self.update_posterior()
+        return self
+
     def update_posterior(self):
         """(Re)compute the cached ``A`` factorization for predictions.
 

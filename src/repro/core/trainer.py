@@ -198,6 +198,18 @@ class BatchedFeatureGPTrainer:
     enabled the two engines are statistically equivalent but not
     numerically identical.
 
+    Active-slice compaction (``compact=True``, the default): once early
+    stopping freezes a slice, its parameters are final — computing its
+    forward pass, NLL and gradients would be pure waste, yet the stacked
+    GEMMs otherwise keep paying for it until the *last* slice converges.
+    The trainer therefore re-gathers the still-active slices into a
+    smaller stacked model whenever the active set shrinks and trains on
+    that.  Every stacked operation is per-slice, so gathering changes no
+    arithmetic: predictions are bitwise identical with compaction on or
+    off (pinned in ``tests/core/test_batched_gp.py``).  The only visible
+    difference is bookkeeping — with compaction, frozen slices' entries
+    in ``loss_history`` are ``NaN`` instead of a recomputed NLL.
+
     Parameters mirror :class:`FeatureGPTrainer`; ``loss_history`` holds one
     ``(S,)`` NLL vector per epoch.
     """
@@ -210,6 +222,7 @@ class BatchedFeatureGPTrainer:
         pretrain_lr: float = 1e-2,
         patience: int | None = 100,
         optimizer_factory=None,
+        compact: bool = True,
         seed=None,
     ):
         if epochs < 0 or pretrain_epochs < 0:
@@ -219,6 +232,7 @@ class BatchedFeatureGPTrainer:
         self.pretrain_epochs = int(pretrain_epochs)
         self.pretrain_lr = float(pretrain_lr)
         self.patience = patience
+        self.compact = bool(compact)
         self._optimizer_factory = optimizer_factory or (lambda: StackedAdam(lr=self.lr))
         self._rng = ensure_rng(seed)
         self.loss_history: list[np.ndarray] = []
@@ -304,15 +318,32 @@ class BatchedFeatureGPTrainer:
         best_params = params.copy()
         stall = np.zeros(s_stack, dtype=int)
         active = np.ones(s_stack, dtype=bool)
+        # active-slice compaction state: ``view`` is the stacked model the
+        # forward/backward runs on, ``view_idx`` the full-stack indices its
+        # slices map to (None while no slice is frozen)
+        view = model
+        view_idx: np.ndarray | None = None
         for _ in range(self.epochs):
             if not active.any():
                 break
-            self._write_params(model, params)
-            feats = model.features(x)
-            nll, dfeats, d_log_noise, d_log_prior = model.marginal_nll(
-                feats, z, with_grads=True
+            if self.compact:
+                n_active = int(active.sum())
+                n_view = s_stack if view_idx is None else view_idx.size
+                if n_active < n_view:
+                    view_idx = np.flatnonzero(active)
+                    view = model.gather_slices(view_idx)
+            rows = slice(None) if view_idx is None else view_idx
+            self._write_params(view, params[rows])
+            feats = view.features(x)
+            nll_v, dfeats, d_log_noise, d_log_prior = view.marginal_nll(
+                feats, z[rows], with_grads=True
             )
-            self.loss_history.append(np.asarray(nll, dtype=float).copy())
+            if view_idx is None:
+                nll = np.asarray(nll_v, dtype=float)
+            else:
+                nll = np.full(s_stack, np.nan)
+                nll[view_idx] = nll_v
+            self.loss_history.append(nll.copy())
             finite = np.isfinite(nll)
             bad = active & ~finite
             if bad.any():
@@ -335,10 +366,15 @@ class BatchedFeatureGPTrainer:
                 active &= ~(worse & (stall > self.patience))
             step_mask = active & finite
             if step_mask.any():
-                grad_eta = model.backprop_feature_grad(dfeats)
-                grads = np.concatenate(
+                grad_eta = view.backprop_feature_grad(dfeats)
+                grads_v = np.concatenate(
                     [d_log_noise[:, None], d_log_prior[:, None], grad_eta], axis=1
                 )
+                if view_idx is None:
+                    grads = grads_v
+                else:
+                    grads = np.zeros_like(params)
+                    grads[view_idx] = grads_v
                 params = optimizer.step(params, grads, mask=step_mask)
                 params[:, 0] = np.clip(params[:, 0], *LOG_NOISE_BOUNDS)
                 params[:, 1] = np.clip(params[:, 1], *LOG_PRIOR_BOUNDS)

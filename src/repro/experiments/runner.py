@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -112,18 +112,25 @@ def run_repeats(
 
     if n_workers > 1:
         with ProcessPoolExecutor(max_workers=min(n_workers, n_repeats)) as pool:
-            futures = [
-                pool.submit(_execute_run, make_optimizer, run_seed)
-                for run_seed in seeds
-            ]
-            results = [future.result() for future in futures]
-        if verbose:
-            for i, result in enumerate(results):
-                print(
-                    f"  run {i + 1}/{n_repeats}: "
-                    f"best={result.best_objective():.6g} "
-                    f"evals={result.n_evaluations} success={result.success}"
-                )
+            futures = {
+                pool.submit(_execute_run, make_optimizer, run_seed): i
+                for i, run_seed in enumerate(seeds)
+            }
+            # stream progress as runs land; results return in seed order
+            results: list[OptimizationResult | None] = [None] * n_repeats
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    results[i] = future.result()
+                    if verbose:
+                        result = results[i]
+                        print(
+                            f"  run {i + 1}/{n_repeats}: "
+                            f"best={result.best_objective():.6g} "
+                            f"evals={result.n_evaluations} success={result.success}"
+                        )
         return results
 
     results = []

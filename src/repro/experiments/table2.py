@@ -42,7 +42,14 @@ ROW_LABELS = [
 
 @dataclass
 class Table2Config:
-    """Budgets and model sizes for the Table II experiment."""
+    """Budgets and model sizes for the Table II experiment.
+
+    ``n_workers`` parallelizes the repeated runs of each algorithm across a
+    process pool; ``q``/``eval_executor``/``n_eval_workers`` are the
+    batch-proposal knobs of the NN-BO scheduler (q designs per iteration,
+    evaluated on the chosen executor — the 18-corner charge-pump
+    simulations are the workload batching was built for).
+    """
 
     n_repeats: int = 12
     n_initial: int = 100
@@ -56,6 +63,10 @@ class Table2Config:
     algorithms: tuple = ("NN-BO", "WEIBO", "GASPAD", "DE")
     seed: int = 2019
     verbose: bool = False
+    n_workers: int | None = None
+    q: int = 1
+    eval_executor: str = "serial"
+    n_eval_workers: int | None = None
     problem_kwargs: dict = field(default_factory=dict)
 
 
@@ -90,6 +101,9 @@ def make_optimizer(name: str, config: Table2Config, problem, seed: int):
             hidden_dims=config.hidden_dims,
             n_features=config.n_features,
             epochs=config.epochs,
+            q=config.q,
+            executor=config.eval_executor,
+            n_eval_workers=config.n_eval_workers,
             seed=seed,
         )
     if name == "WEIBO":
@@ -135,6 +149,21 @@ def summary_to_column(summary) -> dict:
     }
 
 
+@dataclass
+class OptimizerFactory:
+    """Picklable per-seed optimizer factory (one per algorithm column).
+
+    Module-level (unlike the lambdas it replaces) so that
+    ``run_repeats(n_workers=...)`` can ship it to pool workers.
+    """
+
+    name: str
+    config: Table2Config
+
+    def __call__(self, seed: int):
+        return make_optimizer(self.name, self.config, make_problem(self.config), seed)
+
+
 def run_experiment(config: Table2Config) -> dict[str, dict]:
     """Run all configured algorithms; returns ``{algorithm: column}``."""
     columns: dict[str, dict] = {}
@@ -142,12 +171,11 @@ def run_experiment(config: Table2Config) -> dict[str, dict]:
         if config.verbose:
             print(f"[table2] running {name} x{config.n_repeats}")
         results = run_repeats(
-            lambda seed, _name=name: make_optimizer(
-                _name, config, make_problem(config), seed
-            ),
+            OptimizerFactory(name, config),
             n_repeats=config.n_repeats,
             seed=config.seed,
             verbose=config.verbose,
+            n_workers=config.n_workers,
         )
         columns[name] = summary_to_column(summarize(results))
     return columns
@@ -162,6 +190,22 @@ def main(argv=None) -> str:
     )
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the repeated runs of each algorithm",
+    )
+    parser.add_argument(
+        "--q", type=int, default=None,
+        help="NN-BO designs proposed per iteration (batch acquisition)",
+    )
+    parser.add_argument(
+        "--eval-executor", choices=("serial", "thread", "process"), default=None,
+        help="where NN-BO's per-batch simulations run",
+    )
+    parser.add_argument(
+        "--eval-workers", type=int, default=None,
+        help="worker count for the evaluation executor (default: q)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     config = QUICK if args.preset == "quick" else PAPER
@@ -169,6 +213,14 @@ def main(argv=None) -> str:
         config.n_repeats = args.repeats
     if args.seed is not None:
         config.seed = args.seed
+    if args.workers is not None:
+        config.n_workers = args.workers
+    if args.q is not None:
+        config.q = args.q
+    if args.eval_executor is not None:
+        config.eval_executor = args.eval_executor
+    if args.eval_workers is not None:
+        config.n_eval_workers = args.eval_workers
     config.verbose = not args.quiet
     columns = run_experiment(config)
     table = render_table(

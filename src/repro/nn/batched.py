@@ -30,6 +30,8 @@ this contract.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.nn.activations import make_activation
@@ -109,6 +111,20 @@ class BatchedLinear(Layer):
     def grads(self) -> list[np.ndarray]:
         return [self.grad_weight, self.grad_bias]
 
+    def gather_slices(self, idx) -> "BatchedLinear":
+        """A new layer holding copies of the selected slices' parameters."""
+        idx = np.asarray(idx, dtype=int)
+        sub = object.__new__(BatchedLinear)
+        sub.in_dim = self.in_dim
+        sub.out_dim = self.out_dim
+        sub.n_stack = int(idx.size)
+        sub.weight = self.weight[idx].copy()
+        sub.bias = self.bias[idx].copy()
+        sub.grad_weight = np.zeros_like(sub.weight)
+        sub.grad_bias = np.zeros_like(sub.bias)
+        sub._x = None
+        return sub
+
     def __repr__(self) -> str:
         return f"BatchedLinear(S={self.n_stack}, {self.in_dim}, {self.out_dim})"
 
@@ -180,6 +196,33 @@ class BatchedSequential(Layer):
         return np.concatenate(
             [g.reshape(self.n_stack, -1) for g in self.grads], axis=1
         )
+
+    def gather_slices(self, idx) -> "BatchedSequential":
+        """A new network over copies of the selected slices.
+
+        Parameterized layers gather their slice rows; stateless activation
+        layers are re-instantiated so forward/backward caches never alias
+        the parent network.  Slice ``i`` of the gathered network computes
+        bitwise what slice ``idx[i]`` of this network computes — the
+        contract active-slice compaction in the stacked trainer relies on.
+        """
+        idx = np.asarray(idx, dtype=int)
+        if idx.ndim != 1 or idx.size == 0:
+            raise ValueError("idx must be a non-empty 1-D index array")
+        if np.any(idx < 0) or np.any(idx >= self.n_stack):
+            raise IndexError(f"slice indices out of range [0, {self.n_stack})")
+        layers: list[Layer] = []
+        for layer in self.layers:
+            if hasattr(layer, "gather_slices"):
+                layers.append(layer.gather_slices(idx))
+            else:
+                # stateless layers (activations) keep their configuration
+                # via a shallow copy; only the forward cache is detached
+                clone = copy.copy(layer)
+                if hasattr(clone, "_x"):
+                    clone._x = None
+                layers.append(clone)
+        return BatchedSequential(layers, n_stack=int(idx.size))
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(layer) for layer in self.layers)

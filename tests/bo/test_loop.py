@@ -92,15 +92,18 @@ class TestLoopMechanics:
         with pytest.raises(ValueError):
             SurrogateBO(toy_constrained_quadratic(2), n_initial=4, max_evaluations=6)
 
-    def test_bank_rejects_thompson(self):
-        with pytest.raises(ValueError):
-            SurrogateBO(
-                toy_constrained_quadratic(2),
-                surrogate_bank_factory=tiny_bank_factory,
-                acquisition="thompson",
-                n_initial=4,
-                max_evaluations=6,
-            )
+    def test_bank_supports_thompson(self):
+        """The bank path gained posterior sampling: Thompson now runs on it."""
+        bo = SurrogateBO(
+            toy_constrained_quadratic(2),
+            surrogate_bank_factory=tiny_bank_factory,
+            acquisition="thompson",
+            n_initial=4,
+            max_evaluations=6,
+            seed=0,
+        )
+        result = bo.run()
+        assert result.n_evaluations == 6
 
     def test_cache_counters_on_result(self):
         """A fresh problem records only misses; rerunning the same points

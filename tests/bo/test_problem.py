@@ -163,3 +163,89 @@ class TestEvaluationCache:
         prob.evaluate_unit(np.array([1.7, 0.5]))
         assert len(calls) == 1
         assert prob.n_cache_hits == 1
+
+
+class TestDiskCache:
+    def make_counting(self, cache_dir):
+        calls = []
+
+        def objective(x):
+            calls.append(x.copy())
+            return float(np.sum(x**2))
+
+        def metrics(x, obj, cons):
+            return {"power_mw": obj * 3.0, "note": "ok"}
+
+        prob = FunctionProblem(
+            "disk cached/problem", [-1.0, -1.0], [1.0, 1.0], objective,
+            constraints=[lambda x: float(x[0] - 0.5)],
+            metrics=metrics, cache_dir=str(cache_dir),
+        )
+        return prob, calls
+
+    def test_evaluations_survive_across_instances(self, tmp_path):
+        prob, calls = self.make_counting(tmp_path)
+        u = np.array([0.25, 0.75])
+        first = prob.evaluate_unit(u)
+        assert len(calls) == 1
+
+        # a brand-new instance (fresh process in real life) reuses the store
+        reloaded, calls2 = self.make_counting(tmp_path)
+        second = reloaded.evaluate_unit(u)
+        assert len(calls2) == 0
+        assert reloaded.cache_stats == (1, 0)
+        assert second.objective == first.objective
+        np.testing.assert_array_equal(second.constraints, first.constraints)
+        assert second.metrics["power_mw"] == pytest.approx(
+            first.metrics["power_mw"]
+        )
+
+    def test_cache_file_slug_and_format(self, tmp_path):
+        prob, _ = self.make_counting(tmp_path)
+        prob.evaluate_unit(np.array([0.5, 0.5]))
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        assert files[0].name == "disk_cached_problem.evals.jsonl"
+        import json
+
+        entry = json.loads(files[0].read_text().strip())
+        assert set(entry) == {"key", "objective", "constraints", "metrics"}
+        assert len(entry["key"]) == 2
+
+    def test_store_evaluation_persists(self, tmp_path):
+        """store_evaluation (the process-executor ingest path) writes disk."""
+        prob, calls = self.make_counting(tmp_path)
+        u = np.array([0.1, 0.9])
+        evaluation = prob.evaluate_unit_uncached(u)
+        assert prob.cache_stats == (0, 0)  # uncached path touches no counters
+        prob.store_evaluation(u, evaluation)
+        assert prob.cache_stats == (0, 1)
+
+        reloaded, calls2 = self.make_counting(tmp_path)
+        reloaded.evaluate_unit(u)
+        assert len(calls2) == 0
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        prob, _ = self.make_counting(tmp_path)
+        prob.evaluate_unit(np.array([0.3, 0.3]))
+        path = next(tmp_path.iterdir())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": [0.1, 0.')  # crashed mid-write
+        reloaded, calls = self.make_counting(tmp_path)
+        reloaded.evaluate_unit(np.array([0.3, 0.3]))
+        assert len(calls) == 0  # intact entry still loads
+
+    def test_problem_with_cache_dir_stays_picklable_where_possible(self, tmp_path):
+        import pickle
+
+        prob = FunctionProblem(
+            "picklable", [0.0], [1.0], _module_level_objective,
+            cache_dir=str(tmp_path),
+        )
+        prob.evaluate_unit(np.array([0.5]))
+        clone = pickle.loads(pickle.dumps(prob))
+        assert clone.lookup_cached(np.array([0.5])) is not None
+
+
+def _module_level_objective(x):
+    return float(x[0] ** 2)

@@ -1,0 +1,276 @@
+"""Tests for the propose/evaluate scheduler (q-point BO + executors).
+
+Two determinism contracts anchor the refactor:
+
+* ``q=1`` with the serial executor reproduces the legacy single-point
+  loop bitwise (same RNG stream, same evaluations, same history);
+* the same seed and the same ``q`` yield identical proposal batches on
+  the serial, thread and process executors — completion order must never
+  leak into the recorded history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bo.design import make_design
+from repro.bo.history import OptimizationResult
+from repro.bo.loop import SurrogateBO
+from repro.bo.problem import FunctionProblem
+from repro.bo.scheduler import (
+    EvaluationExecutor,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    ThreadPoolEvaluator,
+    make_evaluator,
+)
+from repro.benchfns import toy_constrained_quadratic
+from repro.core import NNBO
+from repro.gp import GPRegression
+
+
+def gp_factory(rng):
+    return GPRegression(n_restarts=1, seed=rng)
+
+
+# module-level objective/constraint so the problem pickles into pool workers
+def _quadratic_objective(x):
+    return float(np.sum((x - 0.3) ** 2))
+
+
+def _ring_constraint(x):
+    return float(0.04 - np.sum((x - 0.6) ** 2))
+
+
+def make_picklable_problem(dim: int = 2) -> FunctionProblem:
+    return FunctionProblem(
+        "picklable_quadratic",
+        np.zeros(dim),
+        np.ones(dim),
+        objective=_quadratic_objective,
+        constraints=[_ring_constraint],
+    )
+
+
+def legacy_run(bo: SurrogateBO) -> OptimizationResult:
+    """The pre-scheduler single-point loop, replicated verbatim.
+
+    Drives the same internal helpers (`_propose`, `_evaluate_and_record`)
+    in the same order the original ``run()`` did, so any scheduler-induced
+    deviation — extra RNG draws, reordered appends, changed bookkeeping —
+    shows up as a bitwise mismatch.
+    """
+    result = OptimizationResult(bo.problem.name, bo.algorithm_name)
+    unit_x: list[np.ndarray] = []
+    bo._cache_hits0, bo._cache_misses0 = bo.problem.cache_stats
+    for u in make_design(bo.initial_design, bo.n_initial, bo.problem.dim, bo.rng):
+        bo._evaluate_and_record(u, result, unit_x, phase="initial")
+    while result.n_evaluations < bo.max_evaluations:
+        proposal = bo._propose(np.stack(unit_x), result)
+        bo._evaluate_and_record(proposal, result, unit_x, phase="search")
+    return result
+
+
+class TestQ1MatchesLegacyLoop:
+    def _compare(self, make_bo):
+        reference = legacy_run(make_bo())
+        scheduled = make_bo().run()
+        np.testing.assert_array_equal(scheduled.x_matrix, reference.x_matrix)
+        np.testing.assert_array_equal(scheduled.objectives, reference.objectives)
+        assert [r.phase for r in scheduled.records] == [
+            r.phase for r in reference.records
+        ]
+        assert scheduled.cache_hits == reference.cache_hits
+        assert scheduled.cache_misses == reference.cache_misses
+
+    def test_gp_surrogate_bitwise(self):
+        self._compare(
+            lambda: SurrogateBO(
+                toy_constrained_quadratic(2), gp_factory,
+                n_initial=5, max_evaluations=10, seed=11,
+            )
+        )
+
+    def test_nnbo_bank_bitwise(self):
+        self._compare(
+            lambda: NNBO(
+                toy_constrained_quadratic(2),
+                n_initial=5, max_evaluations=8, n_ensemble=2,
+                hidden_dims=(10, 10), n_features=6, epochs=20, seed=3,
+            )
+        )
+
+
+class TestCrossExecutorDeterminism:
+    Q = 3
+
+    def _run(self, executor) -> OptimizationResult:
+        bo = SurrogateBO(
+            make_picklable_problem(),
+            gp_factory,
+            n_initial=5,
+            max_evaluations=13,
+            q=self.Q,
+            executor=executor,
+            seed=2024,
+        )
+        return bo.run()
+
+    def test_identical_batches_on_all_executors(self):
+        """Same seed + same q => identical proposal batches everywhere."""
+        reference = self._run("serial")
+        for executor in ("thread", "process"):
+            other = self._run(executor)
+            np.testing.assert_array_equal(other.x_matrix, reference.x_matrix)
+            assert [
+                (r.iteration, r.batch_index, r.pending) for r in other.records
+            ] == [
+                (r.iteration, r.batch_index, r.pending) for r in reference.records
+            ]
+
+    def test_executor_instance_passthrough(self):
+        evaluator = ThreadPoolEvaluator(n_workers=2)
+        try:
+            result = self._run(evaluator)
+        finally:
+            evaluator.close()
+        np.testing.assert_array_equal(result.x_matrix, self._run("serial").x_matrix)
+
+
+class TestBatchProvenance:
+    def _result(self, q=3, budget=12):
+        return SurrogateBO(
+            toy_constrained_quadratic(2), gp_factory,
+            n_initial=5, max_evaluations=budget, q=q, seed=0,
+        ).run()
+
+    def test_budget_respected_with_truncated_final_batch(self):
+        """12 evals = 5 initial + batches of 3, 3, 1 — never over budget."""
+        result = self._result(q=3, budget=12)
+        assert result.n_evaluations == 12
+        assert [len(batch) for batch in result.batches()] == [3, 3, 1]
+
+    def test_initial_design_is_iteration_zero(self):
+        result = self._result()
+        initial = [r for r in result.records if r.phase == "initial"]
+        assert all(r.iteration == 0 for r in initial)
+        assert [r.batch_index for r in initial] == list(range(5))
+        assert all(r.pending == () for r in initial)
+
+    def test_pending_sets_are_earlier_batch_mates(self):
+        result = self._result(q=3, budget=11)
+        first_batch = result.batches()[0]
+        base = 5  # after the initial design
+        for j, record in enumerate(first_batch):
+            assert record.batch_index == j
+            assert record.pending == tuple(range(base, base + j))
+
+    def test_batch_mates_are_distinct(self):
+        """Fantasy updates + the duplicate filter keep batches diverse."""
+        result = self._result(q=3, budget=11)
+        for batch in result.batches():
+            points = np.stack([r.x for r in batch])
+            for a in range(len(points)):
+                for b in range(a + 1, len(points)):
+                    assert np.max(np.abs(points[a] - points[b])) > 1e-9
+
+    def test_callback_fires_once_per_batch(self):
+        seen = []
+        SurrogateBO(
+            toy_constrained_quadratic(2), gp_factory,
+            n_initial=5, max_evaluations=11, q=3, seed=0,
+            callback=lambda it, res: seen.append((it, res.n_evaluations)),
+        ).run()
+        assert seen == [(1, 8), (2, 11)]
+
+
+class TestNNBOBatchPaths:
+    def test_wei_bank_q3(self):
+        nnbo = NNBO(
+            toy_constrained_quadratic(2),
+            n_initial=6, max_evaluations=12, n_ensemble=2,
+            hidden_dims=(10, 10), n_features=6, epochs=20, q=3, seed=1,
+        )
+        result = nnbo.run()
+        assert result.n_evaluations == 12
+        assert [len(batch) for batch in result.batches()] == [3, 3]
+
+    def test_thompson_q2_uses_bank(self):
+        nnbo = NNBO(
+            toy_constrained_quadratic(2),
+            n_initial=6, max_evaluations=10, n_ensemble=2,
+            hidden_dims=(10, 10), n_features=6, epochs=20,
+            q=2, acquisition="thompson", seed=1,
+        )
+        assert nnbo.engine == "batched"
+        result = nnbo.run()
+        assert result.n_evaluations == 10
+
+    def test_reproducible_q_batches(self):
+        def make():
+            return NNBO(
+                toy_constrained_quadratic(2),
+                n_initial=6, max_evaluations=12, n_ensemble=2,
+                hidden_dims=(10, 10), n_features=6, epochs=20, q=3, seed=7,
+            )
+
+        np.testing.assert_array_equal(make().run().x_matrix, make().run().x_matrix)
+
+
+class TestExecutors:
+    def test_make_evaluator_specs(self):
+        assert isinstance(make_evaluator("serial"), SerialEvaluator)
+        assert isinstance(make_evaluator("thread", 2), ThreadPoolEvaluator)
+        assert isinstance(make_evaluator("process", 2), ProcessPoolEvaluator)
+        instance = SerialEvaluator()
+        assert make_evaluator(instance) is instance
+        with pytest.raises(ValueError):
+            make_evaluator("cluster")
+        with pytest.raises(ValueError):
+            make_evaluator(instance, 4)  # workers cannot override an instance
+        with pytest.raises(ValueError):
+            ThreadPoolEvaluator(n_workers=0)
+
+    def test_completion_order_independence(self):
+        """Results arriving out of order are committed in batch order."""
+
+        class ReversedEvaluator(EvaluationExecutor):
+            def evaluate(self, problem, batch):
+                results = [
+                    (i, problem.evaluate_unit(u)) for i, u in enumerate(batch)
+                ]
+                yield from reversed(results)
+
+        problem = toy_constrained_quadratic(2)
+        forward = SurrogateBO(
+            problem, gp_factory, n_initial=5, max_evaluations=11, q=3, seed=4,
+        ).run()
+        reversed_run = SurrogateBO(
+            problem, gp_factory, n_initial=5, max_evaluations=11, q=3,
+            executor=ReversedEvaluator(), seed=4,
+        ).run()
+        np.testing.assert_array_equal(reversed_run.x_matrix, forward.x_matrix)
+
+    def test_process_pool_falls_back_on_unpicklable_problem(self):
+        problem = toy_constrained_quadratic(2)  # closures: not picklable
+        evaluator = ProcessPoolEvaluator(n_workers=2)
+        try:
+            with pytest.warns(UserWarning, match="not picklable"):
+                results = dict(
+                    evaluator.evaluate(problem, [np.full(2, 0.25), np.full(2, 0.75)])
+                )
+        finally:
+            evaluator.close()
+        assert set(results) == {0, 1}
+
+    def test_process_pool_syncs_parent_cache(self):
+        problem = make_picklable_problem()
+        evaluator = ProcessPoolEvaluator(n_workers=2)
+        try:
+            batch = [np.full(2, 0.2), np.full(2, 0.8)]
+            list(evaluator.evaluate(problem, batch))
+            assert problem.cache_stats == (0, 2)
+            # second pass: answered from the parent cache, no dispatch
+            list(evaluator.evaluate(problem, batch))
+            assert problem.cache_stats == (2, 2)
+        finally:
+            evaluator.close()

@@ -202,6 +202,64 @@ class TestSurrogateBank:
             np.testing.assert_array_equal(mu, mu_ref)
             np.testing.assert_array_equal(var, var_ref)
 
+    def test_fantasize_diversifies_and_clears_exactly(self):
+        """Fantasy conditioning shrinks variance at the pending point (the
+        q-point diversity mechanism) and clears back to the real posterior
+        bitwise."""
+        x, targets = make_data()
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=2,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=15),
+            seed=0, **KW,
+        )
+        bank.fit(x, targets)
+        pending = np.array([0.4, 0.6, 0.5])
+        x_query = np.vstack([pending, np.random.default_rng(3).uniform(size=(5, 3))])
+        before = [bank.predict_target(t, x_query) for t in range(2)]
+
+        bank.fantasize(pending, np.array([0.0, 1.0]))
+        assert bank.n_fantasies == 1
+        after_var = bank.predict_target(0, x_query)[1]
+        assert after_var[0] < before[0][1][0]  # pending point looks "observed"
+
+        bank.clear_fantasies()
+        assert bank.n_fantasies == 0
+        for t in range(2):
+            mu, var = bank.predict_target(t, x_query)
+            np.testing.assert_array_equal(mu, before[t][0])
+            np.testing.assert_array_equal(var, before[t][1])
+
+    def test_fantasize_validation(self):
+        x, targets = make_data()
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=2,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=10),
+            seed=0, **KW,
+        )
+        with pytest.raises(RuntimeError):
+            bank.fantasize(np.zeros(3), np.zeros(2))  # not fitted
+        bank.fit(x, targets)
+        with pytest.raises(ValueError):
+            bank.fantasize(np.zeros(3), np.zeros(3))  # wrong target count
+
+    def test_sampled_target_functions_deterministic(self):
+        """Same rng seed => the same Thompson draw; distinct draws differ."""
+        x, targets = make_data()
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=2,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=15),
+            seed=0, **KW,
+        )
+        bank.fit(x, targets)
+        x_query = np.random.default_rng(5).uniform(size=(6, 3))
+        f1 = bank.sample_target_function(0, rng=np.random.default_rng(99))
+        f2 = bank.sample_target_function(0, rng=np.random.default_rng(99))
+        np.testing.assert_array_equal(f1(x_query), f2(x_query))
+        g = bank.sample_target_function(0, rng=np.random.default_rng(100))
+        assert not np.array_equal(f1(x_query), g(x_query))
+        with pytest.raises(IndexError):
+            bank.sample_target_function(2)
+
     def test_matches_serial_reference_bank(self):
         """End-to-end: bank == per-member loop with the same seed stream."""
         x, targets = make_data(n=26)
@@ -224,3 +282,57 @@ class TestSurrogateBank:
                 mean_s, var_s = model.predict(x_query)
                 np.testing.assert_allclose(means_b[k], mean_s, atol=1e-8, rtol=0)
                 np.testing.assert_allclose(vars_b[k], var_s, atol=1e-8, rtol=0)
+
+
+class TestActiveSliceCompaction:
+    """Compaction must be a pure wall-clock optimization: gathering the
+    still-active slices changes no arithmetic."""
+
+    def _fit(self, compact: bool):
+        x, targets = make_data(n=30)
+        gp = BatchedNeuralFeatureGP(
+            3, n_stack=4,
+            seed=[np.random.default_rng(s) for s in (31, 32, 33, 34)],
+            **KW,
+        )
+        # a deliberately unstable learning rate makes slices stall at
+        # different epochs, so the active set actually shrinks
+        trainer = BatchedFeatureGPTrainer(
+            epochs=200, patience=8, lr=0.2, compact=compact
+        )
+        gp.fit(
+            x,
+            np.stack([targets[0], targets[1], targets[0] * 2.0, targets[1] - 1.0]),
+            trainer=trainer,
+        )
+        return gp, trainer
+
+    def test_bitwise_equivalence_with_freezing(self):
+        gp_full, _ = self._fit(compact=False)
+        gp_compact, trainer = self._fit(compact=True)
+        # the scenario must exercise compaction, else this test is vacuous
+        assert any(np.isnan(loss).any() for loss in trainer.loss_history)
+        x_query = np.random.default_rng(12).uniform(size=(9, 3))
+        mean_f, var_f = gp_full.predict(x_query)
+        mean_c, var_c = gp_compact.predict(x_query)
+        np.testing.assert_array_equal(mean_c, mean_f)
+        np.testing.assert_array_equal(var_c, var_f)
+
+    def test_frozen_slices_marked_nan_in_loss_history(self):
+        _, trainer = self._fit(compact=True)
+        nan_counts = [int(np.isnan(loss).sum()) for loss in trainer.loss_history]
+        assert nan_counts[0] == 0  # everything active at the start
+        assert nan_counts == sorted(nan_counts)  # frozen slices never revive
+
+    def test_gather_slices_matches_parent(self):
+        x, targets = make_data()
+        gp = BatchedNeuralFeatureGP(3, n_stack=3, seed=7, **KW)
+        sub = gp.gather_slices(np.array([2, 0]))
+        feats_full = gp.features(x)
+        feats_sub = sub.features(x)
+        np.testing.assert_array_equal(feats_sub[0], feats_full[2])
+        np.testing.assert_array_equal(feats_sub[1], feats_full[0])
+        with pytest.raises(IndexError):
+            gp.gather_slices(np.array([3]))
+        with pytest.raises(ValueError):
+            gp.gather_slices(np.array([], dtype=int))
