@@ -19,10 +19,15 @@ Pinned contracts:
   maximizations and fantasy updates, and still wins because the four
   simulations of each batch run concurrently).
 
+The measured numbers are additionally written to ``BENCH_batch_bo.json``
+(override the path with ``REPRO_BENCH_JSON``) so CI can upload the perf
+trajectory as a machine-readable artifact.
+
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_batch_bo.py -v -s``
 (set ``REPRO_BENCH_QUICK=1`` for the CI smoke configuration).
 """
 
+import json
 import os
 import time
 
@@ -132,6 +137,27 @@ class TestBatchSchedulerSpeedup:
             f"serial q=1 {t_serial:.2f}s, process q={Q} {t_batched:.2f}s -> "
             f"{', '.join(f'{a:.2f}x' for a in attempts)} (quick={QUICK})"
         )
+        path = os.environ.get("REPRO_BENCH_JSON", "BENCH_batch_bo.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "bench": "batch_bo",
+                    "budget": BUDGET,
+                    "n_initial": N_INITIAL,
+                    "q": Q,
+                    "sim_seconds": SIM_SECONDS,
+                    "quick": QUICK,
+                    "wall_clock_serial_s": round(t_serial, 3),
+                    "wall_clock_batched_s": round(t_batched, 3),
+                    "speedup": round(speedup, 3),
+                    "speedup_attempts": [round(a, 3) for a in attempts],
+                    "floor": SPEEDUP_FLOOR,
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"[batch-bo] wrote {path}")
         assert speedup >= SPEEDUP_FLOOR, (
             f"batch scheduler speedup {speedup:.2f}x below the "
             f"{SPEEDUP_FLOOR}x floor after retry"

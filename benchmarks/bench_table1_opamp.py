@@ -11,7 +11,6 @@ repeats; here 12 + 26 over 1-2 repeats) — the *shape* being reproduced:
 Run: ``pytest benchmarks/bench_table1_opamp.py --benchmark-only``
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import DifferentialEvolution, GASPAD, WEIBO

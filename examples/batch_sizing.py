@@ -19,8 +19,6 @@ parallel win is visible in a quick demo.
 
 import time
 
-import numpy as np
-
 from repro import NNBO
 from repro.circuits.testbenches import TwoStageOpAmpProblem
 

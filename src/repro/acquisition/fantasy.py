@@ -45,6 +45,21 @@ def objective_lie(
     return float(np.asarray(mean).ravel()[0])
 
 
+def fantasy_lies(
+    objective_model, constraint_models, u: np.ndarray, observed: np.ndarray, strategy: str
+) -> tuple[float, list[float]]:
+    """Objective and constraint lies for one pending point, in one call.
+
+    Convenience wrapper shared by the batch (q-point) and asynchronous
+    proposers: the objective lie follows ``strategy``, constraints always
+    take believer (posterior-mean) lies.
+    """
+    return (
+        objective_lie(objective_model, u, observed, strategy),
+        constraint_lies(constraint_models, u),
+    )
+
+
 def constraint_lies(constraint_models, u: np.ndarray) -> list[float]:
     """Believer lies (posterior means) for every constraint at ``u``."""
     u2 = np.atleast_2d(np.asarray(u, dtype=float))

@@ -128,11 +128,11 @@ def pressure_vessel_problem() -> FunctionProblem:
     3 constraints; classic engineering BO benchmark."""
 
     def objective(x):
-        t_s, t_h, r, l = x
+        t_s, t_h, r, length = x
         return float(
-            0.6224 * t_s * r * l
+            0.6224 * t_s * r * length
             + 1.7781 * t_h * r**2
-            + 3.1661 * t_s**2 * l
+            + 3.1661 * t_s**2 * length
             + 19.84 * t_s**2 * r
         )
 

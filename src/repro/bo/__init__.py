@@ -3,6 +3,9 @@
 Problem definitions (eq. 1 form), initial experimental designs, run
 histories and the generic surrogate-based Bayesian-optimization driver
 (Algorithm 1) that the paper's NN-GP method and the WEIBO baseline share.
+Evaluation dispatch is pluggable: synchronous q-point batches behind a
+barrier (:class:`EvaluationScheduler`) or the fully asynchronous
+refill-on-completion loop (:class:`AsyncEvaluationScheduler`).
 """
 
 from repro.bo.design import latin_hypercube, random_uniform, sobol_points
@@ -10,23 +13,33 @@ from repro.bo.history import EvaluationRecord, OptimizationResult
 from repro.bo.loop import SurrogateBO
 from repro.bo.problem import Evaluation, FunctionProblem, Problem
 from repro.bo.scheduler import (
+    AsyncEvaluationScheduler,
+    AsyncProcessEvaluator,
+    AsyncThreadEvaluator,
     EvaluationExecutor,
     EvaluationScheduler,
+    FakeClock,
     ProcessPoolEvaluator,
+    ProposalLedger,
     SerialEvaluator,
     ThreadPoolEvaluator,
     make_evaluator,
 )
 
 __all__ = [
+    "AsyncEvaluationScheduler",
+    "AsyncProcessEvaluator",
+    "AsyncThreadEvaluator",
     "Evaluation",
     "EvaluationExecutor",
     "EvaluationRecord",
     "EvaluationScheduler",
+    "FakeClock",
     "FunctionProblem",
     "OptimizationResult",
     "Problem",
     "ProcessPoolEvaluator",
+    "ProposalLedger",
     "SerialEvaluator",
     "SurrogateBO",
     "ThreadPoolEvaluator",

@@ -34,6 +34,19 @@ class EvaluationRecord:
         Global record indices of evaluations that were *pending* (proposed
         but not yet simulated) when this design was proposed — i.e. the
         fantasy points the q-point acquisition conditioned on.
+
+    Async (refill-on-completion) provenance, filled by
+    :class:`~repro.bo.scheduler.AsyncEvaluationScheduler`:
+
+    ``proposal_id``
+        This design's id in the run's proposal ledger
+        (:attr:`OptimizationResult.ledger`); ``None`` for synchronous
+        records.  Async records are committed in completion order, so
+        proposal ids need not be monotone along the trace.
+    ``pending_at_proposal``
+        Proposal ids (not record indices — the in-flight designs had no
+        history row yet) that were pending when this design was proposed:
+        the fantasy points its acquisition conditioned on.
     """
 
     index: int
@@ -43,6 +56,8 @@ class EvaluationRecord:
     iteration: int | None = None
     batch_index: int = 0
     pending: tuple[int, ...] = ()
+    proposal_id: int | None = None
+    pending_at_proposal: tuple[int, ...] = ()
 
     def __post_init__(self):
         self.x = np.asarray(self.x, dtype=float).ravel()
@@ -50,6 +65,9 @@ class EvaluationRecord:
             raise ValueError(f"unknown phase {self.phase!r}")
         self.batch_index = int(self.batch_index)
         self.pending = tuple(int(i) for i in self.pending)
+        if self.proposal_id is not None:
+            self.proposal_id = int(self.proposal_id)
+        self.pending_at_proposal = tuple(int(i) for i in self.pending_at_proposal)
 
 
 class OptimizationResult:
@@ -64,6 +82,10 @@ class OptimizationResult:
         #: from the memoization cache without re-running the simulator
         self.cache_hits = 0
         self.cache_misses = 0
+        #: the :class:`~repro.bo.scheduler.ProposalLedger` of an
+        #: asynchronous run (proposal/commit order provenance); ``None``
+        #: for synchronous runs
+        self.ledger = None
 
     # -- recording ------------------------------------------------------------
 
@@ -75,6 +97,8 @@ class OptimizationResult:
         iteration: int | None = None,
         batch_index: int = 0,
         pending: tuple[int, ...] = (),
+        proposal_id: int | None = None,
+        pending_at_proposal: tuple[int, ...] = (),
     ):
         """Add one evaluated design to the trace (with batch provenance)."""
         self.records.append(
@@ -86,6 +110,8 @@ class OptimizationResult:
                 iteration=iteration,
                 batch_index=batch_index,
                 pending=pending,
+                proposal_id=proposal_id,
+                pending_at_proposal=pending_at_proposal,
             )
         )
 

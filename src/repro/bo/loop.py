@@ -23,6 +23,15 @@ Per iteration (Fig. 2):
 loop bitwise: the surrogate fits, acquisition maximization, duplicate
 handling and RNG stream are unchanged (pinned by
 ``tests/bo/test_scheduler.py``).
+
+With an ``"async-*"`` executor the batch barrier disappears entirely:
+the refill-on-completion scheduler (:class:`~repro.bo.scheduler.
+AsyncEvaluationScheduler`) keeps ``n_eval_workers`` simulations in
+flight, commits each landing immediately, absorbs it into the surrogate
+according to ``async_refit`` and proposes a replacement conditioned on
+the still-pending set.  ``async-*`` with ``n_eval_workers=1`` degrades
+gracefully to the serial single-point loop (same trace, pinned by
+``tests/bo/test_async_scheduler.py``).
 """
 
 from __future__ import annotations
@@ -34,8 +43,7 @@ import numpy as np
 from repro.acquisition.fantasy import (
     FANTASY_STRATEGIES,
     FantasyModelSet,
-    constraint_lies,
-    objective_lie,
+    fantasy_lies,
 )
 from repro.acquisition.maximize import (
     AcquisitionMaximizer,
@@ -45,8 +53,18 @@ from repro.acquisition.wei import WeightedExpectedImprovement
 from repro.bo.design import make_design
 from repro.bo.history import OptimizationResult
 from repro.bo.problem import Problem
-from repro.bo.scheduler import EvaluationScheduler, make_evaluator
+from repro.bo.scheduler import (
+    AsyncEvaluationScheduler,
+    EvaluationScheduler,
+    make_evaluator,
+)
 from repro.utils.rng import ensure_rng
+
+ASYNC_REFIT_POLICIES = ("full", "fantasy-only")
+
+#: in-flight evaluations for ``"async-*"`` executors when neither
+#: ``n_eval_workers`` nor ``q`` specifies a worker count
+DEFAULT_ASYNC_WORKERS = 4
 
 
 @dataclass
@@ -118,15 +136,39 @@ class SurrogateBO:
         serial loop; larger batches trade a modest per-candidate
         information loss for wall-clock parallelism on the executor.
     executor:
-        ``"serial"`` (default), ``"thread"``, ``"process"`` or an
-        :class:`~repro.bo.scheduler.EvaluationExecutor` instance — where
-        the q simulations of each batch run.
+        ``"serial"`` (default), ``"thread"``, ``"process"``,
+        ``"async-thread"``, ``"async-process"`` or an
+        :class:`~repro.bo.scheduler.EvaluationExecutor` instance.  The
+        plain pooled specs evaluate each q-point batch behind a barrier;
+        the ``async-*`` specs switch to the refill-on-completion loop:
+        one design is proposed per landing, with ``n_eval_workers``
+        in-flight evaluations (when unset, ``q > 1`` seeds the in-flight
+        count — batch configs keep their parallelism when switched to
+        async — else it defaults to 4).
     n_eval_workers:
-        Worker count for the pooled executors; defaults to ``q``.
+        Worker count for the pooled executors; defaults to ``q`` (batch
+        mode) or ``4`` (async mode with ``q=1``).
     fantasy:
         Lie strategy between wEI picks: ``"believer"`` (posterior mean,
         default), ``"cl-min"`` or ``"cl-max"`` (constant liar with the
-        best/worst observed objective).
+        best/worst observed objective).  Async proposals use the same
+        strategy to condition on the in-flight set.
+    async_refit:
+        Surrogate policy per async landing.  ``"full"`` (default) refits
+        fresh surrogates before every proposal — maximum information, the
+        async analogue of Algorithm 1's per-iteration refit.
+        ``"fantasy-only"`` absorbs each landing with a posterior-only
+        update (:meth:`~repro.core.batched_gp.SurrogateBank.observe` —
+        network weights untouched) and runs a *warm-started* full refit
+        every ``async_full_refit_every`` landings; needs the bank path
+        (``surrogate_bank_factory``).
+    async_full_refit_every:
+        Landings between warm full refits under ``"fantasy-only"``;
+        defaults to the in-flight worker count.
+    async_clock:
+        Optional :class:`~repro.bo.scheduler.FakeClock` virtualizing the
+        async completion order (deterministic replay; used by tests and
+        for auditing — production runs leave it ``None``).
     seed, verbose, callback:
         Reproducibility / reporting hooks.  ``callback(iteration, result)``
         runs after every ingested batch (every evaluation when ``q=1``).
@@ -150,6 +192,9 @@ class SurrogateBO:
         executor="serial",
         n_eval_workers: int | None = None,
         fantasy: str = "believer",
+        async_refit: str = "full",
+        async_full_refit_every: int | None = None,
+        async_clock=None,
         seed=None,
         verbose: bool = False,
         callback=None,
@@ -172,6 +217,15 @@ class SurrogateBO:
             raise ValueError(
                 f"fantasy must be one of {FANTASY_STRATEGIES}, got {fantasy!r}"
             )
+        if async_refit not in ASYNC_REFIT_POLICIES:
+            raise ValueError(
+                f"async_refit must be one of {ASYNC_REFIT_POLICIES}, "
+                f"got {async_refit!r}"
+            )
+        if async_full_refit_every is not None and async_full_refit_every < 1:
+            raise ValueError(
+                f"async_full_refit_every must be >= 1, got {async_full_refit_every}"
+            )
         self.problem = problem
         self.surrogate_factory = surrogate_factory
         self.surrogate_bank_factory = surrogate_bank_factory
@@ -192,6 +246,11 @@ class SurrogateBO:
         self.executor = executor
         self.n_eval_workers = None if n_eval_workers is None else int(n_eval_workers)
         self.fantasy = str(fantasy)
+        self.async_refit = str(async_refit)
+        self.async_full_refit_every = (
+            None if async_full_refit_every is None else int(async_full_refit_every)
+        )
+        self.async_clock = async_clock
         self.rng = ensure_rng(seed)
         self.verbose = bool(verbose)
         self.callback = callback
@@ -201,20 +260,31 @@ class SurrogateBO:
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> OptimizationResult:
-        """Execute Algorithm 1 (batched form) and return the evaluation trace."""
+        """Execute Algorithm 1 (batched or asynchronous form); return the trace."""
         result = OptimizationResult(self.problem.name, self.algorithm_name)
         unit_x: list[np.ndarray] = []
         self._cache_hits0, self._cache_misses0 = self.problem.cache_stats
 
         workers = self.n_eval_workers
-        if workers is None and isinstance(self.executor, str) and self.q > 1:
-            workers = self.q
+        if workers is None and isinstance(self.executor, str):
+            if self.executor.lower().startswith("async-"):
+                workers = self.q if self.q > 1 else DEFAULT_ASYNC_WORKERS
+            elif self.q > 1:
+                workers = self.q
         # an executor instance + explicit n_eval_workers is contradictory;
         # make_evaluator raises rather than silently ignoring the count
         evaluator = make_evaluator(self.executor, workers)
         owns_evaluator = evaluator is not self.executor
-        scheduler = EvaluationScheduler(self.problem, evaluator)
         try:
+            if getattr(evaluator, "async_mode", False):
+                n_in_flight = (
+                    workers
+                    if workers is not None
+                    else getattr(evaluator, "n_workers", 1)
+                )
+                self._run_async(evaluator, result, unit_x, n_in_flight)
+                return result
+            scheduler = EvaluationScheduler(self.problem, evaluator)
             initial = list(make_design(
                 self.initial_design, self.n_initial, self.problem.dim, self.rng
             ))
@@ -248,6 +318,57 @@ class SurrogateBO:
                 evaluator.close()
         return result
 
+    def _run_async(self, evaluator, result, unit_x, n_workers: int) -> None:
+        """The refill-on-completion loop (``executor="async-*"``).
+
+        The initial design still evaluates as one deterministic batch;
+        afterwards :class:`AsyncEvaluationScheduler` keeps ``n_workers``
+        simulations in flight, an :class:`_AsyncProposer` absorbs each
+        landing according to ``async_refit`` and proposes the replacement
+        conditioned on the pending set.  ``callback(landing, result)``
+        fires per landing (the async analogue of per-iteration).
+        """
+        if self.async_refit == "fantasy-only" and self.surrogate_bank_factory is None:
+            raise ValueError(
+                "async_refit='fantasy-only' requires surrogate_bank_factory "
+                "(posterior-only absorbs go through the bank); per-target "
+                "surrogate factories must use async_refit='full'"
+            )
+        scheduler = AsyncEvaluationScheduler(
+            self.problem, evaluator, clock=self.async_clock
+        )
+        initial = list(make_design(
+            self.initial_design, self.n_initial, self.problem.dim, self.rng
+        ))
+        scheduler.run_initial(initial, result, unit_x)
+        self._sync_cache_counters(result)
+        proposer = _AsyncProposer(self, n_workers)
+
+        def propose(pending_units):
+            return proposer.propose(np.stack(unit_x), result, pending_units)
+
+        def on_commit(u, evaluation, committed_result):
+            self._sync_cache_counters(committed_result)
+            proposer.on_commit(u, evaluation, committed_result)
+            landing = committed_result.records[-1].iteration
+            if self.verbose:
+                best = committed_result.best_objective()
+                print(
+                    f"[{self.algorithm_name}] landing {landing:3d} "
+                    f"evals {committed_result.n_evaluations:4d} best {best:.6g}"
+                )
+            if self.callback is not None:
+                self.callback(landing, committed_result)
+
+        scheduler.run_search(
+            result,
+            unit_x,
+            propose=propose,
+            n_workers=n_workers,
+            max_evaluations=self.max_evaluations,
+            on_commit=on_commit,
+        )
+
     # -- helpers -------------------------------------------------------------------
 
     def _sync_cache_counters(self, result: OptimizationResult):
@@ -262,12 +383,13 @@ class SurrogateBO:
         unit_x.append(np.asarray(u, dtype=float))
         self._sync_cache_counters(result)
 
-    def _fit_surrogates(self, x_unit: np.ndarray, result: OptimizationResult):
-        """Fit this iteration's models; returns an :class:`_IterationModels`.
+    def _sanitized_targets(self, result: OptimizationResult):
+        """Surrogate-ready targets from the committed history.
 
-        With a bank factory the objective and every constraint ensemble are
-        fitted in ONE batched call; the legacy path invokes the per-target
-        factory ``n_constraints + 1`` times.
+        Returns ``(objective, constraint_ys, targets)`` where ``targets``
+        stacks the objective and every constraint as the ``(T, N)`` matrix
+        the bank's :meth:`~repro.core.batched_gp.SurrogateBank.fit`
+        consumes.
         """
         objective = _sanitize_targets(result.objectives)
         constraints = result.constraint_matrix
@@ -275,13 +397,23 @@ class SurrogateBO:
             _sanitize_targets(constraints[:, i])
             for i in range(self.problem.n_constraints)
         ]
+        targets = np.empty((1 + self.problem.n_constraints, objective.shape[0]))
+        targets[0] = objective
+        for i, y in enumerate(constraint_ys):
+            targets[1 + i] = y
+        return objective, constraint_ys, targets
+
+    def _fit_surrogates(self, x_unit: np.ndarray, result: OptimizationResult):
+        """Fit this iteration's models; returns an :class:`_IterationModels`.
+
+        With a bank factory the objective and every constraint ensemble are
+        fitted in ONE batched call; the legacy path invokes the per-target
+        factory ``n_constraints + 1`` times.
+        """
+        objective, constraint_ys, targets = self._sanitized_targets(result)
 
         if self.surrogate_bank_factory is not None:
             n_targets = 1 + self.problem.n_constraints
-            targets = np.empty((n_targets, objective.shape[0]))
-            targets[0] = objective
-            for i, y in enumerate(constraint_ys):
-                targets[1 + i] = y
             bank = self.surrogate_bank_factory(self.rng, n_targets)
             bank.fit(x_unit, targets)
             return _IterationModels(
@@ -389,10 +521,10 @@ class SurrogateBO:
 
     def _apply_fantasy(self, fitted: _IterationModels, fantasy_set, pending):
         """Condition the iteration's models on one pending pick."""
-        obj_lie = objective_lie(
-            fitted.objective, pending, fitted.objective_y, self.fantasy
+        obj_lie, cons_lies = fantasy_lies(
+            fitted.objective, fitted.constraints, pending,
+            fitted.objective_y, self.fantasy,
         )
-        cons_lies = constraint_lies(fitted.constraints, pending)
         if fitted.bank is not None:
             fitted.bank.fantasize(pending, np.array([obj_lie, *cons_lies]))
         else:
@@ -444,3 +576,171 @@ def _sanitize_targets(y: np.ndarray) -> np.ndarray:
     if iqr > 0.0:
         y = np.clip(y, q50 - 10.0 * iqr, q50 + 10.0 * iqr)
     return y
+
+
+def _sanitize_new_target(value: float, existing: np.ndarray) -> float:
+    """:func:`_sanitize_targets` for a single late-arriving value.
+
+    The async ``"fantasy-only"`` policy absorbs landings one at a time;
+    the same two pathologies apply (non-finite failed simulations,
+    degenerate outliers), judged against the already-sanitized committed
+    targets.  The periodic full refit re-sanitizes the whole vector, so
+    any drift between the incremental and the batch clipping is bounded
+    by one refit period.
+    """
+    existing = np.asarray(existing, dtype=float)
+    value = float(value)
+    if not np.isfinite(value):
+        if existing.size == 0:
+            return 0.0
+        span = float(np.ptp(existing))
+        return float(np.max(existing)) + max(span, 1.0)
+    if existing.size:
+        q25, q50, q75 = np.percentile(existing, [25.0, 50.0, 75.0])
+        iqr = q75 - q25
+        if iqr > 0.0:
+            value = float(np.clip(value, q50 - 10.0 * iqr, q50 + 10.0 * iqr))
+    return value
+
+
+class _AsyncProposer:
+    """Surrogate bookkeeping for the asynchronous loop.
+
+    Owns the refit policy: when to rebuild models (``"full"``: before
+    every proposal following a landing; ``"fantasy-only"``: posterior-only
+    absorbs with a warm full refit every ``full_refit_every`` landings)
+    and how to condition each proposal on the in-flight pending set.
+    """
+
+    def __init__(self, bo: SurrogateBO, n_workers: int):
+        self.bo = bo
+        every = bo.async_full_refit_every
+        self.full_refit_every = max(1, int(n_workers)) if every is None else every
+        self._fitted: _IterationModels | None = None
+        self._fantasy_set: FantasyModelSet | None = None
+        self._n_fantasied = 0
+        self._landings_since_fit = 0
+        self._needs_refit = True
+
+    # -- proposing ---------------------------------------------------------------
+
+    def propose(
+        self, x_unit: np.ndarray, result: OptimizationResult, pending_units
+    ) -> np.ndarray:
+        """One replacement proposal conditioned on the pending set."""
+        bo = self.bo
+        if self._fitted is None or self._needs_refit:
+            self._refit(x_unit, result)
+        self._condition_on_pending(pending_units)
+        acquisition = bo._make_acquisition(self._fitted, result)
+        pick = bo.acq_maximizer.maximize(acquisition, bo.problem.dim, bo.rng)
+        if pending_units:
+            known = np.vstack(
+                [x_unit] + [np.asarray(u, dtype=float)[None, :] for u in pending_units]
+            )
+        else:
+            known = x_unit
+        if bo._is_duplicate(pick, known):
+            pick = bo._resample_non_duplicate(known)
+        return pick
+
+    def _refit(self, x_unit: np.ndarray, result: OptimizationResult) -> None:
+        bo = self.bo
+        warm_bank = (
+            self._fitted.bank
+            if (
+                bo.async_refit == "fantasy-only"
+                and self._fitted is not None
+                and self._fitted.bank is not None
+            )
+            else None
+        )
+        if warm_bank is not None:
+            # periodic full refit under "fantasy-only": keep the bank so
+            # training warm-starts from the already-learned weights
+            objective, constraint_ys, targets = bo._sanitized_targets(result)
+            warm_bank.clear_fantasies(update=False)  # fit rebuilds anyway
+            warm_bank.fit(x_unit, targets)
+            self._fitted = _IterationModels(
+                objective=warm_bank.target_model(0),
+                constraints=[
+                    warm_bank.target_model(1 + i)
+                    for i in range(bo.problem.n_constraints)
+                ],
+                bank=warm_bank,
+                x=x_unit,
+                objective_y=objective,
+                constraint_ys=constraint_ys,
+            )
+        else:
+            self._fitted = bo._fit_surrogates(x_unit, result)
+        self._fantasy_set = None
+        self._n_fantasied = 0
+        self._landings_since_fit = 0
+        self._needs_refit = False
+
+    def _condition_on_pending(self, pending_units) -> None:
+        """Fantasy-condition the current models on the in-flight designs.
+
+        Bank path: the fantasy stack is rebuilt from scratch each proposal
+        (posterior-only updates are cheap), so it always mirrors the exact
+        pending set even after landings removed members.  Legacy per-target
+        models mutate in place and only support a growing pending set —
+        guaranteed because the legacy path always runs ``async_refit=
+        "full"``, which refits after every landing.
+        """
+        bo = self.bo
+        fitted = self._fitted
+        if bo.acquisition != "wei":
+            # Thompson diversifies by posterior sampling, not by lies
+            return
+        if fitted.bank is not None:
+            # with pending lies about to be re-applied, the intermediate
+            # fantasy-free posterior would never be read — skip its rebuild
+            fitted.bank.clear_fantasies(update=not pending_units)
+            for u in pending_units:
+                bo._apply_fantasy(fitted, None, np.asarray(u, dtype=float))
+            return
+        if not pending_units:
+            return
+        if self._fantasy_set is None:
+            self._fantasy_set = FantasyModelSet(
+                fitted.x,
+                fitted.objective,
+                fitted.objective_y,
+                fitted.constraints,
+                fitted.constraint_ys,
+            )
+        for u in pending_units[self._n_fantasied:]:
+            bo._apply_fantasy(fitted, self._fantasy_set, np.asarray(u, dtype=float))
+        self._n_fantasied = len(pending_units)
+
+    # -- absorbing landings -------------------------------------------------------
+
+    def on_commit(self, u, evaluation, result: OptimizationResult) -> None:
+        """Absorb one landed evaluation according to the refit policy."""
+        bo = self.bo
+        self._landings_since_fit += 1
+        if bo.async_refit == "full" or self._fitted is None:
+            self._needs_refit = True
+            return
+        if self._landings_since_fit >= self.full_refit_every:
+            self._needs_refit = True
+            return
+        fitted = self._fitted
+        # observe() rebuilds the posterior; the intermediate fantasy-free
+        # rebuild would be wasted work on the landing hot path
+        fitted.bank.clear_fantasies(update=False)
+        u = np.asarray(u, dtype=float)
+        obj = _sanitize_new_target(evaluation.objective, fitted.objective_y)
+        cons = [
+            _sanitize_new_target(c, ys)
+            for c, ys in zip(evaluation.constraints, fitted.constraint_ys)
+        ]
+        fitted.bank.observe(u, np.array([obj, *cons]))
+        # keep the training-data view consistent for future lies/refits
+        fitted.x = np.vstack([fitted.x, u[None, :]])
+        fitted.objective_y = np.append(fitted.objective_y, obj)
+        fitted.constraint_ys = [
+            np.append(ys, c) for ys, c in zip(fitted.constraint_ys, cons)
+        ]

@@ -161,13 +161,17 @@ class Problem:
 
         Counts as a cache miss — the simulator genuinely ran, just not in
         this process — and persists to the on-disk cache when configured.
+        With memoization disabled the call is a no-op (no counters, no
+        store), mirroring :meth:`evaluate_unit`, so the recorded cache
+        statistics stay identical across executors.
         """
+        if not self.cache_evaluations:
+            return
         with self._cache_lock:
             self.n_cache_misses += 1
-            if self.cache_evaluations:
-                key = self.cache_key(u)
-                self._eval_cache[key] = evaluation
-                self._append_disk_entry(key, evaluation)
+            key = self.cache_key(u)
+            self._eval_cache[key] = evaluation
+            self._append_disk_entry(key, evaluation)
 
     def evaluate_unit_uncached(self, u: np.ndarray) -> Evaluation:
         """Simulate unit-box coordinates directly, bypassing the cache.

@@ -1,10 +1,31 @@
-"""Propose/evaluate scheduler: batched dispatch of simulator calls.
+"""Propose/evaluate schedulers: batched and fully asynchronous dispatch.
 
 The single-point BO loop leaves any multi-core simulation budget idle:
 one design is proposed, simulated, and only then is the next one chosen.
 This module supplies the evaluation half of the q-point refactor — the
 proposal half (q-aware acquisition with constant-liar/fantasy updates)
 lives in :mod:`repro.bo.loop` and :mod:`repro.acquisition`.
+
+Two schedulers build on the executors below:
+
+* :class:`EvaluationScheduler` — the synchronous q-point scheduler of
+  PR 2: one proposal batch is dispatched, the loop blocks at a barrier
+  until the whole batch lands, results commit in batch order.
+* :class:`AsyncEvaluationScheduler` — the refill-on-completion loop:
+  ``n_workers`` evaluations stay in flight at all times, each landing is
+  committed immediately (completion order) and a replacement proposal —
+  conditioned on the still-pending set via fantasies — is submitted the
+  moment the surrogate has absorbed the landing.  No barrier: a slow
+  simulation never stalls the rest of the pool.
+
+Async determinism is *conditional*: the recorded trace is a pure
+function of ``(seed, completion order)``.  Every run carries a
+:class:`ProposalLedger` (``result.ledger``) recording, per proposal, the
+pending set it was conditioned on and the order in which proposals
+landed, so a trace can be audited or replayed.  Tests pin the contract
+by driving the completion order from a deterministic :class:`FakeClock`
+(virtual evaluation durations), under which async-thread and
+async-process runs are bitwise identical.
 
 Three pluggable executors implement the ``evaluate(problem, batch)``
 protocol, yielding ``(batch_index, Evaluation)`` pairs *in completion
@@ -35,14 +56,30 @@ identical proposal batches on every executor.
 
 from __future__ import annotations
 
+import copy
 import pickle
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+import zlib
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.bo.history import OptimizationResult
 from repro.bo.problem import Evaluation, Problem
+
+
+def _completed_future(value) -> Future:
+    """An already-resolved future (cached/serial results in async mode)."""
+    future: Future = Future()
+    future.set_result(value)
+    return future
 
 
 class EvaluationExecutor:
@@ -51,13 +88,34 @@ class EvaluationExecutor:
     Implementations yield ``(batch_index, evaluation)`` pairs in whatever
     order simulations complete; callers must not rely on ordering.
     ``close()`` releases worker resources and must be idempotent.
+
+    Pooled executors additionally implement the *async protocol* used by
+    :class:`AsyncEvaluationScheduler`: ``submit(problem, u)`` returns a
+    future resolving to the :class:`~repro.bo.problem.Evaluation`, and
+    ``collect(problem, u, future)`` retrieves the result (performing any
+    parent-side cache bookkeeping exactly once).  ``async_mode`` marks
+    the executor specs that opt the BO loop into the refill-on-completion
+    scheduler instead of the batch barrier.
     """
 
     name = "abstract"
+    #: True for the ``"async-*"`` executor specs: the BO loop runs the
+    #: refill-on-completion scheduler instead of the q-point barrier.
+    async_mode = False
 
     def evaluate(self, problem: Problem, batch):
         """Yield ``(batch_index, Evaluation)`` as results complete."""
         raise NotImplementedError
+
+    def submit(self, problem: Problem, u: np.ndarray) -> Future:
+        """Dispatch one unit-box design; returns a future of its Evaluation."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support asynchronous submission"
+        )
+
+    def collect(self, problem: Problem, u: np.ndarray, future: Future) -> Evaluation:
+        """Block on one submitted future and return its evaluation."""
+        return future.result()
 
     def close(self):
         """Release pooled workers (no-op by default)."""
@@ -113,9 +171,22 @@ class ThreadPoolEvaluator(EvaluationExecutor):
         }
         yield from _drain_futures(futures)
 
+    def submit(self, problem: Problem, u: np.ndarray) -> Future:
+        """Dispatch one design to the pool (memoization stays parent-side)."""
+        return self._ensure_pool().submit(
+            problem.evaluate_unit, np.asarray(u, dtype=float)
+        )
+
     def close(self):
+        """Shut the pool down; queued-but-unstarted work is cancelled.
+
+        ``cancel_futures=True`` makes shutdown exception-safe: when a
+        poisoned evaluation aborts a batch mid-flight, the not-yet-started
+        tasks are dropped instead of being waited on, so closing never
+        blocks on work nobody will consume.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
 
@@ -159,6 +230,10 @@ class ProcessPoolEvaluator(EvaluationExecutor):
         self._pool: ProcessPoolExecutor | None = None
         self._pool_problem: Problem | None = None
         self._serial_fallback = False
+        # futures whose results still need ingesting into the parent cache
+        # (async submissions dispatched to workers; cached/serial-fallback
+        # futures are excluded)
+        self._needs_store: set[Future] = set()
 
     def _ensure_pool(self, problem: Problem) -> ProcessPoolExecutor | None:
         if self._serial_fallback:
@@ -167,8 +242,14 @@ class ProcessPoolEvaluator(EvaluationExecutor):
             # a new problem needs freshly initialized workers
             self.close()
         if self._pool is None:
+            # ship a cache-stripped copy: workers simulate uncached by
+            # design (the parent owns all caching), so serializing a
+            # possibly-large warm memoization cache to every worker would
+            # be pure pickle/transfer waste
+            shipped = copy.copy(problem)
+            shipped._eval_cache = {}
             try:
-                pickle.dumps(problem)
+                pickle.dumps(shipped)
             except Exception:
                 warnings.warn(
                     "problem is not picklable; ProcessPoolEvaluator falling "
@@ -181,7 +262,7 @@ class ProcessPoolEvaluator(EvaluationExecutor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 initializer=_init_worker,
-                initargs=(problem,),
+                initargs=(shipped,),
             )
             self._pool_problem = problem
         return self._pool
@@ -205,33 +286,91 @@ class ProcessPoolEvaluator(EvaluationExecutor):
             problem.store_evaluation(batch[batch_index], evaluation)
             yield batch_index, evaluation
 
+    def submit(self, problem: Problem, u: np.ndarray) -> Future:
+        """Dispatch one design to a worker (cache answered parent-side).
+
+        Already-cached designs resolve immediately without touching the
+        pool; fresh simulations are ingested into the parent cache by
+        :meth:`collect` (exactly once per future).
+        """
+        u = np.asarray(u, dtype=float)
+        pool = self._ensure_pool(problem)
+        if pool is None:
+            return _completed_future(problem.evaluate_unit(u))
+        cached = problem.lookup_cached(u)
+        if cached is not None:
+            return _completed_future(cached)
+        future = pool.submit(_worker_evaluate, u)
+        self._needs_store.add(future)
+        return future
+
+    def collect(self, problem: Problem, u: np.ndarray, future: Future) -> Evaluation:
+        evaluation = future.result()
+        if future in self._needs_store:
+            self._needs_store.discard(future)
+            problem.store_evaluation(u, evaluation)
+        return evaluation
+
     def close(self):
+        """Shut the pool down, cancelling queued work (see base class)."""
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._pool_problem = None
+            self._needs_store.clear()
+
+
+class AsyncThreadEvaluator(ThreadPoolEvaluator):
+    """Thread pool driven by the refill-on-completion scheduler.
+
+    Identical machinery to :class:`ThreadPoolEvaluator`; the distinct spec
+    (``executor="async-thread"``) is what opts the BO loop into
+    :class:`AsyncEvaluationScheduler` instead of the q-point barrier.
+    """
+
+    name = "async-thread"
+    async_mode = True
+
+
+class AsyncProcessEvaluator(ProcessPoolEvaluator):
+    """Process pool driven by the refill-on-completion scheduler."""
+
+    name = "async-process"
+    async_mode = True
 
 
 def _drain_futures(futures: dict):
-    """Yield ``(batch_index, result)`` pairs as futures complete."""
+    """Yield ``(batch_index, result)`` pairs as futures complete.
+
+    Exception-safe: when a result raises (poisoned objective) or the
+    consumer abandons the generator, every still-outstanding future is
+    cancelled so pool shutdown never waits on work nobody will read.
+    """
     outstanding = set(futures)
-    while outstanding:
-        done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-        for future in done:
-            yield futures[future], future.result()
+    try:
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield futures[future], future.result()
+    finally:
+        for future in outstanding:
+            future.cancel()
 
 
 _EXECUTORS = {
     "serial": SerialEvaluator,
     "thread": ThreadPoolEvaluator,
     "process": ProcessPoolEvaluator,
+    "async-thread": AsyncThreadEvaluator,
+    "async-process": AsyncProcessEvaluator,
 }
 
 
 def make_evaluator(spec, n_workers: int | None = None) -> EvaluationExecutor:
     """Resolve an executor spec (name or instance) to an executor.
 
-    ``spec`` is ``"serial"``, ``"thread"``, ``"process"`` or an
+    ``spec`` is ``"serial"``, ``"thread"``, ``"process"``,
+    ``"async-thread"``, ``"async-process"`` or an
     :class:`EvaluationExecutor` instance (returned unchanged, in which case
     ``n_workers`` must be left unset).
     """
@@ -309,3 +448,303 @@ class EvaluationScheduler:
             raise RuntimeError(
                 f"executor returned {next_up}/{len(batch)} batch results"
             )
+
+
+# -- asynchronous (refill-on-completion) scheduling --------------------------------
+
+
+@dataclass
+class ProposalEntry:
+    """One proposal's provenance in the async ledger.
+
+    ``pending_at_proposal`` holds the proposal ids that were in flight
+    (submitted, not yet landed) when this design was proposed — the
+    fantasy points its acquisition conditioned on.
+    ``n_landed_at_submit`` is how many earlier proposals had already
+    landed at submission time; ``committed_at`` is this proposal's own
+    landing sequence number (1-based completion order, ``None`` while in
+    flight) and ``record_index`` the history row it landed in — so for
+    any pending id ``p``: ``entry(p).committed_at > n_landed_at_submit``.
+    ``virtual_ready`` is the fake-clock completion time when a
+    :class:`FakeClock` drives the run (``None`` in wall-clock mode).
+    """
+
+    proposal_id: int
+    u: tuple
+    pending_at_proposal: tuple[int, ...]
+    n_landed_at_submit: int
+    virtual_ready: float | None = None
+    committed_at: int | None = None
+    record_index: int | None = None
+
+
+class ProposalLedger:
+    """Replayable record of an asynchronous run's proposal/commit order.
+
+    The async trace is a pure function of ``(seed, completion order)``;
+    the ledger captures the completion order — plus each proposal's
+    pending-set provenance — so a run can be audited, compared across
+    executors, or replayed: re-running with the same seed and a clock
+    that reproduces ``completion_order`` yields the identical trace
+    (pinned in ``tests/bo/test_async_scheduler.py``).
+    """
+
+    def __init__(self):
+        self.entries: list[ProposalEntry] = []
+        self._n_committed = 0
+
+    def open(
+        self,
+        u: np.ndarray,
+        pending: tuple[int, ...],
+        virtual_ready: float | None = None,
+    ) -> ProposalEntry:
+        """Register a new proposal; returns its entry (id = position)."""
+        entry = ProposalEntry(
+            proposal_id=len(self.entries),
+            u=tuple(np.asarray(u, dtype=float).ravel().tolist()),
+            pending_at_proposal=tuple(int(i) for i in pending),
+            n_landed_at_submit=self._n_committed,
+            virtual_ready=virtual_ready,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def commit(self, proposal_id: int, record_index: int) -> ProposalEntry:
+        """Mark one proposal as landed (next completion sequence number)."""
+        entry = self.entries[proposal_id]
+        if entry.committed_at is not None:
+            raise ValueError(f"proposal {proposal_id} committed twice")
+        self._n_committed += 1
+        entry.committed_at = self._n_committed
+        entry.record_index = int(record_index)
+        return entry
+
+    def entry(self, proposal_id: int) -> ProposalEntry:
+        """The ledger entry for one proposal id."""
+        return self.entries[proposal_id]
+
+    @property
+    def completion_order(self) -> list[int]:
+        """Proposal ids in the order they landed (in-flight ones omitted)."""
+        committed = [e for e in self.entries if e.committed_at is not None]
+        return [e.proposal_id for e in sorted(committed, key=lambda e: e.committed_at)]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProposalLedger({len(self.entries)} proposals, "
+            f"{self._n_committed} committed)"
+        )
+
+
+class FakeClock:
+    """Deterministic virtual evaluation durations for async replay.
+
+    Real async runs commit in wall-clock completion order, which varies
+    with machine load; under a fake clock the scheduler instead assigns
+    every submission a *virtual* duration — a pure function of the design
+    point — and always commits the in-flight proposal with the earliest
+    virtual completion time.  The pool still evaluates in parallel; only
+    the commit order is virtualized.  Same seed + same clock ⇒ the same
+    completion order on every executor, making async-thread and
+    async-process runs bitwise comparable (the pinned determinism test).
+
+    ``duration_fn(u) -> float`` overrides the default, which hashes the
+    rounded unit coordinates (CRC32 — stable across processes and runs)
+    into ``base + spread * frac``.
+    """
+
+    def __init__(self, base: float = 1.0, spread: float = 1.0, duration_fn=None):
+        if base < 0 or spread < 0:
+            raise ValueError("base and spread must be non-negative")
+        self.base = float(base)
+        self.spread = float(spread)
+        self.duration_fn = duration_fn
+
+    def duration(self, u: np.ndarray) -> float:
+        """Virtual evaluation time of one unit-box design."""
+        if self.duration_fn is not None:
+            return float(self.duration_fn(u))
+        payload = np.ascontiguousarray(
+            np.round(np.asarray(u, dtype=float), 12)
+        ).tobytes()
+        frac = (zlib.crc32(payload) & 0xFFFFFFFF) / float(0xFFFFFFFF)
+        return self.base + self.spread * frac
+
+
+@dataclass
+class _InFlight:
+    """One submitted-but-unlanded proposal tracked by the async scheduler.
+
+    Provenance (the pending set at proposal time) lives only in the
+    ledger entry for ``proposal_id`` — single source of truth.
+    """
+
+    proposal_id: int
+    u: np.ndarray
+    future: Future
+    seq: int
+    virtual_ready: float | None = None
+
+
+class AsyncEvaluationScheduler:
+    """Refill-on-completion evaluation loop (fully asynchronous BO).
+
+    Keeps ``n_workers`` evaluations in flight at all times: the moment any
+    single evaluation lands it is committed to the history (completion
+    order — there is no reorder barrier), the caller's ``on_commit`` hook
+    absorbs it into the surrogate, and a replacement point — proposed by
+    the ``propose`` callback conditioned on the still-pending set — is
+    submitted immediately.  Budget accounting is exact: committed plus
+    in-flight never exceeds ``max_evaluations``, and the pool drains at
+    the end so the committed count equals the budget.
+
+    Determinism: the trace is a pure function of the seed and the
+    completion order; pass ``clock`` (a :class:`FakeClock`) to virtualize
+    the completion order and make runs bitwise reproducible across
+    executors.  On any exception, in-flight futures are cancelled before
+    propagating, so executor shutdown never hangs on abandoned work.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        executor: EvaluationExecutor,
+        clock: FakeClock | None = None,
+        on_arrival=None,
+    ):
+        self.problem = problem
+        self.executor = executor
+        self.clock = clock
+        self.on_arrival = on_arrival
+        self.ledger = ProposalLedger()
+
+    # -- initial design -----------------------------------------------------------
+
+    def run_initial(
+        self, batch, result: OptimizationResult, unit_x: list[np.ndarray]
+    ) -> None:
+        """Evaluate the initial design concurrently, commit in design order.
+
+        The initial design is generated jointly (no pending-set
+        conditioning), so its commit order is fixed to the design order —
+        identical to the synchronous scheduler — keeping the post-initial
+        surrogate state independent of worker timing.
+        """
+        batch = [np.asarray(u, dtype=float) for u in batch]
+        futures = [self.executor.submit(self.problem, u) for u in batch]
+        try:
+            for batch_index, (u, future) in enumerate(zip(batch, futures)):
+                evaluation = self.executor.collect(self.problem, u, future)
+                result.append(
+                    self.problem.scaler.inverse_transform(u),
+                    evaluation,
+                    phase="initial",
+                    iteration=0,
+                    batch_index=batch_index,
+                )
+                unit_x.append(u)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+    # -- search phase -------------------------------------------------------------
+
+    def run_search(
+        self,
+        result: OptimizationResult,
+        unit_x: list[np.ndarray],
+        propose,
+        n_workers: int,
+        max_evaluations: int,
+        on_commit=None,
+    ) -> None:
+        """Run the refill loop until ``max_evaluations`` are committed.
+
+        ``propose(pending_units)`` returns the next unit-box design given
+        the list of still-pending points (in submission order — the
+        sequential-conditioning order for fantasy updates);
+        ``on_commit(u, evaluation, result)`` runs after each landing is
+        appended to the history (the surrogate-absorb hook).
+        """
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        result.ledger = self.ledger
+        in_flight: list[_InFlight] = []
+        seq = 0
+        now = 0.0
+        try:
+            while True:
+                # refill: keep the pool saturated without exceeding budget
+                while (
+                    len(in_flight) < n_workers
+                    and result.n_evaluations + len(in_flight) < max_evaluations
+                ):
+                    pending_units = [task.u for task in in_flight]
+                    pending_ids = tuple(task.proposal_id for task in in_flight)
+                    u = np.asarray(propose(pending_units), dtype=float)
+                    ready = None if self.clock is None else now + self.clock.duration(u)
+                    entry = self.ledger.open(u, pending_ids, virtual_ready=ready)
+                    future = self.executor.submit(self.problem, u)
+                    in_flight.append(
+                        _InFlight(
+                            proposal_id=entry.proposal_id,
+                            u=u,
+                            future=future,
+                            seq=seq,
+                            virtual_ready=ready,
+                        )
+                    )
+                    seq += 1
+                if not in_flight:
+                    break
+                task = self._next_completed(in_flight)
+                in_flight.remove(task)
+                evaluation = self.executor.collect(self.problem, task.u, task.future)
+                if task.virtual_ready is not None:
+                    now = max(now, task.virtual_ready)
+                if self.on_arrival is not None:
+                    self.on_arrival(task.proposal_id, evaluation)
+                landing = self.ledger._n_committed + 1
+                record_index = result.n_evaluations
+                result.append(
+                    self.problem.scaler.inverse_transform(task.u),
+                    evaluation,
+                    phase="search",
+                    iteration=landing,
+                    batch_index=0,
+                    proposal_id=task.proposal_id,
+                    pending_at_proposal=self.ledger.entry(
+                        task.proposal_id
+                    ).pending_at_proposal,
+                )
+                unit_x.append(task.u)
+                self.ledger.commit(task.proposal_id, record_index)
+                if on_commit is not None:
+                    on_commit(task.u, evaluation, result)
+        except BaseException:
+            # a poisoned evaluation (or interrupt) must not orphan workers:
+            # cancel everything still queued before propagating
+            for task in in_flight:
+                task.future.cancel()
+            raise
+
+    def _next_completed(self, in_flight: list[_InFlight]) -> _InFlight:
+        """The in-flight task to commit next.
+
+        Wall-clock mode waits for the first real completion (submission
+        order breaks ties when several land together); fake-clock mode
+        picks the earliest virtual completion time and blocks on that
+        specific future, making the commit order machine-independent.
+        """
+        if self.clock is not None:
+            return min(in_flight, key=lambda t: (t.virtual_ready, t.seq))
+        done, _ = wait(
+            {task.future for task in in_flight}, return_when=FIRST_COMPLETED
+        )
+        ready = [task for task in in_flight if task.future in done]
+        return min(ready, key=lambda t: t.seq)

@@ -5,7 +5,6 @@ from __future__ import annotations
 from repro.circuits.devices import (
     Capacitor,
     CurrentSource,
-    Device,
     Resistor,
     VCCS,
     VCVS,

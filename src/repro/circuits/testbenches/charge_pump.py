@@ -36,7 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bo.problem import Evaluation
-from repro.circuits.dc import ConvergenceError, DCAnalysis
+from repro.circuits.dc import DCAnalysis
 from repro.circuits.mosfet import MOSFETParams, nmos_040, pmos_040
 from repro.circuits.netlist import Circuit
 from repro.circuits.pvt import PVTCorner, standard_corners

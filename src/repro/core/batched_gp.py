@@ -329,13 +329,44 @@ class BatchedNeuralFeatureGP:
         self._z_fantasy.append((y_new - self._y_mean) / self._y_scale)
         self.update_posterior()
 
-    def clear_fantasies(self):
-        """Drop all fantasy observations and restore the real posterior."""
+    def observe(self, x_new: np.ndarray, y_new: np.ndarray):
+        """Permanently absorb one real observation, posterior-only.
+
+        The asynchronous BO loop's ``"fantasy-only"`` refit policy: when
+        an evaluation lands, its (real) values join the training set and
+        the stacked ``A`` factorizations update — but the network weights,
+        GP scales and target normalization stay exactly as the last full
+        fit left them, so the absorb costs one forward pass plus the
+        M x M refactorizations.  Unlike :meth:`fantasize`, the point
+        survives :meth:`clear_fantasies`; a later :meth:`fit` (the
+        periodic full refit) re-owns normalization and training.
+        """
+        self._require_fitted()
+        x_new = np.asarray(x_new, dtype=float).reshape(1, -1)
+        if x_new.shape[1] != self.input_dim:
+            raise ValueError(f"expected a {self.input_dim}-dim point, got {x_new.shape}")
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        if y_new.shape != (self.n_stack,):
+            raise ValueError(f"expected ({self.n_stack},) targets, got {y_new.shape}")
+        self._x_train = np.vstack([self._x_train, x_new])
+        z_new = (y_new - self._y_mean) / self._y_scale
+        self._z_train = np.concatenate([self._z_train, z_new[:, None]], axis=1)
+        self.update_posterior()
+
+    def clear_fantasies(self, update: bool = True):
+        """Drop all fantasy observations and restore the real posterior.
+
+        ``update=False`` skips the posterior rebuild — for callers that
+        immediately recondition (observe a landing, re-add a fresh pending
+        set), where the intermediate fantasy-free posterior would be
+        computed and thrown away unread.
+        """
         if not self._x_fantasy:
             return
         self._x_fantasy = []
         self._z_fantasy = []
-        self.update_posterior()
+        if update:
+            self.update_posterior()
 
     @property
     def n_fantasies(self) -> int:
@@ -564,7 +595,16 @@ class SurrogateBank:
     # -- fitting -------------------------------------------------------------------
 
     def fit(self, x: np.ndarray, targets: np.ndarray) -> "SurrogateBank":
-        """Fit every ensemble on ``targets`` of shape ``(n_targets, N)``."""
+        """Fit every ensemble on ``targets`` of shape ``(n_targets, N)``.
+
+        Calling ``fit`` again on an already-trained bank is a *warm-start
+        refit*: the trainer reads its starting parameters from the live
+        network, so the previously learned weights seed the new
+        optimization instead of a fresh random init (a fresh init requires
+        constructing a new bank).  The asynchronous loop's periodic full
+        refits rely on this — when only a handful of points landed since
+        the last fit, warm-started training converges in far fewer epochs.
+        """
         targets = np.asarray(targets, dtype=float)
         if targets.ndim != 2 or targets.shape[0] != self.n_targets:
             raise ValueError(
@@ -598,9 +638,33 @@ class SurrogateBank:
         self._pred_cache = None
         return self
 
-    def clear_fantasies(self) -> "SurrogateBank":
-        """Drop fantasy observations; the real posterior is restored exactly."""
-        self._gp.clear_fantasies()
+    def observe(self, x_new: np.ndarray, targets: np.ndarray) -> "SurrogateBank":
+        """Permanently absorb one real observation without retraining.
+
+        ``targets`` holds the landed values per target (shape
+        ``(n_targets,)``); each target's K member slices absorb the same
+        value.  Posterior-only (see
+        :meth:`BatchedNeuralFeatureGP.observe`): weights, scales and
+        normalization stay fixed until the next full :meth:`fit`.  This is
+        the async loop's cheap per-landing update under the
+        ``"fantasy-only"`` refit policy.
+        """
+        targets = np.asarray(targets, dtype=float).ravel()
+        if targets.shape != (self.n_targets,):
+            raise ValueError(
+                f"expected ({self.n_targets},) targets, got {targets.shape}"
+            )
+        self._gp.observe(x_new, np.repeat(targets, self.n_members))
+        self._pred_cache = None
+        return self
+
+    def clear_fantasies(self, update: bool = True) -> "SurrogateBank":
+        """Drop fantasy observations; the real posterior is restored exactly.
+
+        ``update=False`` defers the posterior rebuild to the caller's next
+        conditioning call (see :meth:`BatchedNeuralFeatureGP.clear_fantasies`).
+        """
+        self._gp.clear_fantasies(update=update)
         self._pred_cache = None
         return self
 

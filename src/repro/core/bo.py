@@ -81,6 +81,14 @@ class NNBO(SurrogateBO):
         them to the ``"serial"``/``"thread"``/``"process"`` evaluation
         executor, with ``fantasy`` controlling the lie between wEI picks.
         ``q=1`` (default) reproduces the paper's serial loop bitwise.
+    async_refit, async_full_refit_every, async_clock:
+        Asynchronous-mode knobs (``executor="async-thread"/"async-process"``,
+        see :class:`~repro.bo.scheduler.AsyncEvaluationScheduler`): the
+        refill-on-completion loop keeps ``n_eval_workers`` simulations in
+        flight and, per landing, either refits fresh surrogates
+        (``async_refit="full"``) or absorbs the landing posterior-only with
+        periodic warm-started refits (``"fantasy-only"`` — requires the
+        batched engine, which is the default).
     """
 
     algorithm_name = "NN-BO"
@@ -107,6 +115,9 @@ class NNBO(SurrogateBO):
         executor="serial",
         n_eval_workers: int | None = None,
         fantasy: str = "believer",
+        async_refit: str = "full",
+        async_full_refit_every: int | None = None,
+        async_clock=None,
         seed=None,
         verbose: bool = False,
         callback=None,
@@ -191,6 +202,9 @@ class NNBO(SurrogateBO):
             executor=executor,
             n_eval_workers=n_eval_workers,
             fantasy=fantasy,
+            async_refit=async_refit,
+            async_full_refit_every=async_full_refit_every,
+            async_clock=async_clock,
             seed=seed,
             verbose=verbose,
             callback=callback,

@@ -119,18 +119,25 @@ def run_repeats(
             # stream progress as runs land; results return in seed order
             results: list[OptimizationResult | None] = [None] * n_repeats
             outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = futures[future]
-                    results[i] = future.result()
-                    if verbose:
-                        result = results[i]
-                        print(
-                            f"  run {i + 1}/{n_repeats}: "
-                            f"best={result.best_objective():.6g} "
-                            f"evals={result.n_evaluations} success={result.success}"
-                        )
+            try:
+                while outstanding:
+                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = futures[future]
+                        results[i] = future.result()
+                        if verbose:
+                            result = results[i]
+                            print(
+                                f"  run {i + 1}/{n_repeats}: "
+                                f"best={result.best_objective():.6g} "
+                                f"evals={result.n_evaluations} success={result.success}"
+                            )
+            except BaseException:
+                # a failed repeat must not block shutdown on every other
+                # still-running repeat: drop the queued ones and re-raise
+                for future in outstanding:
+                    future.cancel()
+                raise
         return results
 
     results = []
@@ -144,6 +151,57 @@ def run_repeats(
                 f"evals={result.n_evaluations} success={result.success}"
             )
     return results
+
+
+def add_scheduler_arguments(parser) -> None:
+    """The evaluation-scheduler argparse options shared by the table drivers.
+
+    One definition keeps the Table I and Table II CLIs accepting the same
+    flags with the same help text; pair with
+    :func:`apply_scheduler_arguments`.
+    """
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the repeated runs of each algorithm",
+    )
+    parser.add_argument(
+        "--q", type=int, default=None,
+        help="NN-BO designs proposed per iteration (batch acquisition)",
+    )
+    parser.add_argument(
+        "--eval-executor",
+        choices=("serial", "thread", "process", "async-thread", "async-process"),
+        default=None,
+        help="where NN-BO's simulations run; async-* switches to the "
+        "refill-on-completion scheduler (no batch barrier)",
+    )
+    parser.add_argument(
+        "--eval-workers", type=int, default=None,
+        help="worker count for the evaluation executor (default: q, "
+        "or 4 for async executors)",
+    )
+    parser.add_argument(
+        "--async-refit", choices=("full", "fantasy-only"), default=None,
+        help="async surrogate policy per landing: full refit vs. "
+        "posterior-only absorb with periodic warm refits",
+    )
+
+
+def apply_scheduler_arguments(args, config) -> None:
+    """Copy the :func:`add_scheduler_arguments` flags onto a table config.
+
+    Only explicitly passed flags override the config's preset defaults.
+    """
+    if args.workers is not None:
+        config.n_workers = args.workers
+    if args.q is not None:
+        config.q = args.q
+    if args.eval_executor is not None:
+        config.eval_executor = args.eval_executor
+    if args.eval_workers is not None:
+        config.n_eval_workers = args.eval_workers
+    if args.async_refit is not None:
+        config.async_refit = args.async_refit
 
 
 def summarize(results: list[OptimizationResult]) -> AlgorithmSummary:

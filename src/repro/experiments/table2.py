@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
 from repro.circuits.testbenches import ChargePumpProblem
 from repro.core import NNBO
-from repro.experiments.runner import run_repeats, summarize
+from repro.experiments.runner import (
+    add_scheduler_arguments,
+    apply_scheduler_arguments,
+    run_repeats,
+    summarize,
+)
 from repro.experiments.tables import render_table
 
 ROW_LABELS = [
@@ -48,7 +53,10 @@ class Table2Config:
     process pool; ``q``/``eval_executor``/``n_eval_workers`` are the
     batch-proposal knobs of the NN-BO scheduler (q designs per iteration,
     evaluated on the chosen executor — the 18-corner charge-pump
-    simulations are the workload batching was built for).
+    simulations are the workload batching was built for).  The
+    ``async-thread``/``async-process`` executors drop the batch barrier
+    entirely (refill-on-completion with ``async_refit`` update policy) —
+    the right mode when corner counts make simulation times heterogeneous.
     """
 
     n_repeats: int = 12
@@ -67,6 +75,7 @@ class Table2Config:
     q: int = 1
     eval_executor: str = "serial"
     n_eval_workers: int | None = None
+    async_refit: str = "full"
     problem_kwargs: dict = field(default_factory=dict)
 
 
@@ -104,6 +113,7 @@ def make_optimizer(name: str, config: Table2Config, problem, seed: int):
             q=config.q,
             executor=config.eval_executor,
             n_eval_workers=config.n_eval_workers,
+            async_refit=config.async_refit,
             seed=seed,
         )
     if name == "WEIBO":
@@ -190,22 +200,7 @@ def main(argv=None) -> str:
     )
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
-    parser.add_argument(
-        "--workers", type=int, default=None,
-        help="process-pool size for the repeated runs of each algorithm",
-    )
-    parser.add_argument(
-        "--q", type=int, default=None,
-        help="NN-BO designs proposed per iteration (batch acquisition)",
-    )
-    parser.add_argument(
-        "--eval-executor", choices=("serial", "thread", "process"), default=None,
-        help="where NN-BO's per-batch simulations run",
-    )
-    parser.add_argument(
-        "--eval-workers", type=int, default=None,
-        help="worker count for the evaluation executor (default: q)",
-    )
+    add_scheduler_arguments(parser)
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     config = QUICK if args.preset == "quick" else PAPER
@@ -213,14 +208,7 @@ def main(argv=None) -> str:
         config.n_repeats = args.repeats
     if args.seed is not None:
         config.seed = args.seed
-    if args.workers is not None:
-        config.n_workers = args.workers
-    if args.q is not None:
-        config.q = args.q
-    if args.eval_executor is not None:
-        config.eval_executor = args.eval_executor
-    if args.eval_workers is not None:
-        config.n_eval_workers = args.eval_workers
+    apply_scheduler_arguments(args, config)
     config.verbose = not args.quiet
     columns = run_experiment(config)
     table = render_table(

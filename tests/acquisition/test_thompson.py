@@ -8,7 +8,7 @@ from repro.acquisition.thompson import (
     ThompsonSamplingAcquisition,
 )
 from repro.benchfns import toy_constrained_quadratic
-from repro.core import DeepEnsemble, FeatureGPTrainer, NeuralFeatureGP
+from repro.core import DeepEnsemble, NeuralFeatureGP
 
 
 @pytest.fixture()

@@ -20,6 +20,31 @@ def make_result(objs_feas):
     return result
 
 
+class TestAsyncProvenanceFields:
+    def test_defaults_are_synchronous(self):
+        record = EvaluationRecord(index=0, x=np.zeros(2), evaluation=ev(1.0))
+        assert record.proposal_id is None
+        assert record.pending_at_proposal == ()
+
+    def test_coercion(self):
+        record = EvaluationRecord(
+            index=0, x=np.zeros(2), evaluation=ev(1.0),
+            proposal_id=np.int64(3), pending_at_proposal=[np.int64(1), 2.0],
+        )
+        assert record.proposal_id == 3 and isinstance(record.proposal_id, int)
+        assert record.pending_at_proposal == (1, 2)
+
+    def test_append_forwards_async_provenance(self):
+        result = OptimizationResult("toy", "TEST")
+        result.append(
+            np.zeros(1), ev(1.0), phase="search", iteration=1,
+            proposal_id=0, pending_at_proposal=(1, 2),
+        )
+        assert result.records[0].proposal_id == 0
+        assert result.records[0].pending_at_proposal == (1, 2)
+        assert result.ledger is None  # only async runs attach a ledger
+
+
 class TestBookkeeping:
     def test_n_evaluations(self):
         result = make_result([(1.0, True), (2.0, True)])

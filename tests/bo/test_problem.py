@@ -138,6 +138,17 @@ class TestEvaluationCache:
         assert len(calls) == 2
         assert prob.cache_stats == (0, 0)
 
+    def test_cache_opt_out_store_counts_nothing(self):
+        """With memoization off, the worker-ingest path is a no-op too —
+        cache counters must not depend on the executor choice."""
+        prob, calls = self.make_counting()
+        prob.cache_evaluations = False
+        u = np.array([0.25, 0.75])
+        prob.store_evaluation(u, prob.evaluate_unit_uncached(u))
+        assert prob.cache_stats == (0, 0)
+        prob.evaluate_unit(u)
+        assert len(calls) == 2  # nothing was stored either
+
     def test_distinct_points_both_simulate(self):
         prob, calls = self.make_counting()
         prob.evaluate_unit(np.array([0.25, 0.75]))

@@ -1,6 +1,5 @@
 """Tests for the analog block library."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit, DCAnalysis, nmos_180, pmos_180

@@ -1,7 +1,6 @@
 """Tests for the Level-1+ MOSFET model: regions, continuity, derivatives,
 polarity symmetry, and temperature/corner adjustments."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

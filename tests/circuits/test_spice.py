@@ -1,6 +1,5 @@
 """Tests for the SPICE-subset parser and writer."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit, DCAnalysis, nmos_180

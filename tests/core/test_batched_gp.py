@@ -242,6 +242,79 @@ class TestSurrogateBank:
         with pytest.raises(ValueError):
             bank.fantasize(np.zeros(3), np.zeros(3))  # wrong target count
 
+    def test_observe_matches_fantasize_but_is_permanent(self):
+        """observe() does the same posterior math as fantasize() — the async
+        loop's per-landing absorb — but the point survives clear_fantasies."""
+        x, targets = make_data()
+
+        def make_bank():
+            bank = SurrogateBank(
+                3, n_targets=2, n_members=2,
+                trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=15),
+                seed=0, **KW,
+            )
+            return bank.fit(x, targets)
+
+        landing = np.array([0.3, 0.7, 0.4])
+        values = np.array([0.2, -0.5])
+        x_query = np.random.default_rng(9).uniform(size=(6, 3))
+
+        fantasized = make_bank()
+        fantasized.fantasize(landing, values)
+        reference = [fantasized.predict_target(t, x_query) for t in range(2)]
+
+        observed = make_bank()
+        observed.observe(landing, values)
+        for t in range(2):
+            mu, var = observed.predict_target(t, x_query)
+            np.testing.assert_array_equal(mu, reference[t][0])
+            np.testing.assert_array_equal(var, reference[t][1])
+
+        # permanence: clearing fantasies does not drop observed data
+        observed.clear_fantasies()
+        for t in range(2):
+            mu, _ = observed.predict_target(t, x_query)
+            np.testing.assert_array_equal(mu, reference[t][0])
+        assert observed.gp.num_train == x.shape[0] + 1
+
+    def test_observe_validation(self):
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=2,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=10),
+            seed=0, **KW,
+        )
+        with pytest.raises(RuntimeError):
+            bank.observe(np.zeros(3), np.zeros(2))  # not fitted
+        x, targets = make_data()
+        bank.fit(x, targets)
+        with pytest.raises(ValueError):
+            bank.observe(np.zeros(3), np.zeros(3))  # wrong target count
+
+    def test_refit_is_warm_started(self):
+        """fit() on a live bank trains from the current weights (warm start):
+        with a zero-epoch trainer the network parameters carry over bitwise,
+        while a fresh bank re-draws them."""
+        x, targets = make_data()
+        bank = SurrogateBank(
+            3, n_targets=2, n_members=2,
+            trainer_factory=lambda: BatchedFeatureGPTrainer(epochs=15),
+            seed=0, **KW,
+        )
+        bank.fit(x, targets)
+        params_before = bank.gp.network.get_stacked_params().copy()
+
+        def frozen_trainer():
+            return BatchedFeatureGPTrainer(epochs=0)
+
+        x2 = np.vstack([x, np.array([[0.15, 0.85, 0.55]])])
+        targets2 = np.concatenate([targets, np.array([[0.1], [0.2]])], axis=1)
+        bank._trainer_factory = frozen_trainer
+        bank.fit(x2, targets2)
+        np.testing.assert_array_equal(
+            bank.gp.network.get_stacked_params(), params_before
+        )
+        assert bank.gp.num_train == x2.shape[0]
+
     def test_sampled_target_functions_deterministic(self):
         """Same rng seed => the same Thompson draw; distinct draws differ."""
         x, targets = make_data()

@@ -12,7 +12,6 @@ import pytest
 from repro.nn import (
     Adam,
     BatchedLinear,
-    BatchedSequential,
     Linear,
     StackedAdam,
     make_batched_mlp,

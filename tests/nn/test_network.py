@@ -69,8 +69,8 @@ class TestMakeMlp:
     def test_paper_architecture_four_fc_layers(self, rng):
         """Sec. III-A: input layer, 2 hidden layers, output layer, ReLU."""
         net = make_mlp(10, (50, 50), 50, activation="relu", rng=rng)
-        linears = [l for l in net.layers if isinstance(l, Linear)]
-        relus = [l for l in net.layers if isinstance(l, ReLU)]
+        linears = [layer for layer in net.layers if isinstance(layer, Linear)]
+        relus = [layer for layer in net.layers if isinstance(layer, ReLU)]
         assert len(linears) == 3  # three weight matrices connect 4 layers
         assert len(relus) >= 2
         assert linears[0].in_dim == 10
