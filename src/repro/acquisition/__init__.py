@@ -24,6 +24,13 @@ from repro.acquisition.maximize import (
     DifferentialEvolutionMaximizer,
     RandomSearchMaximizer,
 )
+from repro.acquisition.penalization import (
+    PENDING_STRATEGIES,
+    HallucinatedUCB,
+    LocalPenalizer,
+    PenalizedAcquisition,
+    estimate_lipschitz,
+)
 from repro.acquisition.wei import WeightedExpectedImprovement
 
 __all__ = [
@@ -31,9 +38,14 @@ __all__ = [
     "DifferentialEvolutionMaximizer",
     "FANTASY_STRATEGIES",
     "FantasyModelSet",
+    "HallucinatedUCB",
+    "LocalPenalizer",
+    "PENDING_STRATEGIES",
+    "PenalizedAcquisition",
     "RandomSearchMaximizer",
     "WeightedExpectedImprovement",
     "constraint_lies",
+    "estimate_lipschitz",
     "expected_improvement",
     "lower_confidence_bound",
     "objective_lie",

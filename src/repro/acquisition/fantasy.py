@@ -31,16 +31,25 @@ FANTASY_STRATEGIES = ("believer", "cl-min", "cl-max")
 def objective_lie(
     objective_model, u: np.ndarray, observed: np.ndarray, strategy: str
 ) -> float:
-    """The lie value recorded for the objective at pending point ``u``."""
+    """The lie value recorded for the objective at pending point ``u``.
+
+    Constant-liar strategies take the extremum over the *finite* observed
+    objectives only: a single NaN/inf from a failed simulation would
+    otherwise poison every subsequent ``cl-min``/``cl-max`` lie (NaN wins
+    both ``np.min`` and ``np.max``) and, through the fantasy update, the
+    surrogate fit itself.  With no finite observation at all the lie falls
+    back to the believer (posterior-mean) value, which is always finite.
+    """
     if strategy not in FANTASY_STRATEGIES:
         raise ValueError(
             f"fantasy strategy must be one of {FANTASY_STRATEGIES}, got {strategy!r}"
         )
     observed = np.asarray(observed, dtype=float)
-    if strategy == "cl-min" and observed.size:
-        return float(np.min(observed))
-    if strategy == "cl-max" and observed.size:
-        return float(np.max(observed))
+    finite = observed[np.isfinite(observed)] if observed.size else observed
+    if strategy == "cl-min" and finite.size:
+        return float(np.min(finite))
+    if strategy == "cl-max" and finite.size:
+        return float(np.max(finite))
     mean, _ = objective_model.predict(np.atleast_2d(np.asarray(u, dtype=float)))
     return float(np.asarray(mean).ravel()[0])
 

@@ -17,6 +17,20 @@ from scipy import optimize as sopt
 from repro.utils.rng import ensure_rng
 
 
+def _masked_values(values) -> np.ndarray:
+    """Acquisition values with non-finite entries demoted to ``-inf``.
+
+    Surrogate pathologies (overflowing variances, degenerate posteriors)
+    can return NaN on part of a candidate batch.  NaN compares false
+    against everything, but ``np.argmax`` *returns* a NaN champion and a
+    NaN DE fitness permanently occupies its population slot (no trial ever
+    beats it) — so every comparison site masks first: a candidate with no
+    finite value can never win.
+    """
+    values = np.asarray(values, dtype=float)
+    return np.where(np.isfinite(values), values, -np.inf)
+
+
 class AcquisitionMaximizer:
     """Interface: maximize a batch-callable acquisition over the unit box."""
 
@@ -60,7 +74,7 @@ class RandomSearchMaximizer(AcquisitionMaximizer):
     def maximize(self, acquisition, dim: int, rng=None) -> np.ndarray:
         rng = ensure_rng(rng)
         candidates = rng.uniform(0.0, 1.0, size=(self.n_samples, dim))
-        values = np.asarray(acquisition(candidates), dtype=float)
+        values = _masked_values(acquisition(candidates))
         return candidates[int(np.argmax(values))].copy()
 
 
@@ -111,16 +125,19 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
         rng = ensure_rng(rng)
         n_pop = min(max(self.pop_size, 4 * dim), self.max_pop)
         pop = rng.uniform(0.0, 1.0, size=(n_pop, dim))
-        fitness = np.asarray(acquisition(pop), dtype=float)
+        fitness = _masked_values(acquisition(pop))
         for _ in range(self.generations):
             trial = self._make_trials(pop, rng)
-            trial_fitness = np.asarray(acquisition(trial), dtype=float)
+            trial_fitness = _masked_values(acquisition(trial))
             improved = trial_fitness > fitness
             pop[improved] = trial[improved]
             fitness[improved] = trial_fitness[improved]
         best = pop[int(np.argmax(fitness))].copy()
-        if self.polish:
-            best = self._polish(acquisition, best, float(np.max(fitness)))
+        f0 = float(np.max(fitness))
+        # a champion with no finite value (fully masked batch) has nothing
+        # to polish — Nelder-Mead on an all-inf surface only spews NaNs
+        if self.polish and np.isfinite(f0):
+            best = self._polish(acquisition, best, f0)
         return best
 
     def _make_trials(self, pop: np.ndarray, rng) -> np.ndarray:
@@ -146,7 +163,10 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
     def _polish(acquisition, x0: np.ndarray, f0: float) -> np.ndarray:
         def negative(x):
             x = np.clip(x, 0.0, 1.0)
-            return -float(np.asarray(acquisition(x.reshape(1, -1)))[0])
+            value = float(_masked_values(acquisition(x.reshape(1, -1)))[0])
+            # a NaN/-inf probe must read as "worst possible", not poison
+            # Nelder-Mead's simplex comparisons with NaN ordering
+            return -value if np.isfinite(value) else np.inf
 
         res = sopt.minimize(
             negative,

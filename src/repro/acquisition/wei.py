@@ -50,6 +50,16 @@ class WeightedExpectedImprovement:
         if tau is None and objective_model is None and not self.constraint_models:
             raise ValueError("acquisition needs an objective model or constraints")
 
+    def _improvement(self, x: np.ndarray) -> np.ndarray:
+        """The objective-improvement factor; the hook subclasses override.
+
+        :class:`~repro.acquisition.penalization.HallucinatedUCB` swaps EI
+        for the optimistic confidence bound here while inheriting the
+        whole feasibility-product (plain and log-space) machinery.
+        """
+        mean, var = self.objective_model.predict(x)
+        return expected_improvement(mean, var, self.tau)
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Evaluate the acquisition on a batch of points, shape ``(n, d)``."""
         x = np.atleast_2d(np.asarray(x, dtype=float))
@@ -58,8 +68,7 @@ class WeightedExpectedImprovement:
             return self._evaluate_log(x, n)
         value = np.ones(n)
         if self.tau is not None and self.objective_model is not None:
-            mean, var = self.objective_model.predict(x)
-            value = expected_improvement(mean, var, self.tau)
+            value = self._improvement(x)
         for model in self.constraint_models:
             g_mean, g_var = model.predict(x)
             value = value * probability_of_feasibility(g_mean, g_var)
@@ -69,9 +78,7 @@ class WeightedExpectedImprovement:
         tiny = 1e-300
         log_value = np.zeros(n)
         if self.tau is not None and self.objective_model is not None:
-            mean, var = self.objective_model.predict(x)
-            ei = expected_improvement(mean, var, self.tau)
-            log_value = np.log(np.maximum(ei, tiny))
+            log_value = np.log(np.maximum(self._improvement(x), tiny))
         for model in self.constraint_models:
             g_mean, g_var = model.predict(x)
             pf = probability_of_feasibility(g_mean, g_var)

@@ -11,9 +11,11 @@ Per iteration (Fig. 2):
    (fresh = newly constructed by the factory, so hyper-parameters are
    randomly re-initialized each round as in Algorithm 1),
 2. propose ``q`` designs by greedy q-point acquisition — the wEI path
-   (eq. 7) interleaves constant-liar/Kriging-believer fantasy updates
-   between picks so the batch is diverse, the Thompson path draws ``q``
-   independent posterior functions,
+   (eq. 7) keeps the batch diverse according to ``pending_strategy``
+   (constant-liar/Kriging-believer fantasy updates between picks, local
+   penalization of the clean posterior, or hallucinated confidence
+   bounds — :mod:`repro.acquisition.penalization`), the Thompson path
+   draws ``q`` independent posterior functions,
 3. dispatch the batch to a pluggable evaluation executor
    (:mod:`repro.bo.scheduler`) and ingest the simulations as they land,
    recording per-candidate provenance (iteration, batch index, pending
@@ -49,6 +51,13 @@ from repro.acquisition.maximize import (
     AcquisitionMaximizer,
     DifferentialEvolutionMaximizer,
 )
+from repro.acquisition.penalization import (
+    HallucinatedUCB,
+    LocalPenalizer,
+    PenalizedAcquisition,
+    estimate_lipschitz,
+    validate_pending_strategy,
+)
 from repro.acquisition.wei import WeightedExpectedImprovement
 from repro.bo.design import make_design
 from repro.bo.history import OptimizationResult
@@ -56,15 +65,12 @@ from repro.bo.problem import Problem
 from repro.bo.scheduler import (
     AsyncEvaluationScheduler,
     EvaluationScheduler,
+    default_pool_workers,
     make_evaluator,
 )
 from repro.utils.rng import ensure_rng
 
 ASYNC_REFIT_POLICIES = ("full", "fantasy-only")
-
-#: in-flight evaluations for ``"async-*"`` executors when neither
-#: ``n_eval_workers`` nor ``q`` specifies a worker count
-DEFAULT_ASYNC_WORKERS = 4
 
 
 @dataclass
@@ -74,7 +80,10 @@ class _IterationModels:
     ``bank`` is the :class:`~repro.core.batched_gp.SurrogateBank` when the
     batched engine fitted the targets jointly (``None`` on the legacy
     per-target path); the fantasy machinery needs the raw sanitized
-    targets either way.
+    targets either way.  ``lipschitz`` caches the objective posterior's
+    Lipschitz estimate for the local-penalization pending strategy (one
+    finite-difference sweep per fit, shared by every proposal against
+    these models).
     """
 
     objective: object
@@ -83,6 +92,7 @@ class _IterationModels:
     x: np.ndarray
     objective_y: np.ndarray
     constraint_ys: list
+    lipschitz: float | None = None
 
 
 class SurrogateBO:
@@ -144,15 +154,35 @@ class SurrogateBO:
         one design is proposed per landing, with ``n_eval_workers``
         in-flight evaluations (when unset, ``q > 1`` seeds the in-flight
         count — batch configs keep their parallelism when switched to
-        async — else it defaults to 4).
+        async — else it defaults to :func:`~repro.bo.scheduler.
+        default_pool_workers`, the capped host core count).
     n_eval_workers:
         Worker count for the pooled executors; defaults to ``q`` (batch
-        mode) or ``4`` (async mode with ``q=1``).
+        mode) or the capped host core count (async mode with ``q=1``).
     fantasy:
         Lie strategy between wEI picks: ``"believer"`` (posterior mean,
         default), ``"cl-min"`` or ``"cl-max"`` (constant liar with the
         best/worst observed objective).  Async proposals use the same
-        strategy to condition on the in-flight set.
+        strategy to condition on the in-flight set.  Only consulted when
+        ``pending_strategy="fantasy"``.
+    pending_strategy:
+        How concurrent (batch-mate / in-flight) designs shape the next
+        proposal's acquisition (see :mod:`repro.acquisition.penalization`).
+        ``"fantasy"`` (default) absorbs each pending point as a lie
+        observation — the PR-2/3 behaviour, bitwise unchanged.
+        ``"penalize"`` evaluates wEI on the *clean* posterior and
+        multiplies in one local penalty per pending point (exclusion balls
+        from a posterior-derived Lipschitz estimate; no fabricated data).
+        ``"hallucinate"`` conditions pending points at their posterior
+        means (variance shrinks near the in-flight set, the mean surface
+        is untouched) and maximizes the optimistic improvement bound
+        ``max(tau - (mu - kappa * sigma), 0) * prod PF`` instead of wEI
+        (GP-BUCB adapted to constrained minimization).  The non-fantasy
+        strategies require ``acquisition="wei"``.
+    hallucinate_kappa:
+        Confidence multiplier of the ``"hallucinate"`` strategy's bound —
+        GP-BUCB's inflated-variance coefficient.  Larger values spread
+        concurrent picks further apart.
     async_refit:
         Surrogate policy per async landing.  ``"full"`` (default) refits
         fresh surrogates before every proposal — maximum information, the
@@ -192,6 +222,8 @@ class SurrogateBO:
         executor="serial",
         n_eval_workers: int | None = None,
         fantasy: str = "believer",
+        pending_strategy: str = "fantasy",
+        hallucinate_kappa: float = 2.0,
         async_refit: str = "full",
         async_full_refit_every: int | None = None,
         async_clock=None,
@@ -246,6 +278,14 @@ class SurrogateBO:
         self.executor = executor
         self.n_eval_workers = None if n_eval_workers is None else int(n_eval_workers)
         self.fantasy = str(fantasy)
+        self.pending_strategy = validate_pending_strategy(
+            str(pending_strategy), self.acquisition
+        )
+        if hallucinate_kappa < 0:
+            raise ValueError(
+                f"hallucinate_kappa must be non-negative, got {hallucinate_kappa}"
+            )
+        self.hallucinate_kappa = float(hallucinate_kappa)
         self.async_refit = str(async_refit)
         self.async_full_refit_every = (
             None if async_full_refit_every is None else int(async_full_refit_every)
@@ -267,9 +307,14 @@ class SurrogateBO:
 
         workers = self.n_eval_workers
         if workers is None and isinstance(self.executor, str):
-            if self.executor.lower().startswith("async-"):
-                workers = self.q if self.q > 1 else DEFAULT_ASYNC_WORKERS
-            elif self.q > 1:
+            spec = self.executor.lower()
+            if spec.startswith("async-"):
+                # batch configs keep their parallelism when switched to
+                # async; otherwise size to the host like the pools do
+                workers = self.q if self.q > 1 else default_pool_workers()
+            elif self.q > 1 and spec != "serial":
+                # the serial executor takes no worker count (make_evaluator
+                # rejects one); only pooled specs inherit q as their size
                 workers = self.q
         # an executor instance + explicit n_eval_workers is contradictory;
         # make_evaluator raises rather than silently ignoring the count
@@ -367,6 +412,7 @@ class SurrogateBO:
             n_workers=n_workers,
             max_evaluations=self.max_evaluations,
             on_commit=on_commit,
+            pending_strategy=self.pending_strategy,
         )
 
     # -- helpers -------------------------------------------------------------------
@@ -445,7 +491,12 @@ class SurrogateBO:
         )
 
     def _make_acquisition(self, fitted: _IterationModels, result: OptimizationResult):
-        """Build one acquisition callable over the current (fantasy) posterior."""
+        """Build one acquisition callable over the current posterior.
+
+        The ``"hallucinate"`` pending strategy swaps wEI for the
+        optimistic-improvement bound (GP-BUCB criterion) — the hallucinated
+        believer updates between picks then act through the variance term.
+        """
         if self.acquisition == "thompson":
             if fitted.bank is not None:
                 from repro.acquisition.thompson import BankThompsonAcquisition
@@ -458,12 +509,59 @@ class SurrogateBO:
             )
         tau = result.best_objective()
         tau = None if not np.isfinite(tau) else tau
+        if self.pending_strategy == "hallucinate":
+            return HallucinatedUCB(
+                fitted.objective,
+                fitted.constraints,
+                tau=tau,
+                kappa=self.hallucinate_kappa,
+                log_space=self.log_space_acq,
+            )
         return WeightedExpectedImprovement(
             fitted.objective,
             fitted.constraints,
             tau=tau,
             log_space=self.log_space_acq,
         )
+
+    def _objective_lipschitz(self, fitted: _IterationModels) -> float:
+        """Lipschitz estimate of the objective posterior, cached per fit."""
+        if fitted.lipschitz is None:
+            if fitted.bank is not None:
+                fitted.lipschitz = fitted.bank.estimate_target_lipschitz(0)
+            else:
+                fitted.lipschitz = estimate_lipschitz(
+                    fitted.objective, self.problem.dim
+                )
+        return fitted.lipschitz
+
+    def _penalized_acquisition(
+        self, fitted: _IterationModels, base, pending_units
+    ):
+        """Wrap ``base`` with local penalties around the pending designs.
+
+        The penalizer incumbent is the best *observed objective* over the
+        fitted (sanitized) targets — feasibility ignored — exactly
+        Gonzalez et al.'s ``M``: the exclusion-ball argument concerns the
+        objective surface the surrogate models over the whole box, not
+        the constrained incumbent ``tau``.  Substituting the
+        best-feasible value was tried and measurably hurts when
+        infeasible low-objective valleys exist (it shrinks every radius
+        and the concurrent picks cluster; Gardner-problem regret in
+        ``benchmarks/bench_pending_strategies.py`` degrades ~0.17).
+        """
+        pending = np.atleast_2d(np.asarray(pending_units, dtype=float))
+        means, variances = fitted.objective.predict(pending)
+        finite = fitted.objective_y[np.isfinite(fitted.objective_y)]
+        best = float(np.min(finite)) if finite.size else float("nan")
+        penalizer = LocalPenalizer(
+            pending,
+            means,
+            variances,
+            best=best,
+            lipschitz=self._objective_lipschitz(fitted),
+        )
+        return PenalizedAcquisition(base, penalizer, log_space=self.log_space_acq)
 
     def _propose(self, x_unit: np.ndarray, result: OptimizationResult) -> np.ndarray:
         """Single-point proposal (the q=1 fast path; original loop semantics)."""
@@ -481,29 +579,41 @@ class SurrogateBO:
     ) -> list[np.ndarray]:
         """Greedy q-point proposal with fantasy updates between picks.
 
-        One surrogate fit serves all q picks.  On the wEI path each pick is
-        followed by a fantasy observation (bank: posterior-only
-        ``fantasize``; legacy models: :class:`FantasyModelSet`) so pick
-        ``j+1`` avoids the pending region of pick ``j``; the Thompson path
-        simply draws q independent posterior functions.  Every pick also
-        passes the duplicate filter against both the evaluated data and its
-        own batch-mates.
+        One surrogate fit serves all q picks.  On the wEI path the pending
+        strategy decides how batch-mates shape pick ``j+1``: ``"fantasy"``
+        and ``"hallucinate"`` condition the models on each pick (bank:
+        posterior-only ``fantasize``; legacy models:
+        :class:`FantasyModelSet` — hallucination always lies the believer
+        mean), while ``"penalize"`` leaves the posterior clean and wraps
+        the stage acquisition with local penalties around the picks so
+        far.  The Thompson path simply draws q independent posterior
+        functions.  Every pick also passes the duplicate filter against
+        both the evaluated data and its own batch-mates.
         """
         fitted = self._fit_surrogates(x_unit, result)
-        fantasy_set = None
-        if self.acquisition == "wei" and fitted.bank is None:
-            fantasy_set = FantasyModelSet(
-                fitted.x,
-                fitted.objective,
-                fitted.objective_y,
-                fitted.constraints,
-                fitted.constraint_ys,
-            )
+        if self.acquisition == "wei" and self.pending_strategy == "penalize":
+            base = self._make_acquisition(fitted, result)
 
-        def stage_acquisition(j: int, picks: list[np.ndarray]):
-            if j > 0 and self.acquisition == "wei":
-                self._apply_fantasy(fitted, fantasy_set, picks[-1])
-            return self._make_acquisition(fitted, result)
+            def stage_acquisition(j: int, picks: list[np.ndarray]):
+                if not picks:
+                    return base
+                return self._penalized_acquisition(fitted, base, picks)
+
+        else:
+            fantasy_set = None
+            if self.acquisition == "wei" and fitted.bank is None:
+                fantasy_set = FantasyModelSet(
+                    fitted.x,
+                    fitted.objective,
+                    fitted.objective_y,
+                    fitted.constraints,
+                    fitted.constraint_ys,
+                )
+
+            def stage_acquisition(j: int, picks: list[np.ndarray]):
+                if j > 0 and self.acquisition == "wei":
+                    self._apply_fantasy(fitted, fantasy_set, picks[-1])
+                return self._make_acquisition(fitted, result)
 
         def deduplicate(pick: np.ndarray, picks: list[np.ndarray]):
             known = np.vstack([x_unit, *[p[None, :] for p in picks]])
@@ -520,10 +630,19 @@ class SurrogateBO:
         )
 
     def _apply_fantasy(self, fitted: _IterationModels, fantasy_set, pending):
-        """Condition the iteration's models on one pending pick."""
+        """Condition the iteration's models on one pending pick.
+
+        Under ``pending_strategy="hallucinate"`` the lie is always the
+        believer (posterior-mean) value — by definition a hallucinated
+        observation leaves the mean surface untouched and only collapses
+        variance at the pending point.
+        """
+        strategy = (
+            "believer" if self.pending_strategy == "hallucinate" else self.fantasy
+        )
         obj_lie, cons_lies = fantasy_lies(
             fitted.objective, fitted.constraints, pending,
-            fitted.objective_y, self.fantasy,
+            fitted.objective_y, strategy,
         )
         if fitted.bank is not None:
             fitted.bank.fantasize(pending, np.array([obj_lie, *cons_lies]))
@@ -627,12 +746,26 @@ class _AsyncProposer:
     def propose(
         self, x_unit: np.ndarray, result: OptimizationResult, pending_units
     ) -> np.ndarray:
-        """One replacement proposal conditioned on the pending set."""
+        """One replacement proposal conditioned on the pending set.
+
+        How the pending set enters the acquisition follows
+        ``bo.pending_strategy``: ``"penalize"`` keeps the posterior clean
+        and multiplies local penalties into the stage acquisition;
+        ``"fantasy"``/``"hallucinate"`` condition the models on the
+        in-flight designs first (lies vs. believer hallucinations).
+        """
         bo = self.bo
         if self._fitted is None or self._needs_refit:
             self._refit(x_unit, result)
-        self._condition_on_pending(pending_units)
-        acquisition = bo._make_acquisition(self._fitted, result)
+        if bo.acquisition == "wei" and bo.pending_strategy == "penalize":
+            acquisition = bo._make_acquisition(self._fitted, result)
+            if pending_units:
+                acquisition = bo._penalized_acquisition(
+                    self._fitted, acquisition, pending_units
+                )
+        else:
+            self._condition_on_pending(pending_units)
+            acquisition = bo._make_acquisition(self._fitted, result)
         pick = bo.acq_maximizer.maximize(acquisition, bo.problem.dim, bo.rng)
         if pending_units:
             known = np.vstack(
@@ -681,6 +814,11 @@ class _AsyncProposer:
 
     def _condition_on_pending(self, pending_units) -> None:
         """Fantasy-condition the current models on the in-flight designs.
+
+        Serves both conditioning strategies: ``"fantasy"`` applies the
+        configured lie, ``"hallucinate"`` the believer mean (forced inside
+        :meth:`SurrogateBO._apply_fantasy`); ``"penalize"`` never calls
+        this — its posterior stays clean.
 
         Bank path: the fantasy stack is rebuilt from scratch each proposal
         (posterior-only updates are cheap), so it always mirrors the exact
@@ -738,6 +876,10 @@ class _AsyncProposer:
             for c, ys in zip(evaluation.constraints, fitted.constraint_ys)
         ]
         fitted.bank.observe(u, np.array([obj, *cons]))
+        # the absorb moved the posterior-mean surface: a cached Lipschitz
+        # estimate would mis-scale the penalization exclusion balls until
+        # the next full refit, so force a fresh sweep on the next use
+        fitted.lipschitz = None
         # keep the training-data view consistent for future lies/refits
         fitted.x = np.vstack([fitted.x, u[None, :]])
         fitted.objective_y = np.append(fitted.objective_y, obj)

@@ -57,6 +57,7 @@ identical proposal batches on every executor.
 from __future__ import annotations
 
 import copy
+import os
 import pickle
 import warnings
 import zlib
@@ -80,6 +81,17 @@ def _completed_future(value) -> Future:
     future: Future = Future()
     future.set_result(value)
     return future
+
+
+#: ceiling on the *default* pool size: simulation workloads saturate well
+#: before the core counts of large hosts, and oversized default pools only
+#: add fork/teardown latency.  Explicit ``n_workers`` is never capped.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_pool_workers() -> int:
+    """Default worker count for pooled executors: ``os.cpu_count()``, capped."""
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
 
 
 class EvaluationExecutor:
@@ -152,7 +164,9 @@ class ThreadPoolEvaluator(EvaluationExecutor):
 
     name = "thread"
 
-    def __init__(self, n_workers: int = 4):
+    def __init__(self, n_workers: int | None = None):
+        if n_workers is None:
+            n_workers = default_pool_workers()
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
@@ -223,7 +237,9 @@ class ProcessPoolEvaluator(EvaluationExecutor):
 
     name = "process"
 
-    def __init__(self, n_workers: int = 4):
+    def __init__(self, n_workers: int | None = None):
+        if n_workers is None:
+            n_workers = default_pool_workers()
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
@@ -372,7 +388,11 @@ def make_evaluator(spec, n_workers: int | None = None) -> EvaluationExecutor:
     ``spec`` is ``"serial"``, ``"thread"``, ``"process"``,
     ``"async-thread"``, ``"async-process"`` or an
     :class:`EvaluationExecutor` instance (returned unchanged, in which case
-    ``n_workers`` must be left unset).
+    ``n_workers`` must be left unset).  Pooled specs default their worker
+    count to :func:`default_pool_workers`; the serial spec rejects an
+    explicit ``n_workers`` instead of silently ignoring it — a caller
+    writing ``make_evaluator("serial", n_workers=8)`` almost certainly
+    meant a pooled executor.
     """
     if isinstance(spec, EvaluationExecutor):
         if n_workers is not None:
@@ -386,8 +406,14 @@ def make_evaluator(spec, n_workers: int | None = None) -> EvaluationExecutor:
             "or an EvaluationExecutor instance"
         ) from None
     if cls is SerialEvaluator:
+        if n_workers is not None:
+            raise ValueError(
+                f"the serial executor evaluates in-process; n_workers="
+                f"{n_workers} has no effect (use a 'thread'/'process'/"
+                "'async-*' executor for pooled evaluation)"
+            )
         return cls()
-    return cls(n_workers=4 if n_workers is None else n_workers)
+    return cls(n_workers=n_workers)
 
 
 class EvaluationScheduler:
@@ -467,6 +493,10 @@ class ProposalEntry:
     any pending id ``p``: ``entry(p).committed_at > n_landed_at_submit``.
     ``virtual_ready`` is the fake-clock completion time when a
     :class:`FakeClock` drives the run (``None`` in wall-clock mode).
+    ``strategy`` records how the proposal's acquisition absorbed the
+    pending set (``"fantasy"``, ``"penalize"`` or ``"hallucinate"`` — see
+    :mod:`repro.acquisition.penalization`), so replays and audits know
+    which coordination rule produced each design.
     """
 
     proposal_id: int
@@ -476,6 +506,7 @@ class ProposalEntry:
     virtual_ready: float | None = None
     committed_at: int | None = None
     record_index: int | None = None
+    strategy: str = "fantasy"
 
 
 class ProposalLedger:
@@ -498,6 +529,7 @@ class ProposalLedger:
         u: np.ndarray,
         pending: tuple[int, ...],
         virtual_ready: float | None = None,
+        strategy: str = "fantasy",
     ) -> ProposalEntry:
         """Register a new proposal; returns its entry (id = position)."""
         entry = ProposalEntry(
@@ -506,6 +538,7 @@ class ProposalLedger:
             pending_at_proposal=tuple(int(i) for i in pending),
             n_landed_at_submit=self._n_committed,
             virtual_ready=virtual_ready,
+            strategy=str(strategy),
         )
         self.entries.append(entry)
         return entry
@@ -662,6 +695,7 @@ class AsyncEvaluationScheduler:
         n_workers: int,
         max_evaluations: int,
         on_commit=None,
+        pending_strategy: str = "fantasy",
     ) -> None:
         """Run the refill loop until ``max_evaluations`` are committed.
 
@@ -670,6 +704,9 @@ class AsyncEvaluationScheduler:
         sequential-conditioning order for fantasy updates);
         ``on_commit(u, evaluation, result)`` runs after each landing is
         appended to the history (the surrogate-absorb hook).
+        ``pending_strategy`` is recorded verbatim in each ledger entry's
+        provenance — it names the coordination rule ``propose`` applies to
+        the pending set (the scheduler itself is strategy-agnostic).
         """
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -688,7 +725,10 @@ class AsyncEvaluationScheduler:
                     pending_ids = tuple(task.proposal_id for task in in_flight)
                     u = np.asarray(propose(pending_units), dtype=float)
                     ready = None if self.clock is None else now + self.clock.duration(u)
-                    entry = self.ledger.open(u, pending_ids, virtual_ready=ready)
+                    entry = self.ledger.open(
+                        u, pending_ids, virtual_ready=ready,
+                        strategy=pending_strategy,
+                    )
                     future = self.executor.submit(self.problem, u)
                     in_flight.append(
                         _InFlight(

@@ -81,6 +81,14 @@ class NNBO(SurrogateBO):
         them to the ``"serial"``/``"thread"``/``"process"`` evaluation
         executor, with ``fantasy`` controlling the lie between wEI picks.
         ``q=1`` (default) reproduces the paper's serial loop bitwise.
+    pending_strategy, hallucinate_kappa:
+        How batch-mate / in-flight designs shape each proposal's
+        acquisition (:mod:`repro.acquisition.penalization`): ``"fantasy"``
+        (default, lie observations — the historical behaviour, bitwise
+        unchanged), ``"penalize"`` (local penalization on the clean
+        posterior) or ``"hallucinate"`` (believer conditioning + the
+        GP-BUCB optimistic bound with confidence multiplier
+        ``hallucinate_kappa``).
     async_refit, async_full_refit_every, async_clock:
         Asynchronous-mode knobs (``executor="async-thread"/"async-process"``,
         see :class:`~repro.bo.scheduler.AsyncEvaluationScheduler`): the
@@ -115,6 +123,8 @@ class NNBO(SurrogateBO):
         executor="serial",
         n_eval_workers: int | None = None,
         fantasy: str = "believer",
+        pending_strategy: str = "fantasy",
+        hallucinate_kappa: float = 2.0,
         async_refit: str = "full",
         async_full_refit_every: int | None = None,
         async_clock=None,
@@ -202,6 +212,8 @@ class NNBO(SurrogateBO):
             executor=executor,
             n_eval_workers=n_eval_workers,
             fantasy=fantasy,
+            pending_strategy=pending_strategy,
+            hallucinate_kappa=hallucinate_kappa,
             async_refit=async_refit,
             async_full_refit_every=async_full_refit_every,
             async_clock=async_clock,

@@ -177,13 +177,21 @@ def add_scheduler_arguments(parser) -> None:
     )
     parser.add_argument(
         "--eval-workers", type=int, default=None,
-        help="worker count for the evaluation executor (default: q, "
-        "or 4 for async executors)",
+        help="worker count for the evaluation executor (default: q, or "
+        "the capped host core count for async executors)",
     )
     parser.add_argument(
         "--async-refit", choices=("full", "fantasy-only"), default=None,
         help="async surrogate policy per landing: full refit vs. "
         "posterior-only absorb with periodic warm refits",
+    )
+    parser.add_argument(
+        "--pending-strategy",
+        choices=("fantasy", "penalize", "hallucinate"),
+        default=None,
+        help="how NN-BO's batch-mate / in-flight designs shape each "
+        "proposal: fantasy lies (default), local penalization on the "
+        "clean posterior, or hallucinated-UCB believer conditioning",
     )
 
 
@@ -202,6 +210,8 @@ def apply_scheduler_arguments(args, config) -> None:
         config.n_eval_workers = args.eval_workers
     if args.async_refit is not None:
         config.async_refit = args.async_refit
+    if args.pending_strategy is not None:
+        config.pending_strategy = args.pending_strategy
 
 
 def summarize(results: list[OptimizationResult]) -> AlgorithmSummary:

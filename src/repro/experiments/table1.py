@@ -71,6 +71,7 @@ class Table1Config:
     eval_executor: str = "serial"
     n_eval_workers: int | None = None
     async_refit: str = "full"
+    pending_strategy: str = "fantasy"
     problem_kwargs: dict = field(default_factory=dict)
 
 
@@ -109,6 +110,7 @@ def make_optimizer(name: str, config: Table1Config, problem, seed: int):
             executor=config.eval_executor,
             n_eval_workers=config.n_eval_workers,
             async_refit=config.async_refit,
+            pending_strategy=config.pending_strategy,
             seed=seed,
         )
     if name == "WEIBO":

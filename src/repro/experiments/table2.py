@@ -76,6 +76,7 @@ class Table2Config:
     eval_executor: str = "serial"
     n_eval_workers: int | None = None
     async_refit: str = "full"
+    pending_strategy: str = "fantasy"
     problem_kwargs: dict = field(default_factory=dict)
 
 
@@ -114,6 +115,7 @@ def make_optimizer(name: str, config: Table2Config, problem, seed: int):
             executor=config.eval_executor,
             n_eval_workers=config.n_eval_workers,
             async_refit=config.async_refit,
+            pending_strategy=config.pending_strategy,
             seed=seed,
         )
     if name == "WEIBO":

@@ -110,3 +110,69 @@ class TestRandomSearch:
         maximizer = RandomSearchMaximizer(n_samples=500)
         best = maximizer.maximize(acq, 2, rng)
         assert best[0] == calls["x"][:, 0].max()
+
+
+def nan_poisoned(center, width=0.08, nan_below=0.5):
+    """Peaked acquisition that returns NaN on half the box (``x0 < 0.5``).
+
+    Mimics a degenerate surrogate region (overflowed variance, broken
+    posterior): a real failure mode that must not elect a NaN champion.
+    """
+    base = peaked(center, width)
+
+    def acq(x):
+        x = np.atleast_2d(x)
+        values = np.asarray(base(x), dtype=float)
+        values[x[:, 0] < nan_below] = np.nan
+        return values
+
+    return acq
+
+
+@pytest.mark.parametrize(
+    "maximizer",
+    [
+        RandomSearchMaximizer(n_samples=4000),
+        DifferentialEvolutionMaximizer(pop_size=30, generations=30),
+    ],
+    ids=["random", "de"],
+)
+class TestNaNSafety:
+    """Regression: NaN acquisition values silently won argmax/DE slots."""
+
+    def test_never_returns_a_nan_champion(self, maximizer):
+        """The returned point must come from the finite half of the box."""
+        acq = nan_poisoned([0.75, 0.5])
+        for seed in range(3):
+            x = maximizer.maximize(acq, 2, np.random.default_rng(seed))
+            value = np.asarray(acq(x.reshape(1, -1)), dtype=float)[0]
+            assert np.isfinite(value), f"champion has NaN acquisition (seed {seed})"
+            assert x[0] >= 0.5
+
+    def test_still_localizes_the_finite_peak(self, maximizer):
+        x = maximizer.maximize(
+            nan_poisoned([0.75, 0.3]), 2, np.random.default_rng(0)
+        )
+        assert np.linalg.norm(x - [0.75, 0.3]) < 0.2
+
+    def test_all_nan_batch_degrades_gracefully(self, maximizer):
+        """Everything NaN: still returns a point inside the box, no crash."""
+        x = maximizer.maximize(
+            lambda x: np.full(np.atleast_2d(x).shape[0], np.nan),
+            dim=2,
+            rng=np.random.default_rng(1),
+        )
+        assert x.shape == (2,)
+        assert np.all((x >= 0.0) & (x <= 1.0))
+
+
+class TestPolishNaNSafety:
+    def test_polish_rejects_nan_probe_keeps_champion(self):
+        """A NaN ridge next to the champion must not corrupt the polish."""
+        center = np.array([0.75, 0.5])
+        acq = nan_poisoned(center, width=0.15)
+        de = DifferentialEvolutionMaximizer(pop_size=25, generations=25, polish=True)
+        x = de.maximize(acq, 2, np.random.default_rng(2))
+        value = np.asarray(acq(x.reshape(1, -1)), dtype=float)[0]
+        assert np.isfinite(value)
+        assert np.linalg.norm(x - center) < 0.2

@@ -230,6 +230,26 @@ class TestExecutors:
         with pytest.raises(ValueError):
             ThreadPoolEvaluator(n_workers=0)
 
+    def test_serial_rejects_worker_count(self):
+        """Regression: ``serial`` + n_workers was silently ignored."""
+        with pytest.raises(ValueError, match="serial"):
+            make_evaluator("serial", 8)
+
+    def test_pool_defaults_follow_cpu_count(self):
+        """Regression: pools hard-coded 4 workers regardless of the host."""
+        import os
+
+        from repro.bo.scheduler import MAX_DEFAULT_WORKERS, default_pool_workers
+
+        expected = max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+        assert default_pool_workers() == expected
+        assert ThreadPoolEvaluator().n_workers == expected
+        assert ProcessPoolEvaluator().n_workers == expected
+        assert make_evaluator("thread").n_workers == expected
+        assert make_evaluator("async-process").n_workers == expected
+        # explicit counts are never capped or overridden
+        assert make_evaluator("thread", 2 * expected).n_workers == 2 * expected
+
     def test_completion_order_independence(self):
         """Results arriving out of order are committed in batch order."""
 
