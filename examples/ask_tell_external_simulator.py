@@ -1,0 +1,117 @@
+"""Driving the optimizer from an *external* evaluation backend (ask/tell).
+
+Production sizing flows rarely let the optimizer own the simulations: the
+SPICE farm sits behind a license queue or a cluster scheduler, results
+land whenever they land, and the machine running the optimizer may be
+restarted mid-campaign.  The :class:`repro.api.Study` ask/tell core is
+built for exactly that inversion — your code asks for designs, evaluates
+them however it likes, and tells the results back:
+
+    python examples/ask_tell_external_simulator.py
+
+The demo plays the external backend with a two-worker "simulator farm"
+(a plain dict of in-flight designs), interleaves completions out of
+submission order exactly like a real farm would, kills the whole process
+state half-way through by checkpointing the study to JSON and rebuilding
+it from disk, and finishes the run on the resumed study — the trace
+continues seamlessly, pending trials included.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import (
+    SchedulerConfig,
+    Study,
+    SurrogateConfig,
+    TwoStageOpAmpProblem,
+)
+
+
+def external_simulate(problem, trial):
+    """Stand-in for a SPICE farm: evaluate one design in natural units."""
+    return problem.evaluate(trial.x)
+
+
+def main():
+    problem = TwoStageOpAmpProblem()
+    surrogate = SurrogateConfig(
+        n_ensemble=3, hidden_dims=(24, 24), n_features=16, epochs=100
+    )
+    # async_refit="full" (the default) is what makes checkpoint/resume
+    # continue bitwise; n_eval_workers sizes the pending set we keep fed
+    scheduler = SchedulerConfig(executor="async-thread", n_eval_workers=2)
+
+    study = Study(
+        problem,
+        surrogate=surrogate,
+        scheduler=scheduler,
+        n_initial=10,
+        max_evaluations=26,
+        seed=2019,
+    )
+
+    # -- phase 1: the initial design, evaluated wherever we like ---------------
+    for trial in study.start_initial():
+        study.tell(trial, external_simulate(problem, trial))
+    print(f"initial design done: {study.n_evaluations} evaluations")
+
+    # -- phase 2: an external two-worker farm, completing out of order ---------
+    farm: dict[int, object] = {}  # trial id -> Trial, "in flight"
+    checkpoint_path = Path(tempfile.mkdtemp()) / "opamp_study.json"
+
+    def farm_step(study):
+        """Keep two designs in flight; land the *oldest* every other step."""
+        while study.remaining_capacity > 0 and len(farm) < 2:
+            trial = study.ask()[0]
+            farm[trial.id] = trial
+        # a real farm completes in its own order; emulate by landing the
+        # newest submission first every other landing
+        order = sorted(farm)
+        trial = farm.pop(order[-1] if study.n_evaluations % 2 else order[0])
+        study.tell(trial, external_simulate(problem, trial))
+
+    while study.n_evaluations < 18:
+        farm_step(study)
+
+    # -- phase 3: the process dies; rebuild everything from the checkpoint -----
+    study.checkpoint(checkpoint_path)
+    print(
+        f"checkpointed at {study.n_evaluations} evaluations "
+        f"({study.n_pending} in flight) -> {checkpoint_path}"
+    )
+    del study, farm
+
+    resumed = Study.resume(
+        checkpoint_path,
+        TwoStageOpAmpProblem(),
+        surrogate=surrogate,
+        scheduler=scheduler,
+    )
+    farm = {t.id: t for t in resumed.pending_trials()}  # re-submit in-flight
+    print(
+        f"resumed: {resumed.n_evaluations} committed, "
+        f"{len(farm)} re-submitted"
+    )
+
+    while not resumed.done:
+        farm_step(resumed)
+
+    best = resumed.best()
+    gain = -best.evaluation.objective
+    print(
+        f"finished: {resumed.n_evaluations} evaluations, "
+        f"best GAIN {gain:.2f} dB "
+        f"(UGF {best.evaluation.metrics['ugf_hz'] / 1e6:.1f} MHz, "
+        f"PM {best.evaluation.metrics['pm_deg']:.1f} deg)"
+    )
+    # the ledger audit trail survived the restart
+    ledger = resumed.result.ledger
+    print(
+        f"ledger: {len(ledger)} proposals, completion order "
+        f"{ledger.completion_order}"
+    )
+
+
+if __name__ == "__main__":
+    main()

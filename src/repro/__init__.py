@@ -19,18 +19,24 @@ Quickstart::
 
 from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
 from repro.bo import (
+    AcquisitionConfig,
     Evaluation,
     FunctionProblem,
     OptimizationResult,
     Problem,
+    SchedulerConfig,
+    Study,
     SurrogateBO,
+    SurrogateConfig,
+    Trial,
 )
 from repro.core import DeepEnsemble, FeatureGPTrainer, NeuralFeatureGP, NNBO
 from repro.gp import GPRegression, Matern52, RBF
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AcquisitionConfig",
     "DeepEnsemble",
     "DifferentialEvolution",
     "Evaluation",
@@ -44,7 +50,11 @@ __all__ = [
     "OptimizationResult",
     "Problem",
     "RBF",
+    "SchedulerConfig",
+    "Study",
     "SurrogateBO",
+    "SurrogateConfig",
+    "Trial",
     "WEIBO",
     "__version__",
 ]

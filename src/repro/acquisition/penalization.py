@@ -131,7 +131,10 @@ class LocalPenalizer:
                 f"expected {self.pending.shape[0]} pending means, got {means.shape[0]}"
             )
         if variances.shape != means.shape:
-            raise ValueError("means and variances must align")
+            raise ValueError(
+                f"means and variances must align, got shapes "
+                f"{means.shape} vs {variances.shape}"
+            )
         self.means = means
         self.sigmas = np.sqrt(np.maximum(variances, _MIN_SIGMA**2))
         if not np.isfinite(best):

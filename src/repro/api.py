@@ -1,0 +1,92 @@
+"""The blessed public surface of the reproduction.
+
+Everything a downstream user needs is importable from here, and only the
+names in ``__all__`` are covered by the deprecation policy — internals
+(module paths, private helpers, constructor kwargs outside the typed
+configs) may change between versions without notice.
+
+Three ways in, from highest- to lowest-level:
+
+* **Closed loop** — :class:`NNBO` / :class:`SurrogateBO`: construct with
+  a :class:`Problem` and the typed configs, call ``run()``, read the
+  :class:`OptimizationResult`.
+* **Ask/tell** — :class:`Study`: the optimizer as a state machine; your
+  code owns evaluation (external simulator farms, license queues,
+  humans) and feeds results back with ``tell``.  ``checkpoint()`` /
+  ``Study.resume()`` persist a run across process restarts.
+* **Building blocks** — the testbench problems of the paper's two
+  evaluation circuits, the executor factory, the deterministic replay
+  clock, and run (de)serialization.
+
+Example (ask/tell against an external evaluator)::
+
+    from repro.api import Study, SurrogateConfig
+
+    study = Study(problem, surrogate=SurrogateConfig(), seed=0)
+    for trial in study.start_initial():
+        study.tell(trial, external_simulate(trial.x))
+    while not study.done:
+        trial = study.ask()[0]
+        study.tell(trial, external_simulate(trial.x))
+    print(study.best())
+"""
+
+from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
+from repro.bo.config import (
+    AcquisitionConfig,
+    SchedulerConfig,
+    SurrogateConfig,
+)
+from repro.bo.history import EvaluationRecord, OptimizationResult
+from repro.bo.loop import SurrogateBO
+from repro.bo.problem import Evaluation, FunctionProblem, Problem
+from repro.bo.scheduler import (
+    EvaluationExecutor,
+    FakeClock,
+    ProposalLedger,
+    make_evaluator,
+)
+from repro.bo.study import BudgetExhausted, Study, StudyError, Trial
+from repro.circuits.testbenches import (
+    ChargePumpProblem,
+    FoldedCascodeOTAProblem,
+    TwoStageOpAmpProblem,
+)
+from repro.core import NNBO
+from repro.utils.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+__all__ = [
+    "AcquisitionConfig",
+    "BudgetExhausted",
+    "ChargePumpProblem",
+    "DifferentialEvolution",
+    "Evaluation",
+    "EvaluationExecutor",
+    "EvaluationRecord",
+    "FakeClock",
+    "FoldedCascodeOTAProblem",
+    "FunctionProblem",
+    "GASPAD",
+    "NNBO",
+    "OptimizationResult",
+    "Problem",
+    "ProposalLedger",
+    "SchedulerConfig",
+    "Study",
+    "StudyError",
+    "SurrogateBO",
+    "SurrogateConfig",
+    "Trial",
+    "TwoStageOpAmpProblem",
+    "WEIBO",
+    "load_result",
+    "make_evaluator",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+]

@@ -10,6 +10,7 @@ is exactly the comparison the paper makes.
 
 from __future__ import annotations
 
+from repro.bo.config import AcquisitionConfig
 from repro.bo.loop import SurrogateBO
 from repro.bo.problem import Problem
 from repro.gp.gpr import GPRegression
@@ -60,7 +61,7 @@ class WEIBO(SurrogateBO):
             n_initial=n_initial,
             max_evaluations=max_evaluations,
             acq_maximizer=acq_maximizer,
-            log_space_acq=log_space_acq,
+            acquisition_config=AcquisitionConfig(log_space=log_space_acq),
             seed=seed,
             verbose=verbose,
             callback=callback,

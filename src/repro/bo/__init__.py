@@ -1,13 +1,20 @@
 """Constrained black-box optimization framework.
 
 Problem definitions (eq. 1 form), initial experimental designs, run
-histories and the generic surrogate-based Bayesian-optimization driver
+histories, the ask/tell :class:`Study` state machine, typed optimizer
+configs, and the generic surrogate-based Bayesian-optimization driver
 (Algorithm 1) that the paper's NN-GP method and the WEIBO baseline share.
 Evaluation dispatch is pluggable: synchronous q-point batches behind a
-barrier (:class:`EvaluationScheduler`) or the fully asynchronous
-refill-on-completion loop (:class:`AsyncEvaluationScheduler`).
+barrier (:class:`EvaluationScheduler`), the fully asynchronous
+refill-on-completion loop (:class:`AsyncEvaluationScheduler`), or any
+external backend driving :class:`Study` directly.
 """
 
+from repro.bo.config import (
+    AcquisitionConfig,
+    SchedulerConfig,
+    SurrogateConfig,
+)
 from repro.bo.design import latin_hypercube, random_uniform, sobol_points
 from repro.bo.history import EvaluationRecord, OptimizationResult
 from repro.bo.loop import SurrogateBO
@@ -25,11 +32,14 @@ from repro.bo.scheduler import (
     ThreadPoolEvaluator,
     make_evaluator,
 )
+from repro.bo.study import BudgetExhausted, Study, StudyError, Trial
 
 __all__ = [
+    "AcquisitionConfig",
     "AsyncEvaluationScheduler",
     "AsyncProcessEvaluator",
     "AsyncThreadEvaluator",
+    "BudgetExhausted",
     "Evaluation",
     "EvaluationExecutor",
     "EvaluationRecord",
@@ -40,9 +50,14 @@ __all__ = [
     "Problem",
     "ProcessPoolEvaluator",
     "ProposalLedger",
+    "SchedulerConfig",
     "SerialEvaluator",
+    "Study",
+    "StudyError",
     "SurrogateBO",
+    "SurrogateConfig",
     "ThreadPoolEvaluator",
+    "Trial",
     "latin_hypercube",
     "make_evaluator",
     "random_uniform",

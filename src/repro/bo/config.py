@@ -1,0 +1,322 @@
+"""Typed configuration objects for the ask/tell optimizer core.
+
+Four PRs of scheduler/acquisition/surrogate knobs accreted onto the
+``SurrogateBO``/``NNBO`` constructors as a flat kwarg pile (``q``,
+``executor``, ``fantasy``, ``pending_strategy``, ``async_refit``, ...).
+This module replaces that pile with three small dataclasses, grouped the
+way the knobs actually interact:
+
+* :class:`SurrogateConfig` — the paper's NN-feature-GP ensemble
+  hyper-parameters (Sec. III) and the training-engine choice,
+* :class:`AcquisitionConfig` — how the next design is chosen (acquisition
+  family, log-space evaluation, duplicate handling) and how concurrent
+  proposals shape each other (fantasy lies, local penalization,
+  hallucinated bounds),
+* :class:`SchedulerConfig` — how proposals are evaluated (batch size,
+  executor, worker counts, asynchronous refit policy, virtual clock).
+
+Validation lives in ``__post_init__`` — a config object that exists is a
+config object that is valid, and every error message names the offending
+value.  The configs are frozen: derive variants with
+:func:`dataclasses.replace` instead of mutating shared instances.
+
+The legacy constructor kwargs keep working through a deprecation shim in
+:class:`~repro.bo.loop.SurrogateBO` / :class:`~repro.core.bo.NNBO` that
+maps them onto these configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.acquisition.fantasy import FANTASY_STRATEGIES
+from repro.acquisition.penalization import validate_pending_strategy
+
+#: surrogate update policies of the asynchronous (refill-on-completion) loop
+ASYNC_REFIT_POLICIES = ("full", "fantasy-only")
+
+#: executor specs resolvable by :func:`repro.bo.scheduler.make_evaluator`
+EXECUTOR_SPECS = ("serial", "thread", "process", "async-thread", "async-process")
+
+#: training engines for the NN-feature-GP ensembles
+SURROGATE_ENGINES = ("auto", "batched", "loop")
+
+ACQUISITIONS = ("wei", "thompson")
+
+
+def check_count(name: str, value, minimum: int = 1) -> int:
+    """Validate an integer count, naming the offending value on failure.
+
+    Shared by the configs, the executors and the schedulers so the
+    ``n_workers``/``q``-style checks stay consistent (they used to be
+    duplicated between ``SurrogateBO.__init__`` and
+    ``AsyncEvaluationScheduler.run_search`` with drifting messages).
+    """
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_choice(name: str, value: str, choices) -> str:
+    """Validate a string spec against its allowed values."""
+    value = str(value)
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {tuple(choices)}, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class SurrogateConfig:
+    """NN-feature-GP ensemble hyper-parameters (paper Sec. III).
+
+    The paper's defaults: K = 5 members per modelled quantity, two hidden
+    layers of 50 units, 50 features, 300 training epochs.  ``engine``
+    selects the training program: ``"batched"`` fits all K x T members as
+    one stacked tensor program, ``"loop"`` trains them one by one (the
+    original, numerically equivalent path), ``"auto"`` picks ``"batched"``
+    except for single-point Thompson (which keeps the loop path so
+    historical seeded runs are preserved).
+    """
+
+    n_ensemble: int = 5
+    hidden_dims: tuple = (50, 50)
+    n_features: int = 50
+    activation: str = "relu"
+    output_activation: str = "tanh"
+    epochs: int = 300
+    lr: float = 5e-3
+    pretrain_epochs: int = 0
+    patience: int | None = 60
+    engine: str = "auto"
+
+    def __post_init__(self):
+        object.__setattr__(self, "n_ensemble", check_count("n_ensemble", self.n_ensemble))
+        object.__setattr__(self, "hidden_dims", tuple(int(h) for h in self.hidden_dims))
+        object.__setattr__(self, "n_features", check_count("n_features", self.n_features))
+        object.__setattr__(self, "epochs", check_count("epochs", self.epochs))
+        object.__setattr__(self, "pretrain_epochs", int(self.pretrain_epochs))
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        check_choice("engine", self.engine, SURROGATE_ENGINES)
+
+    def resolve_engine(self, acquisition: str, q: int) -> str:
+        """The concrete engine for an acquisition family and batch size."""
+        if self.engine != "auto":
+            return self.engine
+        # single-point Thompson stays on the loop path so seeded runs from
+        # before the bank grew posterior sampling are preserved; q-point
+        # Thompson wants the stacked predict path
+        return "loop" if (acquisition == "thompson" and q == 1) else "batched"
+
+    # -- factory builders -----------------------------------------------------
+    # The core model classes import repro.bo (the driver layer), so these
+    # imports are deferred to keep repro.bo.config import-light and
+    # cycle-free.
+
+    def member_factory(self, input_dim: int):
+        """``(rng) -> NeuralFeatureGP`` for one ensemble member."""
+        from repro.core.feature_gp import NeuralFeatureGP
+
+        def make_member(rng):
+            return NeuralFeatureGP(
+                input_dim=input_dim,
+                hidden_dims=self.hidden_dims,
+                n_features=self.n_features,
+                activation=self.activation,
+                output_activation=self.output_activation,
+                seed=rng,
+            )
+
+        return make_member
+
+    def trainer_factory(self):
+        """A fresh per-member trainer (loop engine)."""
+        from repro.core.trainer import FeatureGPTrainer
+
+        return FeatureGPTrainer(
+            epochs=self.epochs,
+            lr=self.lr,
+            pretrain_epochs=self.pretrain_epochs,
+            patience=self.patience,
+        )
+
+    def batched_trainer_factory(self):
+        """A fresh stacked trainer (batched engine)."""
+        from repro.core.trainer import BatchedFeatureGPTrainer
+
+        return BatchedFeatureGPTrainer(
+            epochs=self.epochs,
+            lr=self.lr,
+            pretrain_epochs=self.pretrain_epochs,
+            patience=self.patience,
+        )
+
+    def bank_factory(self, input_dim: int):
+        """``(rng, n_targets) -> SurrogateBank`` for the batched engine."""
+        from repro.core.batched_gp import SurrogateBank
+
+        def make_bank(rng, n_targets):
+            return SurrogateBank(
+                input_dim=input_dim,
+                n_targets=n_targets,
+                n_members=self.n_ensemble,
+                hidden_dims=self.hidden_dims,
+                n_features=self.n_features,
+                activation=self.activation,
+                output_activation=self.output_activation,
+                trainer_factory=self.batched_trainer_factory,
+                seed=rng,
+            )
+
+        return make_bank
+
+
+@dataclass(frozen=True)
+class AcquisitionConfig:
+    """How the next design is chosen and how concurrent picks interact.
+
+    ``log_space`` of ``None`` auto-enables log-space wEI when the problem
+    has four or more constraints (the Table II charge pump has five, where
+    the plain PF product underflows).  ``fantasy`` is the lie strategy
+    between wEI picks; ``pending_strategy`` decides how batch-mate /
+    in-flight designs shape each proposal's acquisition (see
+    :mod:`repro.acquisition.penalization`); ``hallucinate_kappa`` is the
+    GP-BUCB confidence multiplier of the ``"hallucinate"`` strategy.
+    """
+
+    acquisition: str = "wei"
+    log_space: bool | None = None
+    duplicate_tol: float = 1e-9
+    fantasy: str = "believer"
+    pending_strategy: str = "fantasy"
+    hallucinate_kappa: float = 2.0
+
+    def __post_init__(self):
+        check_choice("acquisition", self.acquisition, ACQUISITIONS)
+        if self.fantasy not in FANTASY_STRATEGIES:
+            raise ValueError(
+                f"fantasy must be one of {FANTASY_STRATEGIES}, got {self.fantasy!r}"
+            )
+        validate_pending_strategy(self.pending_strategy, self.acquisition)
+        if self.hallucinate_kappa < 0:
+            raise ValueError(
+                f"hallucinate_kappa must be non-negative, got {self.hallucinate_kappa}"
+            )
+        if self.duplicate_tol < 0:
+            raise ValueError(
+                f"duplicate_tol must be non-negative, got {self.duplicate_tol}"
+            )
+        object.__setattr__(self, "duplicate_tol", float(self.duplicate_tol))
+        object.__setattr__(self, "hallucinate_kappa", float(self.hallucinate_kappa))
+
+    def resolve_log_space(self, n_constraints: int) -> bool:
+        """The concrete log-space flag for a problem's constraint count."""
+        if self.log_space is None:
+            return n_constraints >= 4
+        return bool(self.log_space)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """How proposals are dispatched to simulations.
+
+    ``q`` designs are proposed per iteration and evaluated on ``executor``
+    (a spec string or an :class:`~repro.bo.scheduler.EvaluationExecutor`
+    instance).  The ``async-*`` specs switch to the refill-on-completion
+    loop, where ``async_refit`` picks the surrogate policy per landing and
+    ``clock`` (a :class:`~repro.bo.scheduler.FakeClock`) optionally
+    virtualizes the completion order for deterministic replay.
+    """
+
+    q: int = 1
+    executor: object = "serial"
+    n_eval_workers: int | None = None
+    async_refit: str = "full"
+    async_full_refit_every: int | None = None
+    clock: object = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", check_count("q", self.q))
+        if isinstance(self.executor, str):
+            check_choice("executor", self.executor.lower(), EXECUTOR_SPECS)
+        if self.n_eval_workers is not None:
+            object.__setattr__(
+                self,
+                "n_eval_workers",
+                check_count("n_eval_workers", self.n_eval_workers),
+            )
+        check_choice("async_refit", self.async_refit, ASYNC_REFIT_POLICIES)
+        if self.async_full_refit_every is not None:
+            object.__setattr__(
+                self,
+                "async_full_refit_every",
+                check_count("async_full_refit_every", self.async_full_refit_every),
+            )
+
+    @property
+    def is_async(self) -> bool:
+        """True when the executor spec opts into the refill-on-completion loop."""
+        if isinstance(self.executor, str):
+            return self.executor.lower().startswith("async-")
+        return bool(getattr(self.executor, "async_mode", False))
+
+    def resolve_pool_workers(self) -> int | None:
+        """Worker count handed to :func:`~repro.bo.scheduler.make_evaluator`.
+
+        Mirrors the historical ``SurrogateBO.run`` resolution exactly (the
+        pinned traces depend on it): an explicit ``n_eval_workers`` always
+        wins; otherwise async specs size to ``q`` when batching was
+        configured (batch configs keep their parallelism when switched to
+        async) or to the capped host core count, and plain pooled specs
+        inherit ``q`` as their size.  The serial spec takes no count.
+        """
+        from repro.bo.scheduler import default_pool_workers
+
+        if self.n_eval_workers is not None or not isinstance(self.executor, str):
+            return self.n_eval_workers
+        spec = self.executor.lower()
+        if spec.startswith("async-"):
+            return self.q if self.q > 1 else default_pool_workers()
+        if self.q > 1 and spec != "serial":
+            return self.q
+        return None
+
+    def resolve_in_flight(self) -> int:
+        """Target number of concurrent evaluations in asynchronous mode."""
+        workers = self.resolve_pool_workers()
+        if workers is not None:
+            return workers
+        return int(getattr(self.executor, "n_workers", 1))
+
+
+def config_to_dict(config) -> dict:
+    """JSON-safe dictionary form of a config (object-valued fields skipped).
+
+    Used by study checkpoints for provenance/validation; executor
+    instances and virtual clocks cannot round-trip through JSON and are
+    recorded by type name instead.
+    """
+    payload = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        elif not isinstance(value, (str, int, float, bool, type(None))):
+            value = type(value).__name__
+        payload[f.name] = value
+    return payload
+
+
+__all__ = [
+    "ACQUISITIONS",
+    "ASYNC_REFIT_POLICIES",
+    "AcquisitionConfig",
+    "EXECUTOR_SPECS",
+    "SURROGATE_ENGINES",
+    "SchedulerConfig",
+    "SurrogateConfig",
+    "check_choice",
+    "check_count",
+    "config_to_dict",
+]

@@ -5,48 +5,48 @@ WEIBO baseline differ *only* in the ``surrogate_factory`` they plug in
 (NN-feature-GP ensemble vs. explicit-kernel GP), exactly mirroring the
 paper's experimental control.
 
+Since the ask/tell redesign, :class:`SurrogateBO` is a thin closed-loop
+driver over the :class:`~repro.bo.study.Study` state machine: ``run()``
+builds a study, pumps its ``ask``/``tell`` cycle through the configured
+evaluation executor, and returns the study's history.  All proposal
+machinery (surrogate fits, acquisition construction, fantasy/penalty
+conditioning, duplicate handling) lives on this class and is shared by
+the study, so driving a study manually reproduces ``run()`` bitwise.
+
+Configuration is grouped into typed dataclasses
+(:mod:`repro.bo.config`): an :class:`~repro.bo.config.AcquisitionConfig`
+(acquisition family, lies/penalties for concurrent picks) and a
+:class:`~repro.bo.config.SchedulerConfig` (batch size, executor, async
+refit policy).  The historical flat kwargs (``q=``, ``executor=``,
+``fantasy=``, ...) still work through a deprecation shim that maps them
+onto the configs.
+
 Per iteration (Fig. 2):
 
 1. fit one fresh surrogate to the objective and one per constraint
    (fresh = newly constructed by the factory, so hyper-parameters are
    randomly re-initialized each round as in Algorithm 1),
 2. propose ``q`` designs by greedy q-point acquisition — the wEI path
-   (eq. 7) keeps the batch diverse according to ``pending_strategy``
-   (constant-liar/Kriging-believer fantasy updates between picks, local
-   penalization of the clean posterior, or hallucinated confidence
-   bounds — :mod:`repro.acquisition.penalization`), the Thompson path
-   draws ``q`` independent posterior functions,
-3. dispatch the batch to a pluggable evaluation executor
+   (eq. 7) keeps the batch diverse according to ``pending_strategy``,
+   the Thompson path draws ``q`` independent posterior functions,
+3. dispatch the batch to the evaluation executor
    (:mod:`repro.bo.scheduler`) and ingest the simulations as they land,
-   recording per-candidate provenance (iteration, batch index, pending
-   set) in the history.
+   recording per-candidate provenance in the history.
 
 ``q=1`` with the serial executor reproduces the original single-point
-loop bitwise: the surrogate fits, acquisition maximization, duplicate
-handling and RNG stream are unchanged (pinned by
-``tests/bo/test_scheduler.py``).
-
-With an ``"async-*"`` executor the batch barrier disappears entirely:
-the refill-on-completion scheduler (:class:`~repro.bo.scheduler.
-AsyncEvaluationScheduler`) keeps ``n_eval_workers`` simulations in
-flight, commits each landing immediately, absorbs it into the surrogate
-according to ``async_refit`` and proposes a replacement conditioned on
-the still-pending set.  ``async-*`` with ``n_eval_workers=1`` degrades
-gracefully to the serial single-point loop (same trace, pinned by
-``tests/bo/test_async_scheduler.py``).
+loop bitwise (pinned by ``tests/bo/test_scheduler.py``); the
+``"async-*"`` executors switch to the refill-on-completion scheduler
+(pinned by ``tests/bo/test_async_scheduler.py``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.acquisition.fantasy import (
-    FANTASY_STRATEGIES,
-    FantasyModelSet,
-    fantasy_lies,
-)
+from repro.acquisition.fantasy import FantasyModelSet, fantasy_lies
 from repro.acquisition.maximize import (
     AcquisitionMaximizer,
     DifferentialEvolutionMaximizer,
@@ -56,21 +56,64 @@ from repro.acquisition.penalization import (
     LocalPenalizer,
     PenalizedAcquisition,
     estimate_lipschitz,
-    validate_pending_strategy,
 )
 from repro.acquisition.wei import WeightedExpectedImprovement
-from repro.bo.design import make_design
+from repro.bo.config import (
+    ASYNC_REFIT_POLICIES,
+    AcquisitionConfig,
+    SchedulerConfig,
+)
 from repro.bo.history import OptimizationResult
 from repro.bo.problem import Problem
 from repro.bo.scheduler import (
     AsyncEvaluationScheduler,
     EvaluationScheduler,
-    default_pool_workers,
     make_evaluator,
 )
 from repro.utils.rng import ensure_rng
 
-ASYNC_REFIT_POLICIES = ("full", "fantasy-only")
+__all__ = [
+    "ASYNC_REFIT_POLICIES",
+    "SurrogateBO",
+]
+
+#: sentinel distinguishing "not passed" from any legitimate value in the
+#: deprecated-kwarg shim
+_UNSET = object()
+
+
+def resolve_config_shim(
+    config_cls, provided, config_kwarg, legacy: dict, display: dict, owner: str
+):
+    """Map explicitly-passed legacy kwargs onto a typed config.
+
+    ``legacy`` maps config field names to the legacy value (or ``_UNSET``
+    when the caller did not pass the kwarg); ``display`` renames fields to
+    their historical kwarg spelling for the warning text.  Passing any
+    legacy kwarg emits a ``DeprecationWarning`` attributed to the caller,
+    and conflicts with an explicit config object raise with both values
+    named.
+    """
+    passed = {f: v for f, v in legacy.items() if v is not _UNSET}
+    if not passed:
+        return provided if provided is not None else config_cls()
+    shown = ", ".join(
+        f"{display.get(f, f)}={v!r}" for f, v in passed.items()
+    )
+    if provided is not None:
+        raise ValueError(
+            f"{owner} received both {config_kwarg}={provided!r} and the "
+            f"legacy keyword(s) {shown}; pass everything through "
+            f"{config_kwarg}"
+        )
+    warnings.warn(
+        f"{owner} keyword(s) {shown} are deprecated; pass "
+        f"{config_kwarg}={config_cls.__name__}(...) instead "
+        "(blessed surface: repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return config_cls(**passed)
 
 
 @dataclass
@@ -125,83 +168,31 @@ class SurrogateBO:
     acq_maximizer:
         Inner-loop engine; defaults to
         :class:`DifferentialEvolutionMaximizer`.
-    acquisition:
-        ``"wei"`` (paper, eq. 7) or ``"thompson"`` — the latter draws
-        exact posterior functions from weight-space surrogates (NN-GP
-        only; an extension documented in DESIGN.md).  Both support q > 1;
-        on the bank path Thompson samples through the stacked predict
-        engine (:class:`~repro.acquisition.thompson.
-        BankThompsonAcquisition`).
-    log_space_acq:
-        Evaluate wEI in log space.  ``None`` (default) auto-enables it when
-        the problem has four or more constraints (the Table II charge pump
-        has five, where the plain PF product underflows).
-    duplicate_tol:
-        Proposals closer than this (in unit-box metric) to an existing
-        sample — or to an earlier pick of the same batch — are replaced by
-        a random point; repeating a deterministic simulation carries no
-        information.
-    q:
-        Designs proposed per iteration.  ``1`` (default) is the paper's
-        serial loop; larger batches trade a modest per-candidate
-        information loss for wall-clock parallelism on the executor.
-    executor:
-        ``"serial"`` (default), ``"thread"``, ``"process"``,
-        ``"async-thread"``, ``"async-process"`` or an
-        :class:`~repro.bo.scheduler.EvaluationExecutor` instance.  The
-        plain pooled specs evaluate each q-point batch behind a barrier;
-        the ``async-*`` specs switch to the refill-on-completion loop:
-        one design is proposed per landing, with ``n_eval_workers``
-        in-flight evaluations (when unset, ``q > 1`` seeds the in-flight
-        count — batch configs keep their parallelism when switched to
-        async — else it defaults to :func:`~repro.bo.scheduler.
-        default_pool_workers`, the capped host core count).
-    n_eval_workers:
-        Worker count for the pooled executors; defaults to ``q`` (batch
-        mode) or the capped host core count (async mode with ``q=1``).
-    fantasy:
-        Lie strategy between wEI picks: ``"believer"`` (posterior mean,
-        default), ``"cl-min"`` or ``"cl-max"`` (constant liar with the
-        best/worst observed objective).  Async proposals use the same
-        strategy to condition on the in-flight set.  Only consulted when
-        ``pending_strategy="fantasy"``.
-    pending_strategy:
-        How concurrent (batch-mate / in-flight) designs shape the next
-        proposal's acquisition (see :mod:`repro.acquisition.penalization`).
-        ``"fantasy"`` (default) absorbs each pending point as a lie
-        observation — the PR-2/3 behaviour, bitwise unchanged.
-        ``"penalize"`` evaluates wEI on the *clean* posterior and
-        multiplies in one local penalty per pending point (exclusion balls
-        from a posterior-derived Lipschitz estimate; no fabricated data).
-        ``"hallucinate"`` conditions pending points at their posterior
-        means (variance shrinks near the in-flight set, the mean surface
-        is untouched) and maximizes the optimistic improvement bound
-        ``max(tau - (mu - kappa * sigma), 0) * prod PF`` instead of wEI
-        (GP-BUCB adapted to constrained minimization).  The non-fantasy
-        strategies require ``acquisition="wei"``.
-    hallucinate_kappa:
-        Confidence multiplier of the ``"hallucinate"`` strategy's bound —
-        GP-BUCB's inflated-variance coefficient.  Larger values spread
-        concurrent picks further apart.
-    async_refit:
-        Surrogate policy per async landing.  ``"full"`` (default) refits
-        fresh surrogates before every proposal — maximum information, the
-        async analogue of Algorithm 1's per-iteration refit.
-        ``"fantasy-only"`` absorbs each landing with a posterior-only
-        update (:meth:`~repro.core.batched_gp.SurrogateBank.observe` —
-        network weights untouched) and runs a *warm-started* full refit
-        every ``async_full_refit_every`` landings; needs the bank path
-        (``surrogate_bank_factory``).
-    async_full_refit_every:
-        Landings between warm full refits under ``"fantasy-only"``;
-        defaults to the in-flight worker count.
-    async_clock:
-        Optional :class:`~repro.bo.scheduler.FakeClock` virtualizing the
-        async completion order (deterministic replay; used by tests and
-        for auditing — production runs leave it ``None``).
+    acquisition_config:
+        An :class:`~repro.bo.config.AcquisitionConfig`: acquisition family
+        (``"wei"``/``"thompson"``), log-space evaluation, duplicate
+        tolerance, and the pending-point strategy (fantasy lies, local
+        penalization, hallucinated bounds) for concurrent proposals.
+    scheduler_config:
+        A :class:`~repro.bo.config.SchedulerConfig`: proposals per
+        iteration ``q``, the evaluation executor (``"serial"`` /
+        ``"thread"`` / ``"process"`` / ``"async-thread"`` /
+        ``"async-process"`` or an executor instance), worker counts, the
+        asynchronous refit policy, and an optional
+        :class:`~repro.bo.scheduler.FakeClock` for deterministic replay.
     seed, verbose, callback:
         Reproducibility / reporting hooks.  ``callback(iteration, result)``
-        runs after every ingested batch (every evaluation when ``q=1``).
+        runs after every ingested batch (every landing in async mode).
+
+    Deprecated keywords
+    -------------------
+    The historical flat kwargs — ``acquisition``, ``log_space_acq``,
+    ``duplicate_tol``, ``fantasy``, ``pending_strategy``,
+    ``hallucinate_kappa`` (now :class:`AcquisitionConfig` fields) and
+    ``q``, ``executor``, ``n_eval_workers``, ``async_refit``,
+    ``async_full_refit_every``, ``async_clock`` (now
+    :class:`SchedulerConfig` fields) — still work and map onto the
+    configs, emitting a ``DeprecationWarning``.
     """
 
     algorithm_name = "SurrogateBO"
@@ -214,23 +205,26 @@ class SurrogateBO:
         max_evaluations: int = 100,
         initial_design: str = "lhs",
         acq_maximizer: AcquisitionMaximizer | None = None,
-        acquisition: str = "wei",
-        log_space_acq: bool | None = None,
-        duplicate_tol: float = 1e-9,
+        acquisition=_UNSET,
+        log_space_acq=_UNSET,
+        duplicate_tol=_UNSET,
         surrogate_bank_factory=None,
-        q: int = 1,
-        executor="serial",
-        n_eval_workers: int | None = None,
-        fantasy: str = "believer",
-        pending_strategy: str = "fantasy",
-        hallucinate_kappa: float = 2.0,
-        async_refit: str = "full",
-        async_full_refit_every: int | None = None,
-        async_clock=None,
+        q=_UNSET,
+        executor=_UNSET,
+        n_eval_workers=_UNSET,
+        fantasy=_UNSET,
+        pending_strategy=_UNSET,
+        hallucinate_kappa=_UNSET,
+        async_refit=_UNSET,
+        async_full_refit_every=_UNSET,
+        async_clock=_UNSET,
         seed=None,
         verbose: bool = False,
         callback=None,
         name: str | None = None,
+        *,
+        acquisition_config: AcquisitionConfig | None = None,
+        scheduler_config: SchedulerConfig | None = None,
     ):
         if n_initial < 2:
             raise ValueError(f"n_initial must be >= 2, got {n_initial}")
@@ -243,21 +237,36 @@ class SurrogateBO:
             raise ValueError(
                 "provide surrogate_factory and/or surrogate_bank_factory"
             )
-        if q < 1:
-            raise ValueError(f"q must be >= 1, got {q}")
-        if fantasy not in FANTASY_STRATEGIES:
-            raise ValueError(
-                f"fantasy must be one of {FANTASY_STRATEGIES}, got {fantasy!r}"
-            )
-        if async_refit not in ASYNC_REFIT_POLICIES:
-            raise ValueError(
-                f"async_refit must be one of {ASYNC_REFIT_POLICIES}, "
-                f"got {async_refit!r}"
-            )
-        if async_full_refit_every is not None and async_full_refit_every < 1:
-            raise ValueError(
-                f"async_full_refit_every must be >= 1, got {async_full_refit_every}"
-            )
+        acquisition_config = resolve_config_shim(
+            AcquisitionConfig,
+            acquisition_config,
+            "acquisition_config",
+            {
+                "acquisition": acquisition,
+                "log_space": log_space_acq,
+                "duplicate_tol": duplicate_tol,
+                "fantasy": fantasy,
+                "pending_strategy": pending_strategy,
+                "hallucinate_kappa": hallucinate_kappa,
+            },
+            {"log_space": "log_space_acq"},
+            owner=type(self).__name__,
+        )
+        scheduler_config = resolve_config_shim(
+            SchedulerConfig,
+            scheduler_config,
+            "scheduler_config",
+            {
+                "q": q,
+                "executor": executor,
+                "n_eval_workers": n_eval_workers,
+                "async_refit": async_refit,
+                "async_full_refit_every": async_full_refit_every,
+                "clock": async_clock,
+            },
+            {"clock": "async_clock"},
+            owner=type(self).__name__,
+        )
         self.problem = problem
         self.surrogate_factory = surrogate_factory
         self.surrogate_bank_factory = surrogate_bank_factory
@@ -265,113 +274,104 @@ class SurrogateBO:
         self.max_evaluations = int(max_evaluations)
         self.initial_design = str(initial_design)
         self.acq_maximizer = acq_maximizer or DifferentialEvolutionMaximizer()
-        if acquisition not in ("wei", "thompson"):
-            raise ValueError(
-                f"acquisition must be 'wei' or 'thompson', got {acquisition!r}"
-            )
-        self.acquisition = str(acquisition)
-        if log_space_acq is None:
-            log_space_acq = problem.n_constraints >= 4
-        self.log_space_acq = bool(log_space_acq)
-        self.duplicate_tol = float(duplicate_tol)
-        self.q = int(q)
-        self.executor = executor
-        self.n_eval_workers = None if n_eval_workers is None else int(n_eval_workers)
-        self.fantasy = str(fantasy)
-        self.pending_strategy = validate_pending_strategy(
-            str(pending_strategy), self.acquisition
+        self.acquisition_config = acquisition_config
+        self.scheduler_config = scheduler_config
+        # flat mirrors of the config fields: the proposal machinery (and a
+        # fair amount of downstream code) reads these attributes
+        self.acquisition = acquisition_config.acquisition
+        self.log_space_acq = acquisition_config.resolve_log_space(
+            problem.n_constraints
         )
-        if hallucinate_kappa < 0:
-            raise ValueError(
-                f"hallucinate_kappa must be non-negative, got {hallucinate_kappa}"
-            )
-        self.hallucinate_kappa = float(hallucinate_kappa)
-        self.async_refit = str(async_refit)
-        self.async_full_refit_every = (
-            None if async_full_refit_every is None else int(async_full_refit_every)
-        )
-        self.async_clock = async_clock
+        self.duplicate_tol = acquisition_config.duplicate_tol
+        self.fantasy = acquisition_config.fantasy
+        self.pending_strategy = acquisition_config.pending_strategy
+        self.hallucinate_kappa = acquisition_config.hallucinate_kappa
+        self.q = scheduler_config.q
+        self.executor = scheduler_config.executor
+        self.n_eval_workers = scheduler_config.n_eval_workers
+        self.async_refit = scheduler_config.async_refit
+        self.async_full_refit_every = scheduler_config.async_full_refit_every
+        self.async_clock = scheduler_config.clock
         self.rng = ensure_rng(seed)
         self.verbose = bool(verbose)
         self.callback = callback
         if name is not None:
             self.algorithm_name = name
+        #: last models fitted by :meth:`_propose` (adopted by the study's
+        #: streaming proposer so fresh-fit single proposals are not refitted)
+        self._last_fitted: _IterationModels | None = None
+        self._cache_hits0, self._cache_misses0 = problem.cache_stats
 
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> OptimizationResult:
         """Execute Algorithm 1 (batched or asynchronous form); return the trace."""
-        result = OptimizationResult(self.problem.name, self.algorithm_name)
-        unit_x: list[np.ndarray] = []
-        self._cache_hits0, self._cache_misses0 = self.problem.cache_stats
+        # the study builds on this module; imported here to avoid a cycle
+        from repro.bo.study import Study
 
-        workers = self.n_eval_workers
-        if workers is None and isinstance(self.executor, str):
-            spec = self.executor.lower()
-            if spec.startswith("async-"):
-                # batch configs keep their parallelism when switched to
-                # async; otherwise size to the host like the pools do
-                workers = self.q if self.q > 1 else default_pool_workers()
-            elif self.q > 1 and spec != "serial":
-                # the serial executor takes no worker count (make_evaluator
-                # rejects one); only pooled specs inherit q as their size
-                workers = self.q
+        return self.run_study(Study.from_optimizer(self))
+
+    def run_study(self, study) -> OptimizationResult:
+        """Drive an ask/tell :class:`~repro.bo.study.Study` to its budget.
+
+        The closed-loop entry point: resolves the configured executor,
+        pumps the study's initial design and search proposals through it
+        (synchronous q-point batches behind a barrier, or the
+        refill-on-completion loop for ``async-*`` executors), and returns
+        the study's history.  Accepts a resumed study — already-committed
+        evaluations are kept and pending trials are re-submitted.
+        """
+        workers = self.scheduler_config.resolve_pool_workers()
         # an executor instance + explicit n_eval_workers is contradictory;
         # make_evaluator raises rather than silently ignoring the count
         evaluator = make_evaluator(self.executor, workers)
         owns_evaluator = evaluator is not self.executor
         try:
             if getattr(evaluator, "async_mode", False):
-                n_in_flight = (
-                    workers
-                    if workers is not None
-                    else getattr(evaluator, "n_workers", 1)
+                self._drive_async(
+                    study, evaluator, self.scheduler_config.resolve_in_flight()
                 )
-                self._run_async(evaluator, result, unit_x, n_in_flight)
-                return result
-            scheduler = EvaluationScheduler(self.problem, evaluator)
-            initial = list(make_design(
-                self.initial_design, self.n_initial, self.problem.dim, self.rng
-            ))
-            scheduler.run_batch(
-                initial, result, unit_x, phase="initial", iteration=0
-            )
-            self._sync_cache_counters(result)
-
-            iteration = 0
-            while result.n_evaluations < self.max_evaluations:
-                iteration += 1
-                q = min(self.q, self.max_evaluations - result.n_evaluations)
-                if q == 1:
-                    batch = [self._propose(np.stack(unit_x), result)]
-                else:
-                    batch = self._propose_batch(np.stack(unit_x), result, q)
-                scheduler.run_batch(
-                    batch, result, unit_x, phase="search", iteration=iteration
-                )
-                self._sync_cache_counters(result)
-                if self.verbose:
-                    best = result.best_objective()
-                    print(
-                        f"[{self.algorithm_name}] iter {iteration:3d} "
-                        f"evals {result.n_evaluations:4d} best {best:.6g}"
-                    )
-                if self.callback is not None:
-                    self.callback(iteration, result)
+            else:
+                self._drive_sync(study, evaluator)
         finally:
             if owns_evaluator:
                 evaluator.close()
-        return result
+        return study.result
 
-    def _run_async(self, evaluator, result, unit_x, n_workers: int) -> None:
-        """The refill-on-completion loop (``executor="async-*"``).
+    def _drive_sync(self, study, evaluator) -> None:
+        """The synchronous driver: q-point batches behind a barrier."""
+        scheduler = EvaluationScheduler(self.problem, evaluator)
+        initial = study.start_initial()
+        if initial:
+            scheduler.run_trials(initial, study)
+        # a resumed study may carry in-flight search trials; evaluate them
+        # first (in submission order) so the budget completes and the next
+        # batch ask sees a clean pending set
+        pending = study.pending_trials()
+        if pending:
+            scheduler.run_trials(pending, study)
+        while study.remaining_capacity > 0:
+            q = min(self.q, study.remaining_capacity)
+            trials = study.ask(q)
+            scheduler.run_trials(trials, study)
+            iteration = study.result.records[-1].iteration
+            if self.verbose:
+                best = study.result.best_objective()
+                print(
+                    f"[{self.algorithm_name}] iter {iteration:3d} "
+                    f"evals {study.result.n_evaluations:4d} best {best:.6g}"
+                )
+            if self.callback is not None:
+                self.callback(iteration, study.result)
+
+    def _drive_async(self, study, evaluator, n_workers: int) -> None:
+        """The asynchronous driver: the refill-on-completion loop.
 
         The initial design still evaluates as one deterministic batch;
         afterwards :class:`AsyncEvaluationScheduler` keeps ``n_workers``
-        simulations in flight, an :class:`_AsyncProposer` absorbs each
-        landing according to ``async_refit`` and proposes the replacement
-        conditioned on the pending set.  ``callback(landing, result)``
-        fires per landing (the async analogue of per-iteration).
+        simulations in flight, asking the study for a replacement per
+        landing.  ``callback(landing, result)`` fires per landing (the
+        async analogue of per-iteration).
         """
         if self.async_refit == "fantasy-only" and self.surrogate_bank_factory is None:
             raise ValueError(
@@ -382,38 +382,19 @@ class SurrogateBO:
         scheduler = AsyncEvaluationScheduler(
             self.problem, evaluator, clock=self.async_clock
         )
-        initial = list(make_design(
-            self.initial_design, self.n_initial, self.problem.dim, self.rng
-        ))
-        scheduler.run_initial(initial, result, unit_x)
-        self._sync_cache_counters(result)
-        proposer = _AsyncProposer(self, n_workers)
 
-        def propose(pending_units):
-            return proposer.propose(np.stack(unit_x), result, pending_units)
-
-        def on_commit(u, evaluation, committed_result):
-            self._sync_cache_counters(committed_result)
-            proposer.on_commit(u, evaluation, committed_result)
-            landing = committed_result.records[-1].iteration
+        def on_commit(trial, evaluation, result):
+            landing = result.records[-1].iteration
             if self.verbose:
-                best = committed_result.best_objective()
+                best = result.best_objective()
                 print(
                     f"[{self.algorithm_name}] landing {landing:3d} "
-                    f"evals {committed_result.n_evaluations:4d} best {best:.6g}"
+                    f"evals {result.n_evaluations:4d} best {best:.6g}"
                 )
             if self.callback is not None:
-                self.callback(landing, committed_result)
+                self.callback(landing, result)
 
-        scheduler.run_search(
-            result,
-            unit_x,
-            propose=propose,
-            n_workers=n_workers,
-            max_evaluations=self.max_evaluations,
-            on_commit=on_commit,
-            pending_strategy=self.pending_strategy,
-        )
+        scheduler.run_study(study, n_workers=n_workers, on_commit=on_commit)
 
     # -- helpers -------------------------------------------------------------------
 
@@ -572,6 +553,7 @@ class SurrogateBO:
         )
         if self._is_duplicate(proposal, x_unit):
             proposal = self._resample_non_duplicate(x_unit)
+        self._last_fitted = fitted
         return proposal
 
     def _propose_batch(
@@ -720,169 +702,3 @@ def _sanitize_new_target(value: float, existing: np.ndarray) -> float:
         if iqr > 0.0:
             value = float(np.clip(value, q50 - 10.0 * iqr, q50 + 10.0 * iqr))
     return value
-
-
-class _AsyncProposer:
-    """Surrogate bookkeeping for the asynchronous loop.
-
-    Owns the refit policy: when to rebuild models (``"full"``: before
-    every proposal following a landing; ``"fantasy-only"``: posterior-only
-    absorbs with a warm full refit every ``full_refit_every`` landings)
-    and how to condition each proposal on the in-flight pending set.
-    """
-
-    def __init__(self, bo: SurrogateBO, n_workers: int):
-        self.bo = bo
-        every = bo.async_full_refit_every
-        self.full_refit_every = max(1, int(n_workers)) if every is None else every
-        self._fitted: _IterationModels | None = None
-        self._fantasy_set: FantasyModelSet | None = None
-        self._n_fantasied = 0
-        self._landings_since_fit = 0
-        self._needs_refit = True
-
-    # -- proposing ---------------------------------------------------------------
-
-    def propose(
-        self, x_unit: np.ndarray, result: OptimizationResult, pending_units
-    ) -> np.ndarray:
-        """One replacement proposal conditioned on the pending set.
-
-        How the pending set enters the acquisition follows
-        ``bo.pending_strategy``: ``"penalize"`` keeps the posterior clean
-        and multiplies local penalties into the stage acquisition;
-        ``"fantasy"``/``"hallucinate"`` condition the models on the
-        in-flight designs first (lies vs. believer hallucinations).
-        """
-        bo = self.bo
-        if self._fitted is None or self._needs_refit:
-            self._refit(x_unit, result)
-        if bo.acquisition == "wei" and bo.pending_strategy == "penalize":
-            acquisition = bo._make_acquisition(self._fitted, result)
-            if pending_units:
-                acquisition = bo._penalized_acquisition(
-                    self._fitted, acquisition, pending_units
-                )
-        else:
-            self._condition_on_pending(pending_units)
-            acquisition = bo._make_acquisition(self._fitted, result)
-        pick = bo.acq_maximizer.maximize(acquisition, bo.problem.dim, bo.rng)
-        if pending_units:
-            known = np.vstack(
-                [x_unit] + [np.asarray(u, dtype=float)[None, :] for u in pending_units]
-            )
-        else:
-            known = x_unit
-        if bo._is_duplicate(pick, known):
-            pick = bo._resample_non_duplicate(known)
-        return pick
-
-    def _refit(self, x_unit: np.ndarray, result: OptimizationResult) -> None:
-        bo = self.bo
-        warm_bank = (
-            self._fitted.bank
-            if (
-                bo.async_refit == "fantasy-only"
-                and self._fitted is not None
-                and self._fitted.bank is not None
-            )
-            else None
-        )
-        if warm_bank is not None:
-            # periodic full refit under "fantasy-only": keep the bank so
-            # training warm-starts from the already-learned weights
-            objective, constraint_ys, targets = bo._sanitized_targets(result)
-            warm_bank.clear_fantasies(update=False)  # fit rebuilds anyway
-            warm_bank.fit(x_unit, targets)
-            self._fitted = _IterationModels(
-                objective=warm_bank.target_model(0),
-                constraints=[
-                    warm_bank.target_model(1 + i)
-                    for i in range(bo.problem.n_constraints)
-                ],
-                bank=warm_bank,
-                x=x_unit,
-                objective_y=objective,
-                constraint_ys=constraint_ys,
-            )
-        else:
-            self._fitted = bo._fit_surrogates(x_unit, result)
-        self._fantasy_set = None
-        self._n_fantasied = 0
-        self._landings_since_fit = 0
-        self._needs_refit = False
-
-    def _condition_on_pending(self, pending_units) -> None:
-        """Fantasy-condition the current models on the in-flight designs.
-
-        Serves both conditioning strategies: ``"fantasy"`` applies the
-        configured lie, ``"hallucinate"`` the believer mean (forced inside
-        :meth:`SurrogateBO._apply_fantasy`); ``"penalize"`` never calls
-        this — its posterior stays clean.
-
-        Bank path: the fantasy stack is rebuilt from scratch each proposal
-        (posterior-only updates are cheap), so it always mirrors the exact
-        pending set even after landings removed members.  Legacy per-target
-        models mutate in place and only support a growing pending set —
-        guaranteed because the legacy path always runs ``async_refit=
-        "full"``, which refits after every landing.
-        """
-        bo = self.bo
-        fitted = self._fitted
-        if bo.acquisition != "wei":
-            # Thompson diversifies by posterior sampling, not by lies
-            return
-        if fitted.bank is not None:
-            # with pending lies about to be re-applied, the intermediate
-            # fantasy-free posterior would never be read — skip its rebuild
-            fitted.bank.clear_fantasies(update=not pending_units)
-            for u in pending_units:
-                bo._apply_fantasy(fitted, None, np.asarray(u, dtype=float))
-            return
-        if not pending_units:
-            return
-        if self._fantasy_set is None:
-            self._fantasy_set = FantasyModelSet(
-                fitted.x,
-                fitted.objective,
-                fitted.objective_y,
-                fitted.constraints,
-                fitted.constraint_ys,
-            )
-        for u in pending_units[self._n_fantasied:]:
-            bo._apply_fantasy(fitted, self._fantasy_set, np.asarray(u, dtype=float))
-        self._n_fantasied = len(pending_units)
-
-    # -- absorbing landings -------------------------------------------------------
-
-    def on_commit(self, u, evaluation, result: OptimizationResult) -> None:
-        """Absorb one landed evaluation according to the refit policy."""
-        bo = self.bo
-        self._landings_since_fit += 1
-        if bo.async_refit == "full" or self._fitted is None:
-            self._needs_refit = True
-            return
-        if self._landings_since_fit >= self.full_refit_every:
-            self._needs_refit = True
-            return
-        fitted = self._fitted
-        # observe() rebuilds the posterior; the intermediate fantasy-free
-        # rebuild would be wasted work on the landing hot path
-        fitted.bank.clear_fantasies(update=False)
-        u = np.asarray(u, dtype=float)
-        obj = _sanitize_new_target(evaluation.objective, fitted.objective_y)
-        cons = [
-            _sanitize_new_target(c, ys)
-            for c, ys in zip(evaluation.constraints, fitted.constraint_ys)
-        ]
-        fitted.bank.observe(u, np.array([obj, *cons]))
-        # the absorb moved the posterior-mean surface: a cached Lipschitz
-        # estimate would mis-scale the penalization exclusion balls until
-        # the next full refit, so force a fresh sweep on the next use
-        fitted.lipschitz = None
-        # keep the training-data view consistent for future lies/refits
-        fitted.x = np.vstack([fitted.x, u[None, :]])
-        fitted.objective_y = np.append(fitted.objective_y, obj)
-        fitted.constraint_ys = [
-            np.append(ys, c) for ys, c in zip(fitted.constraint_ys, cons)
-        ]

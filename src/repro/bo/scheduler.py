@@ -72,6 +72,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bo.config import check_count
 from repro.bo.history import OptimizationResult
 from repro.bo.problem import Evaluation, Problem
 
@@ -167,9 +168,7 @@ class ThreadPoolEvaluator(EvaluationExecutor):
     def __init__(self, n_workers: int | None = None):
         if n_workers is None:
             n_workers = default_pool_workers()
-        if n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-        self.n_workers = int(n_workers)
+        self.n_workers = check_count("n_workers", n_workers)
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -240,9 +239,7 @@ class ProcessPoolEvaluator(EvaluationExecutor):
     def __init__(self, n_workers: int | None = None):
         if n_workers is None:
             n_workers = default_pool_workers()
-        if n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-        self.n_workers = int(n_workers)
+        self.n_workers = check_count("n_workers", n_workers)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_problem: Problem | None = None
         self._serial_fallback = False
@@ -396,7 +393,10 @@ def make_evaluator(spec, n_workers: int | None = None) -> EvaluationExecutor:
     """
     if isinstance(spec, EvaluationExecutor):
         if n_workers is not None:
-            raise ValueError("n_workers cannot override an executor instance")
+            raise ValueError(
+                f"n_workers={n_workers} cannot override the executor "
+                f"instance {spec!r}; size the instance at construction"
+            )
         return spec
     try:
         cls = _EXECUTORS[str(spec).lower()]
@@ -449,26 +449,64 @@ class EvaluationScheduler:
         """
         batch = [np.asarray(u, dtype=float) for u in batch]
         base = result.n_evaluations
+
+        def commit(next_up: int, evaluation: Evaluation) -> None:
+            pending = (
+                tuple(range(base, base + next_up)) if phase == "search" else ()
+            )
+            u = batch[next_up]
+            result.append(
+                self.problem.scaler.inverse_transform(u),
+                evaluation,
+                phase=phase,
+                iteration=iteration,
+                batch_index=next_up,
+                pending=pending,
+            )
+            unit_x.append(u)
+
+        self._ingest_in_batch_order(batch, commit, lambda batch_index: iteration)
+
+    def run_trials(self, trials, study) -> None:
+        """Evaluate one batch of study trials; tell the study in batch order.
+
+        The ask/tell face of :meth:`run_batch`: ``trials`` come from
+        :meth:`~repro.bo.study.Study.ask` and results are committed via
+        :meth:`~repro.bo.study.Study.tell` through the same reorder
+        buffer, so the recorded history — and every downstream surrogate
+        fit — is independent of worker scheduling.
+        """
+        trials = list(trials)
+        batch = [trial.u for trial in trials]
+
+        def arrival_iteration(batch_index: int):
+            # streaming (single-ask) trials are numbered at tell time; the
+            # tells of this call happen in batch order, so such a trial
+            # will land as the study's next iteration — report that, not
+            # None, to honor the on_arrival(iteration, ...) contract
+            trial = trials[batch_index]
+            if trial.iteration is not None:
+                return trial.iteration
+            return study._iteration + 1
+
+        self._ingest_in_batch_order(
+            batch,
+            lambda next_up, evaluation: study.tell(trials[next_up], evaluation),
+            arrival_iteration,
+        )
+
+    def _ingest_in_batch_order(self, batch, commit, arrival_iteration) -> None:
+        """Shared ingest loop: stream arrivals, commit through a reorder buffer."""
         buffered: dict[int, Evaluation] = {}
         next_up = 0
         for batch_index, evaluation in self.executor.evaluate(self.problem, batch):
             if self.on_arrival is not None:
-                self.on_arrival(iteration, batch_index, evaluation)
+                self.on_arrival(
+                    arrival_iteration(batch_index), batch_index, evaluation
+                )
             buffered[batch_index] = evaluation
             while next_up in buffered:
-                pending = (
-                    tuple(range(base, base + next_up)) if phase == "search" else ()
-                )
-                u = batch[next_up]
-                result.append(
-                    self.problem.scaler.inverse_transform(u),
-                    buffered.pop(next_up),
-                    phase=phase,
-                    iteration=iteration,
-                    batch_index=next_up,
-                    pending=pending,
-                )
-                unit_x.append(u)
+                commit(next_up, buffered.pop(next_up))
                 next_up += 1
         if next_up != len(batch):
             raise RuntimeError(
@@ -592,7 +630,10 @@ class FakeClock:
 
     def __init__(self, base: float = 1.0, spread: float = 1.0, duration_fn=None):
         if base < 0 or spread < 0:
-            raise ValueError("base and spread must be non-negative")
+            raise ValueError(
+                f"base and spread must be non-negative, got base={base}, "
+                f"spread={spread}"
+            )
         self.base = float(base)
         self.spread = float(spread)
         self.duration_fn = duration_fn
@@ -618,6 +659,16 @@ class _InFlight:
 
     proposal_id: int
     u: np.ndarray
+    future: Future
+    seq: int
+    virtual_ready: float | None = None
+
+
+@dataclass
+class _InFlightTrial:
+    """One submitted-but-unlanded study trial (the ask/tell loop)."""
+
+    trial: object
     future: Future
     seq: int
     virtual_ready: float | None = None
@@ -708,8 +759,7 @@ class AsyncEvaluationScheduler:
         provenance — it names the coordination rule ``propose`` applies to
         the pending set (the scheduler itself is strategy-agnostic).
         """
-        if n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        n_workers = check_count("n_workers", n_workers)
         result.ledger = self.ledger
         in_flight: list[_InFlight] = []
         seq = 0
@@ -771,6 +821,96 @@ class AsyncEvaluationScheduler:
             # cancel everything still queued before propagating
             for task in in_flight:
                 task.future.cancel()
+            raise
+
+    # -- ask/tell (study-driven) form ----------------------------------------------
+
+    def run_study(self, study, n_workers: int, on_commit=None) -> None:
+        """Drive an ask/tell study through the refill-on-completion loop.
+
+        The study owns all optimizer state (proposals, ledger, history,
+        refit policy); this scheduler is purely the evaluation pump: it
+        keeps ``n_workers`` trials in flight, commits each landing via
+        :meth:`~repro.bo.study.Study.tell` in completion order, and asks
+        for a replacement immediately.  A resumed study's pending trials
+        are re-submitted first (in their original submission order, with
+        their recorded virtual completion times), so a checkpointed run
+        continues on the same trace.  ``on_commit(trial, evaluation,
+        result)`` runs after each landing is absorbed.
+        """
+        n_workers = check_count("n_workers", n_workers)
+        initial = study.start_initial()
+        if initial:
+            self.run_initial_trials(initial, study)
+        ledger = study.ledger
+        in_flight: list[_InFlightTrial] = []
+        seq = 0
+        # recover the virtual clock from the committed ledger entries so a
+        # resumed fake-clock run continues on the original timeline
+        now = 0.0
+        for entry in ledger.entries:
+            if entry.committed_at is not None and entry.virtual_ready is not None:
+                now = max(now, entry.virtual_ready)
+        try:
+            for trial in study.pending_trials():
+                ready = ledger.entry(trial.proposal_id).virtual_ready
+                future = self.executor.submit(self.problem, trial.u)
+                in_flight.append(_InFlightTrial(trial, future, seq, ready))
+                seq += 1
+            while True:
+                # refill: keep the pool saturated without exceeding budget
+                while len(in_flight) < n_workers and study.remaining_capacity > 0:
+                    trial = study.ask(1)[0]
+                    ready = (
+                        None
+                        if self.clock is None
+                        else now + self.clock.duration(trial.u)
+                    )
+                    # the scheduler owns timing: annotate the study's
+                    # ledger entry so checkpoints carry the virtual clock
+                    ledger.entry(trial.proposal_id).virtual_ready = ready
+                    future = self.executor.submit(self.problem, trial.u)
+                    in_flight.append(_InFlightTrial(trial, future, seq, ready))
+                    seq += 1
+                if not in_flight:
+                    break
+                task = self._next_completed(in_flight)
+                in_flight.remove(task)
+                evaluation = self.executor.collect(
+                    self.problem, task.trial.u, task.future
+                )
+                if task.virtual_ready is not None:
+                    now = max(now, task.virtual_ready)
+                if self.on_arrival is not None:
+                    self.on_arrival(task.trial.proposal_id, evaluation)
+                study.tell(task.trial, evaluation)
+                if on_commit is not None:
+                    on_commit(task.trial, evaluation, study.result)
+        except BaseException:
+            # a poisoned evaluation (or interrupt) must not orphan workers:
+            # cancel everything still queued before propagating
+            for task in in_flight:
+                task.future.cancel()
+            raise
+
+    def run_initial_trials(self, trials, study) -> None:
+        """Evaluate initial-design trials concurrently, tell in design order.
+
+        The ask/tell face of :meth:`run_initial`: the initial design is
+        generated jointly (no pending-set conditioning), so its commit
+        order is fixed to the design order — identical to the synchronous
+        scheduler — keeping the post-initial surrogate state independent
+        of worker timing.
+        """
+        trials = list(trials)
+        futures = [self.executor.submit(self.problem, t.u) for t in trials]
+        try:
+            for trial, future in zip(trials, futures):
+                evaluation = self.executor.collect(self.problem, trial.u, future)
+                study.tell(trial, evaluation)
+        except BaseException:
+            for future in futures:
+                future.cancel()
             raise
 
     def _next_completed(self, in_flight: list[_InFlight]) -> _InFlight:

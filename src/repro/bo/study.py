@@ -1,0 +1,822 @@
+"""Ask/tell optimizer core: the BO loop inverted into a state machine.
+
+The paper's Algorithm 1 is a propose -> simulate -> absorb cycle.  The
+historical ``SurrogateBO.run()`` owned all three stages, so only the
+executors this library ships could drive simulations.  :class:`Study`
+inverts that control flow: it owns the optimizer state — surrogate bank,
+history, proposal ledger, RNG, and the pending set — and exposes it as an
+ask/tell protocol, so *any* evaluation backend (a SPICE license queue, a
+cluster scheduler, a human at a lab bench) can supply results at its own
+pace::
+
+    study = Study(problem, surrogate=SurrogateConfig(), seed=0)
+    for trial in study.start_initial():
+        study.tell(trial, my_simulator(trial.x))
+    while not study.done:
+        trial = study.ask()[0]
+        study.tell(trial, my_simulator(trial.x))
+    print(study.best())
+
+``SurrogateBO.run()`` and both schedulers are thin drivers over this
+class, and the pinned PR-2/3/4 traces are bitwise unchanged:
+
+* telling each ``ask()`` result immediately (serial, q = 1) reproduces
+  the legacy single-point loop exactly — same surrogate fits, same RNG
+  stream, same history;
+* ``ask(q)`` is the greedy q-point batch proposal, ``ask(1)`` with
+  trials outstanding is the asynchronous pending-conditioned proposal
+  (fantasy lies / local penalization / hallucinated bounds, per the
+  :class:`~repro.bo.config.AcquisitionConfig`);
+* the commit order is the tell order, so an external backend replaying a
+  recorded completion order reproduces an asynchronous run bitwise.
+
+:meth:`checkpoint` / :meth:`Study.resume` persist the whole state machine
+(history, ledger, RNG stream, pending set) through
+:mod:`repro.utils.serialization`, so a killed 10k-evaluation run restarts
+losslessly: under the default ``async_refit="full"`` policy a resume at
+any landing continues on the exact trace of the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.acquisition.fantasy import FantasyModelSet
+from repro.bo.design import make_design
+from repro.bo.history import EvaluationRecord, OptimizationResult
+from repro.bo.loop import SurrogateBO, _IterationModels, _sanitize_new_target
+from repro.bo.problem import Evaluation, Problem
+from repro.bo.scheduler import ProposalLedger
+
+CHECKPOINT_FORMAT = "repro.study/v1"
+
+
+class StudyError(ValueError):
+    """An ask/tell protocol violation (unknown trial, wrong phase, ...)."""
+
+
+class BudgetExhausted(StudyError):
+    """``ask()`` was called with no evaluation budget left."""
+
+
+@dataclass
+class Trial:
+    """One proposed design travelling through the ask/tell cycle.
+
+    ``u`` is the design in unit-box coordinates (what the optimizer
+    reasons in), ``x`` the same point in natural units (what a simulator
+    consumes).  ``phase`` is ``"initial"`` for the random starting design
+    and ``"search"`` for optimizer proposals.  Search trials carry ledger
+    provenance: ``proposal_id`` indexes the study's
+    :class:`~repro.bo.scheduler.ProposalLedger` and
+    ``pending_at_proposal`` names the proposals that were in flight when
+    this design was chosen (the points its acquisition conditioned on).
+    ``iteration`` is assigned at ask time for batch trials and at tell
+    time (commit order) for streaming trials.
+    """
+
+    id: int
+    u: np.ndarray
+    x: np.ndarray
+    phase: str
+    batch_index: int = 0
+    iteration: int | None = None
+    pending: tuple[int, ...] = ()
+    proposal_id: int | None = None
+    pending_at_proposal: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        self.u = np.asarray(self.u, dtype=float).ravel()
+        self.x = np.asarray(self.x, dtype=float).ravel()
+
+
+class Study:
+    """Ask/tell state machine for constrained surrogate-based BO.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.bo.problem.Problem` to minimize.
+    surrogate:
+        A :class:`~repro.bo.config.SurrogateConfig` — builds the paper's
+        NN-feature-GP ensemble optimizer (:class:`~repro.core.bo.NNBO`).
+        Mutually exclusive with the explicit factories below.
+    surrogate_factory, surrogate_bank_factory:
+        Explicit surrogate sources (the :class:`~repro.bo.loop.SurrogateBO`
+        extension point) for GP baselines or custom models.
+    acquisition:
+        An :class:`~repro.bo.config.AcquisitionConfig` (defaults apply).
+    scheduler:
+        A :class:`~repro.bo.config.SchedulerConfig`.  A standalone study
+        only reads its concurrency-policy fields (``async_refit``,
+        ``async_full_refit_every``, worker counts for the refit period);
+        the executor fields matter when a driver evaluates the trials.
+    n_initial, max_evaluations, initial_design, acq_maximizer, seed, name:
+        As on :class:`~repro.bo.loop.SurrogateBO`.
+
+    Construction consumes the RNG exactly like the legacy ``run()`` did
+    (the initial design is drawn up front), so a study and a legacy run
+    with the same seed share one proposal stream.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        *,
+        surrogate=None,
+        surrogate_factory=None,
+        surrogate_bank_factory=None,
+        acquisition=None,
+        scheduler=None,
+        n_initial: int = 30,
+        max_evaluations: int = 100,
+        initial_design: str = "lhs",
+        acq_maximizer=None,
+        seed=None,
+        name: str | None = None,
+        _engine: SurrogateBO | None = None,
+        _defer_initial: bool = False,
+    ):
+        if _engine is not None:
+            self.optimizer = _engine
+        elif surrogate is not None:
+            if surrogate_factory is not None or surrogate_bank_factory is not None:
+                raise StudyError(
+                    "pass either surrogate=SurrogateConfig(...) or explicit "
+                    f"factories, not both (got surrogate={surrogate!r} and "
+                    "surrogate_factory/surrogate_bank_factory)"
+                )
+            # NNBO lives above the driver layer; imported here so that
+            # importing repro.bo.study never drags in repro.core eagerly
+            from repro.core.bo import NNBO
+
+            self.optimizer = NNBO(
+                problem,
+                n_initial=n_initial,
+                max_evaluations=max_evaluations,
+                initial_design=initial_design,
+                name=name,
+                acq_maximizer=acq_maximizer,
+                surrogate=surrogate,
+                acquisition_config=acquisition,
+                scheduler_config=scheduler,
+                seed=seed,
+            )
+        else:
+            self.optimizer = SurrogateBO(
+                problem,
+                surrogate_factory,
+                n_initial=n_initial,
+                max_evaluations=max_evaluations,
+                initial_design=initial_design,
+                acq_maximizer=acq_maximizer,
+                surrogate_bank_factory=surrogate_bank_factory,
+                acquisition_config=acquisition,
+                scheduler_config=scheduler,
+                seed=seed,
+                name=name,
+            )
+        self.problem = self.optimizer.problem
+        self.result = OptimizationResult(
+            self.problem.name, self.optimizer.algorithm_name
+        )
+        self.ledger = ProposalLedger()
+        self.result.ledger = self.ledger
+        self._unit_x: list[np.ndarray] = []
+        self._pending: dict[int, Trial] = {}
+        self._told: set[int] = set()
+        self._initial_queue: list[Trial] = []
+        self._next_id = 0
+        self._iteration = 0
+        self._cache_hits0, self._cache_misses0 = self.problem.cache_stats
+        # streaming-proposer state (the refit policy of the async loop)
+        cfg = self.optimizer.scheduler_config
+        every = cfg.async_full_refit_every
+        self._full_refit_every = (
+            max(1, cfg.resolve_in_flight()) if every is None else every
+        )
+        self._fitted: _IterationModels | None = None
+        self._fantasy_set: FantasyModelSet | None = None
+        self._n_fantasied = 0
+        self._landings_since_fit = 0
+        self._needs_refit = True
+        if not _defer_initial:
+            self._generate_initial()
+
+    @classmethod
+    def from_optimizer(cls, optimizer: SurrogateBO) -> "Study":
+        """A study sharing an existing optimizer's configuration and RNG."""
+        return cls(optimizer.problem, _engine=optimizer)
+
+    def _generate_initial(self) -> None:
+        bo = self.optimizer
+        designs = make_design(
+            bo.initial_design, bo.n_initial, self.problem.dim, bo.rng
+        )
+        for j, u in enumerate(designs):
+            u = np.asarray(u, dtype=float)
+            self._initial_queue.append(
+                Trial(
+                    id=self._next_id,
+                    u=u,
+                    x=self.problem.scaler.inverse_transform(u),
+                    phase="initial",
+                    batch_index=j,
+                    iteration=0,
+                )
+            )
+            self._next_id += 1
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The study's RNG (one stream drives design, fits and proposals)."""
+        return self.optimizer.rng
+
+    @property
+    def n_initial(self) -> int:
+        return self.optimizer.n_initial
+
+    @property
+    def max_evaluations(self) -> int:
+        return self.optimizer.max_evaluations
+
+    @property
+    def n_evaluations(self) -> int:
+        """Evaluations committed to the history so far."""
+        return self.result.n_evaluations
+
+    @property
+    def n_pending(self) -> int:
+        """Trials asked but not yet told."""
+        return len(self._pending)
+
+    @property
+    def remaining_capacity(self) -> int:
+        """How many more trials may be asked (budget minus committed/pending)."""
+        return self.max_evaluations - self.result.n_evaluations - len(self._pending)
+
+    @property
+    def done(self) -> bool:
+        """True once the full evaluation budget has been committed."""
+        return self.result.n_evaluations >= self.max_evaluations
+
+    @property
+    def initial_remaining(self) -> int:
+        """Initial-design trials not yet handed out by :meth:`ask`."""
+        return len(self._initial_queue)
+
+    def pending_trials(self) -> list[Trial]:
+        """Asked-but-untold trials, in submission order."""
+        return list(self._pending.values())
+
+    def best(self) -> EvaluationRecord | None:
+        """The best feasible record so far, or ``None``."""
+        return self.result.best_feasible()
+
+    # -- ask ---------------------------------------------------------------------
+
+    def start_initial(self) -> list[Trial]:
+        """All initial-design trials that still need an evaluation.
+
+        Returns previously asked (pending) initial trials first — so a
+        resumed study hands back the in-flight part of its design — then
+        drains the remaining queue.  Idempotent once everything is told.
+        """
+        pending_initial = [
+            t for t in self._pending.values() if t.phase == "initial"
+        ]
+        if self._initial_queue:
+            pending_initial.extend(self.ask(len(self._initial_queue)))
+        return pending_initial
+
+    def ask(self, n: int = 1) -> list[Trial]:
+        """Propose up to ``n`` designs to evaluate next.
+
+        While the initial design is being handed out, returns (up to
+        ``n``) queued initial trials.  Afterwards ``n == 1`` yields one
+        streaming proposal conditioned on the still-pending set and
+        ``n > 1`` a greedy q-point batch (which requires an empty pending
+        set — batch picks condition only on each other).  Raises
+        :class:`BudgetExhausted` once committed plus pending trials reach
+        ``max_evaluations``.
+        """
+        n = int(n)
+        if n < 1:
+            raise StudyError(f"n must be >= 1, got {n}")
+        capacity = self.remaining_capacity
+        if capacity <= 0:
+            raise BudgetExhausted(
+                f"cannot ask for more trials: max_evaluations="
+                f"{self.max_evaluations} with {self.result.n_evaluations} "
+                f"committed and {len(self._pending)} pending"
+            )
+        if self._initial_queue:
+            take = self._initial_queue[:n]
+            del self._initial_queue[: len(take)]
+            for trial in take:
+                self._pending[trial.id] = trial
+            return take
+        pending_initial = [
+            t.id for t in self._pending.values() if t.phase == "initial"
+        ]
+        if pending_initial:
+            raise StudyError(
+                "initial design incomplete: tell() trials "
+                f"{pending_initial} before asking for search proposals"
+            )
+        if n > capacity:
+            raise BudgetExhausted(
+                f"asked for {n} trials but only {capacity} remain "
+                f"(max_evaluations={self.max_evaluations}, "
+                f"{self.result.n_evaluations} committed, "
+                f"{len(self._pending)} pending)"
+            )
+        x_unit = np.stack(self._unit_x)
+        if n == 1:
+            return [self._ask_streaming(x_unit)]
+        return self._ask_batch(x_unit, n)
+
+    def _ask_streaming(self, x_unit: np.ndarray) -> Trial:
+        """One proposal conditioned on the current pending set."""
+        bo = self.optimizer
+        pending = list(self._pending.values())
+        pick = self._propose_streaming(x_unit, [t.u for t in pending])
+        entry = self.ledger.open(
+            pick,
+            tuple(t.proposal_id for t in pending),
+            strategy=bo.pending_strategy,
+        )
+        trial = Trial(
+            id=self._next_id,
+            u=pick,
+            x=self.problem.scaler.inverse_transform(pick),
+            phase="search",
+            batch_index=0,
+            proposal_id=entry.proposal_id,
+            pending_at_proposal=entry.pending_at_proposal,
+        )
+        self._next_id += 1
+        self._pending[trial.id] = trial
+        return trial
+
+    def _ask_batch(self, x_unit: np.ndarray, q: int) -> list[Trial]:
+        """One greedy q-point proposal batch (no outstanding trials)."""
+        bo = self.optimizer
+        if self._pending:
+            raise StudyError(
+                f"ask(n={q}) proposes a joint batch and requires an empty "
+                f"pending set, but trials {sorted(self._pending)} are "
+                "pending; tell() them first or ask(1) for streaming "
+                "proposals"
+            )
+        self._iteration += 1
+        base = self.result.n_evaluations
+        picks = bo._propose_batch(x_unit, self.result, q)
+        trials: list[Trial] = []
+        for j, pick in enumerate(picks):
+            entry = self.ledger.open(
+                pick,
+                tuple(t.proposal_id for t in trials),
+                strategy=bo.pending_strategy,
+            )
+            trial = Trial(
+                id=self._next_id,
+                u=pick,
+                x=self.problem.scaler.inverse_transform(pick),
+                phase="search",
+                batch_index=j,
+                iteration=self._iteration,
+                pending=tuple(range(base, base + j)),
+                proposal_id=entry.proposal_id,
+                pending_at_proposal=entry.pending_at_proposal,
+            )
+            self._next_id += 1
+            self._pending[trial.id] = trial
+            trials.append(trial)
+        return trials
+
+    # -- tell --------------------------------------------------------------------
+
+    def tell(self, trial, evaluation) -> EvaluationRecord:
+        """Commit one evaluated trial to the history.
+
+        ``trial`` is a :class:`Trial` from :meth:`ask` (or its integer
+        id); ``evaluation`` an :class:`~repro.bo.problem.Evaluation`, an
+        ``(objective, constraints)`` pair, or a bare objective for
+        unconstrained problems.  Commits happen in tell order — that *is*
+        the completion order of an asynchronous run — and each search
+        landing is absorbed into the surrogate according to the
+        scheduler config's ``async_refit`` policy.  Non-finite objectives
+        are accepted (failed simulations carry information); they are
+        sanitized at surrogate-fit time, exactly as in the closed loop.
+        """
+        trial_id = trial.id if isinstance(trial, Trial) else int(trial)
+        task = self._pending.get(trial_id)
+        if task is None:
+            if trial_id in self._told:
+                raise StudyError(
+                    f"trial {trial_id} was already told; each trial commits "
+                    "exactly once"
+                )
+            raise StudyError(
+                f"unknown trial id {trial_id}; pending ids: "
+                f"{sorted(self._pending)}"
+            )
+        evaluation = self._coerce_evaluation(evaluation)
+        del self._pending[trial_id]
+        record_index = self.result.n_evaluations
+        if task.phase == "initial":
+            self.result.append(
+                self.problem.scaler.inverse_transform(task.u),
+                evaluation,
+                phase="initial",
+                iteration=0,
+                batch_index=task.batch_index,
+            )
+        else:
+            if task.iteration is None:
+                # streaming trials number by commit (landing) order
+                self._iteration += 1
+                task.iteration = self._iteration
+            self.result.append(
+                self.problem.scaler.inverse_transform(task.u),
+                evaluation,
+                phase="search",
+                iteration=task.iteration,
+                batch_index=task.batch_index,
+                pending=task.pending,
+                proposal_id=task.proposal_id,
+                pending_at_proposal=task.pending_at_proposal,
+            )
+            self.ledger.commit(task.proposal_id, record_index)
+        self._unit_x.append(task.u)
+        self._told.add(trial_id)
+        self._sync_cache_counters()
+        if task.phase == "search":
+            self._absorb(task.u, evaluation)
+        return self.result.records[-1]
+
+    def _coerce_evaluation(self, evaluation) -> Evaluation:
+        if isinstance(evaluation, Evaluation):
+            if evaluation.constraints.shape[0] != self.problem.n_constraints:
+                raise StudyError(
+                    f"evaluation has {evaluation.constraints.shape[0]} "
+                    f"constraints but problem {self.problem.name!r} defines "
+                    f"{self.problem.n_constraints}"
+                )
+            return evaluation
+        if isinstance(evaluation, (int, float, np.floating, np.integer)):
+            if self.problem.n_constraints:
+                raise StudyError(
+                    f"problem {self.problem.name!r} has "
+                    f"{self.problem.n_constraints} constraints; tell() needs "
+                    f"an Evaluation, got bare objective {evaluation!r}"
+                )
+            return Evaluation(float(evaluation), np.empty(0))
+        if isinstance(evaluation, (tuple, list)) and len(evaluation) == 2:
+            objective, constraints = evaluation
+            return self._coerce_evaluation(
+                Evaluation(float(objective), np.asarray(constraints, dtype=float))
+            )
+        raise StudyError(
+            "tell() accepts an Evaluation, an (objective, constraints) "
+            f"pair, or a bare objective; got {evaluation!r}"
+        )
+
+    def _sync_cache_counters(self) -> None:
+        hits, misses = self.problem.cache_stats
+        self.result.cache_hits = hits - self._cache_hits0
+        self.result.cache_misses = misses - self._cache_misses0
+
+    # -- streaming proposer (the async refit policy) -------------------------------
+
+    def _propose_streaming(self, x_unit: np.ndarray, pending_units) -> np.ndarray:
+        """One proposal conditioned on ``pending_units``.
+
+        The refit policy follows the scheduler config: ``"full"`` rebuilds
+        fresh surrogates after every landing, ``"fantasy-only"`` reuses
+        the posterior-absorbed models with warm full refits every
+        ``async_full_refit_every`` landings.  How the pending set enters
+        the acquisition follows the acquisition config's
+        ``pending_strategy`` (lies, penalties, or hallucinated bounds).
+        """
+        bo = self.optimizer
+        if self._fitted is None or self._needs_refit:
+            if bo.async_refit == "full" and not pending_units:
+                # the canonical fresh-fit single-point proposal: same
+                # models, same RNG stream — and tools that wrap
+                # ``optimizer._propose`` keep observing every pick
+                pick = bo._propose(x_unit, self.result)
+                fitted = bo._last_fitted
+                if fitted is not None:
+                    self._fitted = fitted
+                    self._fantasy_set = None
+                    self._n_fantasied = 0
+                    self._landings_since_fit = 0
+                    self._needs_refit = False
+                return pick
+            self._refit(x_unit)
+        if bo.acquisition == "wei" and bo.pending_strategy == "penalize":
+            acquisition = bo._make_acquisition(self._fitted, self.result)
+            if pending_units:
+                acquisition = bo._penalized_acquisition(
+                    self._fitted, acquisition, pending_units
+                )
+        else:
+            self._condition_on_pending(pending_units)
+            acquisition = bo._make_acquisition(self._fitted, self.result)
+        pick = bo.acq_maximizer.maximize(acquisition, bo.problem.dim, bo.rng)
+        if pending_units:
+            known = np.vstack(
+                [x_unit]
+                + [np.asarray(u, dtype=float)[None, :] for u in pending_units]
+            )
+        else:
+            known = x_unit
+        if bo._is_duplicate(pick, known):
+            pick = bo._resample_non_duplicate(known)
+        return pick
+
+    def _refit(self, x_unit: np.ndarray) -> None:
+        """Rebuild the iteration models (warm-starting the bank when allowed)."""
+        bo = self.optimizer
+        warm_bank = (
+            self._fitted.bank
+            if (
+                bo.async_refit == "fantasy-only"
+                and self._fitted is not None
+                and self._fitted.bank is not None
+            )
+            else None
+        )
+        if warm_bank is not None:
+            # periodic full refit under "fantasy-only": keep the bank so
+            # training warm-starts from the already-learned weights
+            objective, constraint_ys, targets = bo._sanitized_targets(self.result)
+            warm_bank.clear_fantasies(update=False)  # fit rebuilds anyway
+            warm_bank.fit(x_unit, targets)
+            self._fitted = _IterationModels(
+                objective=warm_bank.target_model(0),
+                constraints=[
+                    warm_bank.target_model(1 + i)
+                    for i in range(bo.problem.n_constraints)
+                ],
+                bank=warm_bank,
+                x=x_unit,
+                objective_y=objective,
+                constraint_ys=constraint_ys,
+            )
+        else:
+            self._fitted = bo._fit_surrogates(x_unit, self.result)
+        self._fantasy_set = None
+        self._n_fantasied = 0
+        self._landings_since_fit = 0
+        self._needs_refit = False
+
+    def _condition_on_pending(self, pending_units) -> None:
+        """Fantasy-condition the current models on the in-flight designs.
+
+        Serves both conditioning strategies: ``"fantasy"`` applies the
+        configured lie, ``"hallucinate"`` the believer mean; ``"penalize"``
+        never calls this — its posterior stays clean.  Bank path: the
+        fantasy stack is rebuilt from scratch each proposal (posterior-only
+        updates are cheap), so it always mirrors the exact pending set even
+        after landings removed members.  Legacy per-target models mutate in
+        place and only support a growing pending set — guaranteed because
+        the legacy path always runs ``async_refit="full"``, which refits
+        after every landing.
+        """
+        bo = self.optimizer
+        fitted = self._fitted
+        if bo.acquisition != "wei":
+            # Thompson diversifies by posterior sampling, not by lies
+            return
+        if fitted.bank is not None:
+            # with pending lies about to be re-applied, the intermediate
+            # fantasy-free posterior would never be read — skip its rebuild
+            fitted.bank.clear_fantasies(update=not pending_units)
+            for u in pending_units:
+                bo._apply_fantasy(fitted, None, np.asarray(u, dtype=float))
+            return
+        if not pending_units:
+            return
+        if self._fantasy_set is None:
+            self._fantasy_set = FantasyModelSet(
+                fitted.x,
+                fitted.objective,
+                fitted.objective_y,
+                fitted.constraints,
+                fitted.constraint_ys,
+            )
+        for u in pending_units[self._n_fantasied:]:
+            bo._apply_fantasy(fitted, self._fantasy_set, np.asarray(u, dtype=float))
+        self._n_fantasied = len(pending_units)
+
+    def _absorb(self, u: np.ndarray, evaluation: Evaluation) -> None:
+        """Absorb one landed evaluation according to the refit policy."""
+        bo = self.optimizer
+        self._landings_since_fit += 1
+        if bo.async_refit == "full" or self._fitted is None:
+            self._needs_refit = True
+            return
+        if self._landings_since_fit >= self._full_refit_every:
+            self._needs_refit = True
+            return
+        fitted = self._fitted
+        if fitted.bank is None:
+            # per-target models cannot absorb posterior-only; fall back to
+            # a full refit on the next ask
+            self._needs_refit = True
+            return
+        # observe() rebuilds the posterior; the intermediate fantasy-free
+        # rebuild would be wasted work on the landing hot path
+        fitted.bank.clear_fantasies(update=False)
+        u = np.asarray(u, dtype=float)
+        obj = _sanitize_new_target(evaluation.objective, fitted.objective_y)
+        cons = [
+            _sanitize_new_target(c, ys)
+            for c, ys in zip(evaluation.constraints, fitted.constraint_ys)
+        ]
+        fitted.bank.observe(u, np.array([obj, *cons]))
+        # the absorb moved the posterior-mean surface: a cached Lipschitz
+        # estimate would mis-scale the penalization exclusion balls until
+        # the next full refit, so force a fresh sweep on the next use
+        fitted.lipschitz = None
+        # keep the training-data view consistent for future lies/refits
+        fitted.x = np.vstack([fitted.x, u[None, :]])
+        fitted.objective_y = np.append(fitted.objective_y, obj)
+        fitted.constraint_ys = [
+            np.append(ys, c) for ys, c in zip(fitted.constraint_ys, cons)
+        ]
+
+    # -- persistence --------------------------------------------------------------
+
+    def checkpoint(self, path) -> Path:
+        """Write the complete study state to ``path`` (JSON).
+
+        Captures the committed history (with ledger provenance), the
+        pending set, the undrawn initial design, the RNG stream position
+        and the iteration counters — everything needed for
+        :meth:`resume` to continue the run losslessly.  Under the default
+        ``async_refit="full"`` policy the resumed trace is bitwise
+        identical to the uninterrupted one when the checkpoint is taken
+        at a landing (i.e. after a :meth:`tell`, before further asks);
+        ``"fantasy-only"`` runs resume correctly but lose the warm
+        surrogate state (the first post-resume proposal triggers a fresh
+        fit), so their traces may diverge from the uninterrupted run.
+        """
+        from repro.utils import serialization
+
+        if self.optimizer.async_refit == "fantasy-only" and self._fitted is not None:
+            warnings.warn(
+                "checkpointing under async_refit='fantasy-only' drops the "
+                "warm surrogate state; the resumed trace may diverge from "
+                "the uninterrupted run (use async_refit='full' for bitwise "
+                "resume)",
+                stacklevel=2,
+            )
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "problem": self.problem.name,
+            "algorithm": self.optimizer.algorithm_name,
+            "n_initial": self.n_initial,
+            "max_evaluations": self.max_evaluations,
+            "initial_design": self.optimizer.initial_design,
+            "acquisition_config": serialization.config_payload(
+                self.optimizer.acquisition_config
+            ),
+            "scheduler_config": serialization.config_payload(
+                self.optimizer.scheduler_config
+            ),
+            "rng_state": serialization.rng_state_to_dict(self.rng),
+            "iteration": self._iteration,
+            "next_trial_id": self._next_id,
+            "told": sorted(self._told),
+            "landings_since_fit": self._landings_since_fit,
+            "result": serialization.result_to_dict(self.result),
+            "unit_x": [u.tolist() for u in self._unit_x],
+            "initial_queue": [_trial_to_dict(t) for t in self._initial_queue],
+            "pending": [_trial_to_dict(t) for t in self._pending.values()],
+        }
+        path = Path(path)
+        path.write_text(json.dumps(payload, indent=1))
+        return path
+
+    @classmethod
+    def resume(cls, path, problem: Problem, **study_kwargs) -> "Study":
+        """Rebuild a study from a :meth:`checkpoint` file.
+
+        ``problem`` and the surrogate source (``surrogate=`` config or the
+        explicit factories) cannot travel through JSON and must be passed
+        again, identical to the original construction; the budget and
+        design parameters are restored from the checkpoint and must not be
+        re-passed.  Pending trials stay pending — a driver re-submits them
+        (:meth:`pending_trials`) and the run continues.
+        """
+        from repro.utils import serialization
+
+        payload = json.loads(Path(path).read_text())
+        marker = payload.get("format")
+        if marker != CHECKPOINT_FORMAT:
+            raise StudyError(
+                f"{path} is not a study checkpoint (format={marker!r}, "
+                f"expected {CHECKPOINT_FORMAT!r})"
+            )
+        if payload["problem"] != problem.name:
+            raise StudyError(
+                f"checkpoint was taken on problem {payload['problem']!r} "
+                f"but resume() received {problem.name!r}"
+            )
+        for key in ("n_initial", "max_evaluations", "initial_design"):
+            if key in study_kwargs:
+                raise StudyError(
+                    f"{key} is restored from the checkpoint "
+                    f"(={payload[key]!r}); do not pass it to resume()"
+                )
+        study = cls(
+            problem,
+            n_initial=payload["n_initial"],
+            max_evaluations=payload["max_evaluations"],
+            initial_design=payload["initial_design"],
+            _defer_initial=True,
+            **study_kwargs,
+        )
+        serialization.restore_rng_state(study.rng, payload["rng_state"])
+        study.result = serialization.result_from_dict(payload["result"])
+        study.ledger = study.result.ledger
+        if study.ledger is None:
+            study.ledger = ProposalLedger()
+            study.result.ledger = study.ledger
+        study._unit_x = [
+            np.asarray(u, dtype=float) for u in payload["unit_x"]
+        ]
+        study._iteration = int(payload["iteration"])
+        study._next_id = int(payload["next_trial_id"])
+        study._told = set(int(i) for i in payload["told"])
+        study._landings_since_fit = int(payload["landings_since_fit"])
+        study._initial_queue = [
+            _trial_from_dict(d, problem) for d in payload["initial_queue"]
+        ]
+        study._pending = {}
+        for entry in payload["pending"]:
+            trial = _trial_from_dict(entry, problem)
+            study._pending[trial.id] = trial
+        # future cache deltas continue from the checkpointed totals even
+        # though this problem instance's counters start wherever they are
+        hits, misses = problem.cache_stats
+        study._cache_hits0 = hits - study.result.cache_hits
+        study._cache_misses0 = misses - study.result.cache_misses
+        # the fitted surrogates are not serialized; force a fresh fit
+        study._needs_refit = True
+        return study
+
+    def __repr__(self) -> str:
+        return (
+            f"Study({self.optimizer.algorithm_name} on {self.problem.name!r}: "
+            f"{self.result.n_evaluations}/{self.max_evaluations} committed, "
+            f"{len(self._pending)} pending)"
+        )
+
+
+def _trial_to_dict(trial: Trial) -> dict:
+    return {
+        "id": trial.id,
+        "u": trial.u.tolist(),
+        "phase": trial.phase,
+        "batch_index": trial.batch_index,
+        "iteration": trial.iteration,
+        "pending": list(trial.pending),
+        "proposal_id": trial.proposal_id,
+        "pending_at_proposal": list(trial.pending_at_proposal),
+    }
+
+
+def _trial_from_dict(data: dict, problem: Problem) -> Trial:
+    u = np.asarray(data["u"], dtype=float)
+    return Trial(
+        id=int(data["id"]),
+        u=u,
+        x=problem.scaler.inverse_transform(u),
+        phase=data["phase"],
+        batch_index=int(data["batch_index"]),
+        iteration=data["iteration"],
+        pending=tuple(int(i) for i in data["pending"]),
+        proposal_id=data["proposal_id"],
+        pending_at_proposal=tuple(int(i) for i in data["pending_at_proposal"]),
+    )
+
+
+__all__ = [
+    "BudgetExhausted",
+    "CHECKPOINT_FORMAT",
+    "Study",
+    "StudyError",
+    "Trial",
+]

@@ -5,16 +5,19 @@ builds K = 5 independently initialized :class:`NeuralFeatureGP` models per
 modelled quantity, trains them by marginal-likelihood back-propagation,
 combines them by moment matching (eq. 13) and maximizes the wEI
 acquisition (eq. 7) to pick the next simulation.
+
+Model hyper-parameters live in a typed
+:class:`~repro.bo.config.SurrogateConfig`; the historical flat kwargs
+(``n_ensemble=``, ``hidden_dims=``, ``engine=``, ...) keep working
+through the same deprecation shim as the driver-level configs.
 """
 
 from __future__ import annotations
 
-from repro.bo.loop import SurrogateBO
+from repro.bo.config import AcquisitionConfig, SchedulerConfig, SurrogateConfig
+from repro.bo.loop import _UNSET, SurrogateBO, resolve_config_shim
 from repro.bo.problem import Problem
-from repro.core.batched_gp import SurrogateBank
 from repro.core.ensemble import DeepEnsemble
-from repro.core.feature_gp import NeuralFeatureGP
-from repro.core.trainer import BatchedFeatureGPTrainer, FeatureGPTrainer
 
 
 class _TrainedEnsemble:
@@ -58,45 +61,21 @@ class NNBO(SurrogateBO):
     ----------
     problem:
         Constrained sizing problem (eq. 1).
-    n_ensemble:
-        Ensemble size K (paper: 5, "empirically set").
-    hidden_dims, n_features, activation:
-        Feature-network architecture (Fig. 1: two hidden layers + feature
-        output, ReLU).
-    epochs, lr, pretrain_epochs:
-        Trainer settings for the likelihood maximization (Sec. III-B).
-    engine:
-        ``"batched"`` fits the objective and all constraint ensembles as
-        one stacked tensor program (:class:`~repro.core.batched_gp.
-        SurrogateBank`); ``"loop"`` trains the K x T members one by one
-        (the original path, numerically equivalent for the default
-        ``pretrain_epochs=0`` — the optional MSE warm start uses
-        independent random head draws in each engine); ``"auto"``
-        (default) picks ``"batched"`` except for single-point Thompson,
-        which keeps the loop path so historical seeded runs are
-        preserved (q > 1 Thompson samples through the stacked bank).
-    q, executor, n_eval_workers, fantasy:
-        Batch-proposal knobs forwarded to :class:`~repro.bo.loop.
-        SurrogateBO`: propose ``q`` designs per iteration and dispatch
-        them to the ``"serial"``/``"thread"``/``"process"`` evaluation
-        executor, with ``fantasy`` controlling the lie between wEI picks.
-        ``q=1`` (default) reproduces the paper's serial loop bitwise.
-    pending_strategy, hallucinate_kappa:
-        How batch-mate / in-flight designs shape each proposal's
-        acquisition (:mod:`repro.acquisition.penalization`): ``"fantasy"``
-        (default, lie observations — the historical behaviour, bitwise
-        unchanged), ``"penalize"`` (local penalization on the clean
-        posterior) or ``"hallucinate"`` (believer conditioning + the
-        GP-BUCB optimistic bound with confidence multiplier
-        ``hallucinate_kappa``).
-    async_refit, async_full_refit_every, async_clock:
-        Asynchronous-mode knobs (``executor="async-thread"/"async-process"``,
-        see :class:`~repro.bo.scheduler.AsyncEvaluationScheduler`): the
-        refill-on-completion loop keeps ``n_eval_workers`` simulations in
-        flight and, per landing, either refits fresh surrogates
-        (``async_refit="full"``) or absorbs the landing posterior-only with
-        periodic warm-started refits (``"fantasy-only"`` — requires the
-        batched engine, which is the default).
+    surrogate:
+        A :class:`~repro.bo.config.SurrogateConfig` with the ensemble
+        hyper-parameters (K, architecture, trainer settings) and the
+        training engine (``"batched"`` fits the objective and all
+        constraint ensembles as one stacked tensor program; ``"loop"``
+        trains the K x T members one by one; ``"auto"`` picks batched
+        except for single-point Thompson).
+    acquisition_config, scheduler_config:
+        Driver-level configs, as on :class:`~repro.bo.loop.SurrogateBO`.
+    acq_maximizer, seed, verbose, callback:
+        As on :class:`~repro.bo.loop.SurrogateBO`.
+
+    The historical flat kwargs (``n_ensemble=``, ``hidden_dims=``,
+    ``epochs=``, ``q=``, ``executor=``, ...) still work and map onto the
+    three configs with a ``DeprecationWarning``.
     """
 
     algorithm_name = "NN-BO"
@@ -106,117 +85,125 @@ class NNBO(SurrogateBO):
         problem: Problem,
         n_initial: int = 30,
         max_evaluations: int = 100,
-        n_ensemble: int = 5,
-        hidden_dims: tuple[int, ...] = (50, 50),
-        n_features: int = 50,
-        activation: str = "relu",
-        output_activation: str = "tanh",
-        epochs: int = 300,
-        lr: float = 5e-3,
-        pretrain_epochs: int = 0,
-        patience: int | None = 60,
+        n_ensemble=_UNSET,
+        hidden_dims=_UNSET,
+        n_features=_UNSET,
+        activation=_UNSET,
+        output_activation=_UNSET,
+        epochs=_UNSET,
+        lr=_UNSET,
+        pretrain_epochs=_UNSET,
+        patience=_UNSET,
         acq_maximizer=None,
-        acquisition: str = "wei",
-        log_space_acq: bool | None = None,
-        engine: str = "auto",
-        q: int = 1,
-        executor="serial",
-        n_eval_workers: int | None = None,
-        fantasy: str = "believer",
-        pending_strategy: str = "fantasy",
-        hallucinate_kappa: float = 2.0,
-        async_refit: str = "full",
-        async_full_refit_every: int | None = None,
-        async_clock=None,
+        acquisition=_UNSET,
+        log_space_acq=_UNSET,
+        engine=_UNSET,
+        q=_UNSET,
+        executor=_UNSET,
+        n_eval_workers=_UNSET,
+        fantasy=_UNSET,
+        pending_strategy=_UNSET,
+        hallucinate_kappa=_UNSET,
+        async_refit=_UNSET,
+        async_full_refit_every=_UNSET,
+        async_clock=_UNSET,
         seed=None,
         verbose: bool = False,
         callback=None,
+        *,
+        initial_design: str = "lhs",
+        name: str | None = None,
+        surrogate: SurrogateConfig | None = None,
+        acquisition_config: AcquisitionConfig | None = None,
+        scheduler_config: SchedulerConfig | None = None,
     ):
-        self.n_ensemble = int(n_ensemble)
-        self.hidden_dims = tuple(int(h) for h in hidden_dims)
-        self.n_features = int(n_features)
-        self.activation = str(activation)
-        self.output_activation = str(output_activation)
-        self.epochs = int(epochs)
-        self.lr = float(lr)
-        self.pretrain_epochs = int(pretrain_epochs)
-        self.patience = patience
-        if engine not in ("auto", "batched", "loop"):
-            raise ValueError(
-                f"engine must be 'auto', 'batched' or 'loop', got {engine!r}"
-            )
-        if engine == "auto":
-            # single-point Thompson stays on the loop path so seeded runs
-            # from before the bank grew posterior sampling are preserved;
-            # q-point Thompson wants the stacked predict path
-            engine = "loop" if (acquisition == "thompson" and q == 1) else "batched"
-        self.engine = engine
+        surrogate = resolve_config_shim(
+            SurrogateConfig,
+            surrogate,
+            "surrogate",
+            {
+                "n_ensemble": n_ensemble,
+                "hidden_dims": hidden_dims,
+                "n_features": n_features,
+                "activation": activation,
+                "output_activation": output_activation,
+                "epochs": epochs,
+                "lr": lr,
+                "pretrain_epochs": pretrain_epochs,
+                "patience": patience,
+                "engine": engine,
+            },
+            {},
+            owner=type(self).__name__,
+        )
+        acquisition_config = resolve_config_shim(
+            AcquisitionConfig,
+            acquisition_config,
+            "acquisition_config",
+            {
+                "acquisition": acquisition,
+                "log_space": log_space_acq,
+                "fantasy": fantasy,
+                "pending_strategy": pending_strategy,
+                "hallucinate_kappa": hallucinate_kappa,
+            },
+            {"log_space": "log_space_acq"},
+            owner=type(self).__name__,
+        )
+        scheduler_config = resolve_config_shim(
+            SchedulerConfig,
+            scheduler_config,
+            "scheduler_config",
+            {
+                "q": q,
+                "executor": executor,
+                "n_eval_workers": n_eval_workers,
+                "async_refit": async_refit,
+                "async_full_refit_every": async_full_refit_every,
+                "clock": async_clock,
+            },
+            {"clock": "async_clock"},
+            owner=type(self).__name__,
+        )
+        self.surrogate_config = surrogate
+        # flat mirrors (historical introspection surface)
+        self.n_ensemble = surrogate.n_ensemble
+        self.hidden_dims = surrogate.hidden_dims
+        self.n_features = surrogate.n_features
+        self.activation = surrogate.activation
+        self.output_activation = surrogate.output_activation
+        self.epochs = surrogate.epochs
+        self.lr = surrogate.lr
+        self.pretrain_epochs = surrogate.pretrain_epochs
+        self.patience = surrogate.patience
+        self.engine = surrogate.resolve_engine(
+            acquisition_config.acquisition, scheduler_config.q
+        )
 
-        def member_factory(rng):
-            return NeuralFeatureGP(
-                input_dim=problem.dim,
-                hidden_dims=self.hidden_dims,
-                n_features=self.n_features,
-                activation=self.activation,
-                output_activation=self.output_activation,
-                seed=rng,
-            )
-
-        def trainer_factory():
-            return FeatureGPTrainer(
-                epochs=self.epochs,
-                lr=self.lr,
-                pretrain_epochs=self.pretrain_epochs,
-                patience=self.patience,
-            )
+        member_factory = surrogate.member_factory(problem.dim)
+        trainer_factory = surrogate.trainer_factory
 
         def surrogate_factory(rng):
             ensemble = DeepEnsemble.create(
-                member_factory, n_members=self.n_ensemble, seed=rng
+                member_factory, n_members=surrogate.n_ensemble, seed=rng
             )
             return _TrainedEnsemble(ensemble, trainer_factory)
-
-        def batched_trainer_factory():
-            return BatchedFeatureGPTrainer(
-                epochs=self.epochs,
-                lr=self.lr,
-                pretrain_epochs=self.pretrain_epochs,
-                patience=self.patience,
-            )
-
-        def surrogate_bank_factory(rng, n_targets):
-            return SurrogateBank(
-                input_dim=problem.dim,
-                n_targets=n_targets,
-                n_members=self.n_ensemble,
-                hidden_dims=self.hidden_dims,
-                n_features=self.n_features,
-                activation=self.activation,
-                output_activation=self.output_activation,
-                trainer_factory=batched_trainer_factory,
-                seed=rng,
-            )
 
         super().__init__(
             problem,
             surrogate_factory,
             n_initial=n_initial,
             max_evaluations=max_evaluations,
+            initial_design=initial_design,
+            name=name,
             acq_maximizer=acq_maximizer,
-            acquisition=acquisition,
-            log_space_acq=log_space_acq,
             surrogate_bank_factory=(
-                surrogate_bank_factory if self.engine == "batched" else None
+                surrogate.bank_factory(problem.dim)
+                if self.engine == "batched"
+                else None
             ),
-            q=q,
-            executor=executor,
-            n_eval_workers=n_eval_workers,
-            fantasy=fantasy,
-            pending_strategy=pending_strategy,
-            hallucinate_kappa=hallucinate_kappa,
-            async_refit=async_refit,
-            async_full_refit_every=async_full_refit_every,
-            async_clock=async_clock,
+            acquisition_config=acquisition_config,
+            scheduler_config=scheduler_config,
             seed=seed,
             verbose=verbose,
             callback=callback,

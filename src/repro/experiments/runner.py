@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.bo.config import AcquisitionConfig, SchedulerConfig, SurrogateConfig
 from repro.bo.history import OptimizationResult
 
 
@@ -151,6 +152,31 @@ def run_repeats(
                 f"evals={result.n_evaluations} success={result.success}"
             )
     return results
+
+
+def nnbo_configs(config):
+    """Build NN-BO's typed configs from a table experiment config.
+
+    The Table I/II configs carry the same flat fields (budgets, model
+    sizes, scheduler knobs); this maps them onto the
+    (:class:`SurrogateConfig`, :class:`AcquisitionConfig`,
+    :class:`SchedulerConfig`) triple the ask/tell-era constructors take,
+    so the CLIs never touch the deprecated kwarg pile.
+    """
+    surrogate = SurrogateConfig(
+        n_ensemble=config.n_ensemble,
+        hidden_dims=config.hidden_dims,
+        n_features=config.n_features,
+        epochs=config.epochs,
+    )
+    acquisition = AcquisitionConfig(pending_strategy=config.pending_strategy)
+    scheduler = SchedulerConfig(
+        q=config.q,
+        executor=config.eval_executor,
+        n_eval_workers=config.n_eval_workers,
+        async_refit=config.async_refit,
+    )
+    return surrogate, acquisition, scheduler
 
 
 def add_scheduler_arguments(parser) -> None:

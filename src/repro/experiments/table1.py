@@ -24,6 +24,7 @@ from repro.core import NNBO
 from repro.experiments.runner import (
     add_scheduler_arguments,
     apply_scheduler_arguments,
+    nnbo_configs,
     run_repeats,
     summarize,
 )
@@ -98,19 +99,14 @@ def make_problem(config: Table1Config) -> TwoStageOpAmpProblem:
 def make_optimizer(name: str, config: Table1Config, problem, seed: int):
     """Construct one of the four compared algorithms with its budget."""
     if name == "NN-BO":
+        surrogate, acquisition, scheduler = nnbo_configs(config)
         return NNBO(
             problem,
             n_initial=config.n_initial,
             max_evaluations=config.bo_budget,
-            n_ensemble=config.n_ensemble,
-            hidden_dims=config.hidden_dims,
-            n_features=config.n_features,
-            epochs=config.epochs,
-            q=config.q,
-            executor=config.eval_executor,
-            n_eval_workers=config.n_eval_workers,
-            async_refit=config.async_refit,
-            pending_strategy=config.pending_strategy,
+            surrogate=surrogate,
+            acquisition_config=acquisition,
+            scheduler_config=scheduler,
             seed=seed,
         )
     if name == "WEIBO":

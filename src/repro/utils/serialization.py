@@ -1,8 +1,12 @@
-"""Persistence for optimization runs and surrogate models.
+"""Persistence for optimization runs, studies and surrogate models.
 
 Long experiments (Table II at paper scale runs for hours) need restartable
 artifacts: runs serialize to JSON (portable, diffable) and NN-GP models to
-``.npz`` (exact parameter snapshots).
+``.npz`` (exact parameter snapshots).  :func:`result_to_dict` round-trips
+the *complete* trace — including scheduler provenance (iteration, batch
+index, pending sets) and the asynchronous proposal ledger — so a restored
+run can be audited exactly like a live one; these primitives also back
+:meth:`repro.bo.study.Study.checkpoint` / ``resume``.
 """
 
 from __future__ import annotations
@@ -16,8 +20,64 @@ from repro.bo.history import OptimizationResult
 from repro.bo.problem import Evaluation
 
 
+def ledger_to_dict(ledger) -> dict | None:
+    """JSON-safe form of an asynchronous run's proposal ledger."""
+    if ledger is None:
+        return None
+    return {
+        "entries": [
+            {
+                "proposal_id": entry.proposal_id,
+                "u": list(entry.u),
+                "pending_at_proposal": list(entry.pending_at_proposal),
+                "n_landed_at_submit": entry.n_landed_at_submit,
+                "virtual_ready": entry.virtual_ready,
+                "committed_at": entry.committed_at,
+                "record_index": entry.record_index,
+                "strategy": entry.strategy,
+            }
+            for entry in ledger.entries
+        ]
+    }
+
+
+def ledger_from_dict(data: dict | None):
+    """Inverse of :func:`ledger_to_dict`."""
+    # repro.utils is imported by the acquisition layer the scheduler sits
+    # on, so the ledger classes must load lazily to avoid a cycle
+    from repro.bo.scheduler import ProposalEntry, ProposalLedger
+
+    if data is None:
+        return None
+    ledger = ProposalLedger()
+    for item in data.get("entries", ()):
+        entry = ProposalEntry(
+            proposal_id=int(item["proposal_id"]),
+            u=tuple(float(v) for v in item["u"]),
+            pending_at_proposal=tuple(
+                int(i) for i in item["pending_at_proposal"]
+            ),
+            n_landed_at_submit=int(item["n_landed_at_submit"]),
+            virtual_ready=item.get("virtual_ready"),
+            committed_at=item.get("committed_at"),
+            record_index=item.get("record_index"),
+            strategy=item.get("strategy", "fantasy"),
+        )
+        ledger.entries.append(entry)
+        if entry.committed_at is not None:
+            ledger._n_committed += 1
+    return ledger
+
+
 def result_to_dict(result: OptimizationResult) -> dict:
-    """JSON-safe dictionary form of an optimization run."""
+    """JSON-safe dictionary form of an optimization run.
+
+    Round-trips the full trace: per-record batch/async provenance
+    (``iteration``, ``batch_index``, ``pending``, ``proposal_id``,
+    ``pending_at_proposal``), the cache counters, and the proposal ledger
+    of asynchronous runs (``result.ledger``).  Only scalar metrics
+    survive (nested simulator payloads are dropped, as before).
+    """
     records = []
     for record in result.records:
         ev = record.evaluation
@@ -34,17 +94,25 @@ def result_to_dict(result: OptimizationResult) -> dict:
                 "objective": ev.objective,
                 "constraints": ev.constraints.tolist(),
                 "metrics": metrics,
+                "iteration": record.iteration,
+                "batch_index": record.batch_index,
+                "pending": list(record.pending),
+                "proposal_id": record.proposal_id,
+                "pending_at_proposal": list(record.pending_at_proposal),
             }
         )
     return {
         "problem": result.problem_name,
         "algorithm": result.algorithm,
         "records": records,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "ledger": ledger_to_dict(result.ledger),
     }
 
 
 def result_from_dict(data: dict) -> OptimizationResult:
-    """Inverse of :func:`result_to_dict`."""
+    """Inverse of :func:`result_to_dict` (tolerates pre-provenance dicts)."""
     result = OptimizationResult(data["problem"], data["algorithm"])
     for entry in data["records"]:
         evaluation = Evaluation(
@@ -52,8 +120,19 @@ def result_from_dict(data: dict) -> OptimizationResult:
             constraints=np.asarray(entry["constraints"], dtype=float),
             metrics=dict(entry.get("metrics", {})),
         )
-        result.append(np.asarray(entry["x"], dtype=float), evaluation,
-                      phase=entry.get("phase", "search"))
+        result.append(
+            np.asarray(entry["x"], dtype=float),
+            evaluation,
+            phase=entry.get("phase", "search"),
+            iteration=entry.get("iteration"),
+            batch_index=entry.get("batch_index", 0),
+            pending=tuple(entry.get("pending", ())),
+            proposal_id=entry.get("proposal_id"),
+            pending_at_proposal=tuple(entry.get("pending_at_proposal", ())),
+        )
+    result.cache_hits = int(data.get("cache_hits", 0))
+    result.cache_misses = int(data.get("cache_misses", 0))
+    result.ledger = ledger_from_dict(data.get("ledger"))
     return result
 
 
@@ -70,6 +149,49 @@ def load_result(path) -> OptimizationResult:
     return result_from_dict(data)
 
 
+# -- study-checkpoint primitives ----------------------------------------------------
+
+
+def rng_state_to_dict(rng: np.random.Generator) -> dict:
+    """JSON-safe snapshot of a generator's bit-stream position.
+
+    PCG64 (the :func:`numpy.random.default_rng` family) state is plain
+    Python integers, which JSON carries at arbitrary precision — the
+    restored stream continues bit-exactly.
+    """
+    return _json_safe_state(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a snapshot from :func:`rng_state_to_dict` into ``rng``.
+
+    The generator must use the same bit-generator family the snapshot was
+    taken from (numpy validates and raises otherwise, naming both).
+    """
+    rng.bit_generator.state = state
+    return rng
+
+
+def _json_safe_state(value):
+    if isinstance(value, dict):
+        return {k: _json_safe_state(v) for k, v in value.items()}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def config_payload(config) -> dict:
+    """JSON-safe form of a typed config (for checkpoint provenance)."""
+    from repro.bo.config import config_to_dict
+
+    return config_to_dict(config)
+
+
+# -- model snapshots ----------------------------------------------------------------
+
+
 def save_model(model, path) -> Path:
     """Snapshot a :class:`~repro.core.NeuralFeatureGP` to ``.npz``.
 
@@ -79,7 +201,10 @@ def save_model(model, path) -> Path:
     from repro.core.feature_gp import NeuralFeatureGP
 
     if not isinstance(model, NeuralFeatureGP):
-        raise TypeError("save_model supports NeuralFeatureGP instances")
+        raise TypeError(
+            f"save_model supports NeuralFeatureGP instances, got "
+            f"{type(model).__name__}"
+        )
     if model._x_train is None:
         raise ValueError("cannot save an unfitted model")
     path = Path(path)

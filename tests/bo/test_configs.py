@@ -1,0 +1,216 @@
+"""Tests for the typed configs and the legacy-kwarg deprecation shim.
+
+Contracts pinned here:
+
+* configs validate at construction and every message names the
+  offending value;
+* legacy constructor kwargs still work, emit a ``DeprecationWarning``
+  naming the replacement config, and produce bitwise-identical runs;
+* mixing legacy kwargs with an explicit config object is an error.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bo.config import (
+    AcquisitionConfig,
+    SchedulerConfig,
+    SurrogateConfig,
+    config_to_dict,
+)
+from repro.bo.loop import SurrogateBO
+from repro.bo.scheduler import FakeClock, SerialEvaluator, make_evaluator
+from repro.benchfns import toy_constrained_quadratic
+from repro.core import NNBO
+
+from test_scheduler import gp_factory
+
+
+class TestConfigValidation:
+    def test_scheduler_q(self):
+        with pytest.raises(ValueError, match="got 0"):
+            SchedulerConfig(q=0)
+
+    def test_scheduler_executor_spec(self):
+        with pytest.raises(ValueError, match="'cluster'"):
+            SchedulerConfig(executor="cluster")
+        # executor instances pass through untouched
+        instance = SerialEvaluator()
+        assert SchedulerConfig(executor=instance).executor is instance
+
+    def test_scheduler_async_knobs(self):
+        with pytest.raises(ValueError, match="'lazy'"):
+            SchedulerConfig(async_refit="lazy")
+        with pytest.raises(ValueError, match="async_full_refit_every must be >= 1, got 0"):
+            SchedulerConfig(async_full_refit_every=0)
+        with pytest.raises(ValueError, match="n_eval_workers must be >= 1, got -2"):
+            SchedulerConfig(n_eval_workers=-2)
+
+    def test_acquisition_family(self):
+        with pytest.raises(ValueError, match="'ei'"):
+            AcquisitionConfig(acquisition="ei")
+
+    def test_acquisition_fantasy(self):
+        with pytest.raises(ValueError, match="'oracle'"):
+            AcquisitionConfig(fantasy="oracle")
+
+    def test_acquisition_pending_strategy(self):
+        with pytest.raises(ValueError, match="pending_strategy"):
+            AcquisitionConfig(pending_strategy="constant-truth")
+        with pytest.raises(ValueError, match="wei"):
+            AcquisitionConfig(acquisition="thompson", pending_strategy="penalize")
+
+    def test_acquisition_kappa_and_tol(self):
+        with pytest.raises(ValueError, match="-0.5"):
+            AcquisitionConfig(hallucinate_kappa=-0.5)
+        with pytest.raises(ValueError, match="-1e-09"):
+            AcquisitionConfig(duplicate_tol=-1e-9)
+
+    def test_surrogate_engine(self):
+        with pytest.raises(ValueError, match="'gpu'"):
+            SurrogateConfig(engine="gpu")
+        with pytest.raises(ValueError, match="n_ensemble must be >= 1, got 0"):
+            SurrogateConfig(n_ensemble=0)
+        with pytest.raises(ValueError, match="lr must be positive, got 0"):
+            SurrogateConfig(lr=0.0)
+
+    def test_engine_resolution(self):
+        auto = SurrogateConfig()
+        assert auto.resolve_engine("wei", 1) == "batched"
+        assert auto.resolve_engine("thompson", 1) == "loop"
+        assert auto.resolve_engine("thompson", 2) == "batched"
+        assert SurrogateConfig(engine="loop").resolve_engine("wei", 4) == "loop"
+
+    def test_configs_are_frozen(self):
+        config = SchedulerConfig()
+        with pytest.raises(AttributeError):
+            config.q = 4
+
+    def test_config_to_dict_json_safe(self):
+        payload = config_to_dict(
+            SchedulerConfig(executor=SerialEvaluator(), clock=FakeClock())
+        )
+        assert payload["executor"] == "SerialEvaluator"
+        assert payload["clock"] == "FakeClock"
+        assert payload["q"] == 1
+        surrogate = config_to_dict(SurrogateConfig(hidden_dims=(8, 8)))
+        assert surrogate["hidden_dims"] == [8, 8]
+
+
+class TestErrorMessagesNameValues:
+    def test_make_evaluator_instance_override(self):
+        with pytest.raises(ValueError, match="n_workers=4"):
+            make_evaluator(SerialEvaluator(), 4)
+
+    def test_fake_clock_negative(self):
+        with pytest.raises(ValueError, match="base=-1"):
+            FakeClock(base=-1.0)
+
+
+class TestDeprecationShim:
+    def _problem(self):
+        return toy_constrained_quadratic(2)
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning, match="q=3"):
+            bo = SurrogateBO(
+                self._problem(),
+                gp_factory,
+                n_initial=5,
+                max_evaluations=11,
+                q=3,
+                executor="thread",
+                n_eval_workers=3,
+                seed=7,
+            )
+        assert bo.scheduler_config.q == 3
+        assert bo.scheduler_config.executor == "thread"
+        assert bo.q == 3
+
+    def test_legacy_and_config_runs_are_bitwise(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = SurrogateBO(
+                self._problem(),
+                gp_factory,
+                n_initial=5,
+                max_evaluations=11,
+                q=3,
+                fantasy="cl-min",
+                seed=7,
+            ).run()
+        modern = SurrogateBO(
+            self._problem(),
+            gp_factory,
+            n_initial=5,
+            max_evaluations=11,
+            acquisition_config=AcquisitionConfig(fantasy="cl-min"),
+            scheduler_config=SchedulerConfig(q=3),
+            seed=7,
+        ).run()
+        np.testing.assert_array_equal(modern.x_matrix, legacy.x_matrix)
+        np.testing.assert_array_equal(modern.objectives, legacy.objectives)
+
+    def test_conflict_with_explicit_config_raises(self):
+        with pytest.raises(ValueError, match="both"):
+            SurrogateBO(
+                self._problem(),
+                gp_factory,
+                n_initial=5,
+                max_evaluations=8,
+                q=2,
+                scheduler_config=SchedulerConfig(q=2),
+            )
+
+    def test_config_only_construction_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SurrogateBO(
+                self._problem(),
+                gp_factory,
+                n_initial=5,
+                max_evaluations=8,
+                acquisition_config=AcquisitionConfig(),
+                scheduler_config=SchedulerConfig(),
+                seed=0,
+            )
+            NNBO(
+                self._problem(),
+                n_initial=5,
+                max_evaluations=8,
+                surrogate=SurrogateConfig(
+                    n_ensemble=2, hidden_dims=(8, 8), n_features=6, epochs=10
+                ),
+                seed=0,
+            )
+
+    def test_nnbo_legacy_surrogate_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="n_ensemble=2"):
+            nnbo = NNBO(
+                self._problem(),
+                n_initial=5,
+                max_evaluations=8,
+                n_ensemble=2,
+                hidden_dims=(8, 8),
+                n_features=6,
+                epochs=10,
+                seed=0,
+            )
+        assert nnbo.surrogate_config.n_ensemble == 2
+        assert nnbo.engine == "batched"
+
+    def test_validation_errors_still_raise_at_construction(self):
+        with pytest.raises(ValueError, match="async_refit"):
+            SurrogateBO(
+                self._problem(),
+                gp_factory,
+                n_initial=5,
+                max_evaluations=8,
+                async_refit="lazy",
+            )
+        with pytest.raises(ValueError, match="n_initial must be >= 2, got 1"):
+            SurrogateBO(
+                self._problem(), gp_factory, n_initial=1, max_evaluations=8
+            )

@@ -1,0 +1,440 @@
+"""Tests for the ask/tell Study core.
+
+Contracts pinned here:
+
+* driving a :class:`Study` manually (serial, q=1) reproduces the closed
+  ``SurrogateBO.run()`` loop bitwise (which the scheduler suites in turn
+  pin against the pre-refactor legacy loop — transitivity covers the
+  PR-2/3/4 traces);
+* manual q-point batch driving matches the synchronous driver bitwise;
+* ask/tell protocol errors: unknown ids, double tells, budget
+  exhaustion, batch asks with a dirty pending set;
+* non-finite objectives flow through ``tell`` (failed simulations are
+  data, sanitized at fit time);
+* ``checkpoint()`` + ``resume()`` — including mid-async-flight under a
+  :class:`FakeClock` — continue on the exact trace of the uninterrupted
+  run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bo.config import SchedulerConfig
+from repro.bo.loop import SurrogateBO
+from repro.bo.problem import Evaluation
+from repro.bo.scheduler import FakeClock
+from repro.bo.study import BudgetExhausted, Study, StudyError
+from repro.benchfns import toy_constrained_quadratic
+from repro.core import NNBO
+
+# shared helpers: the GP factory and the picklable problem
+from test_scheduler import gp_factory, make_picklable_problem
+
+
+def make_study(**overrides):
+    defaults = dict(
+        surrogate_factory=gp_factory,
+        n_initial=5,
+        max_evaluations=10,
+        seed=11,
+    )
+    defaults.update(overrides)
+    problem = defaults.pop("problem", None) or toy_constrained_quadratic(2)
+    return Study(problem, **defaults)
+
+
+def drive_serially(study: Study) -> Study:
+    """Evaluate every trial immediately (the manual serial q=1 loop)."""
+    for trial in study.start_initial():
+        study.tell(trial, study.problem.evaluate_unit(trial.u))
+    while not study.done:
+        trial = study.ask()[0]
+        study.tell(trial, study.problem.evaluate_unit(trial.u))
+    return study
+
+
+class TestManualDrivingMatchesRun:
+    def test_serial_q1_gp_bitwise(self):
+        reference = SurrogateBO(
+            toy_constrained_quadratic(2),
+            gp_factory,
+            n_initial=5,
+            max_evaluations=10,
+            seed=11,
+        ).run()
+        study = drive_serially(make_study())
+        np.testing.assert_array_equal(study.result.x_matrix, reference.x_matrix)
+        np.testing.assert_array_equal(study.result.objectives, reference.objectives)
+        assert [r.phase for r in study.result.records] == [
+            r.phase for r in reference.records
+        ]
+        assert [r.iteration for r in study.result.records] == [
+            r.iteration for r in reference.records
+        ]
+
+    def test_serial_q1_nnbo_bank_bitwise(self):
+        def nnbo_kwargs():
+            return dict(
+                n_initial=5,
+                max_evaluations=8,
+                seed=3,
+            )
+
+        reference = NNBO(
+            toy_constrained_quadratic(2),
+            surrogate=_tiny_surrogate(),
+            **nnbo_kwargs(),
+        ).run()
+        study = Study(
+            toy_constrained_quadratic(2),
+            surrogate=_tiny_surrogate(),
+            **nnbo_kwargs(),
+        )
+        drive_serially(study)
+        np.testing.assert_array_equal(study.result.x_matrix, reference.x_matrix)
+        np.testing.assert_array_equal(study.result.objectives, reference.objectives)
+
+    def test_manual_batch_matches_sync_driver(self):
+        reference = SurrogateBO(
+            toy_constrained_quadratic(2),
+            gp_factory,
+            n_initial=5,
+            max_evaluations=12,
+            scheduler_config=SchedulerConfig(q=3),
+            seed=0,
+        ).run()
+        study = make_study(
+            max_evaluations=12, scheduler=SchedulerConfig(q=3), seed=0
+        )
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        while not study.done:
+            trials = study.ask(min(3, study.remaining_capacity))
+            for trial in trials:
+                study.tell(trial, study.problem.evaluate_unit(trial.u))
+        np.testing.assert_array_equal(study.result.x_matrix, reference.x_matrix)
+        assert [
+            (r.iteration, r.batch_index, r.pending)
+            for r in study.result.records
+        ] == [
+            (r.iteration, r.batch_index, r.pending) for r in reference.records
+        ]
+
+    def test_run_study_completes_pending_trials_sync(self):
+        """Regression: the sync driver must evaluate a resumed study's
+        in-flight trials instead of under-running the budget (q=1) or
+        tripping the batch ask's clean-pending-set check (q>1)."""
+        study = make_study(max_evaluations=6)
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        study.ask(1)  # the last budget slot, left in flight
+        result = study.optimizer.run_study(study)
+        assert result.n_evaluations == 6
+        assert study.n_pending == 0 and study.done
+
+        batched = make_study(
+            max_evaluations=12, scheduler=SchedulerConfig(q=3), seed=4
+        )
+        for trial in batched.start_initial():
+            batched.tell(trial, batched.problem.evaluate_unit(trial.u))
+        batched.ask(1)  # dirty pending set ahead of the q=3 driver loop
+        result = batched.optimizer.run_study(batched)
+        assert result.n_evaluations == 12 and batched.n_pending == 0
+
+    def test_surrogate_config_path_forwards_design_and_name(self):
+        """Regression: initial_design/name were dropped on the NNBO path."""
+        study = Study(
+            toy_constrained_quadratic(2),
+            surrogate=_tiny_surrogate(),
+            initial_design="sobol",
+            name="custom-run",
+            n_initial=4,
+            max_evaluations=6,
+            seed=0,
+        )
+        assert study.optimizer.initial_design == "sobol"
+        assert study.optimizer.algorithm_name == "custom-run"
+        assert study.result.algorithm == "custom-run"
+
+    def test_run_trials_arrival_iteration_contract(self):
+        """Regression: on_arrival must receive the landing iteration even
+        for streaming trials (whose number is assigned at tell time)."""
+        from repro.bo.scheduler import EvaluationScheduler, SerialEvaluator
+
+        study = make_study()
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        seen = []
+        scheduler = EvaluationScheduler(
+            study.problem,
+            SerialEvaluator(),
+            on_arrival=lambda it, bi, ev: seen.append((it, bi)),
+        )
+        scheduler.run_trials(study.ask(1), study)
+        scheduler.run_trials(study.ask(1), study)
+        assert seen == [(1, 0), (2, 0)]
+        assert [r.iteration for r in study.result.records[-2:]] == [1, 2]
+
+    def test_run_study_on_resumable_study(self):
+        """run_study drives a fresh study identically to run()."""
+        reference = SurrogateBO(
+            toy_constrained_quadratic(2),
+            gp_factory,
+            n_initial=5,
+            max_evaluations=10,
+            seed=11,
+        ).run()
+        study = make_study()
+        result = study.optimizer.run_study(study)
+        np.testing.assert_array_equal(result.x_matrix, reference.x_matrix)
+
+
+class TestAskTellProtocol:
+    def test_initial_trials_come_first(self):
+        study = make_study()
+        trials = study.ask(3)
+        assert [t.phase for t in trials] == ["initial"] * 3
+        assert [t.batch_index for t in trials] == [0, 1, 2]
+        assert study.initial_remaining == 2
+
+    def test_search_ask_requires_initial_complete(self):
+        study = make_study()
+        study.ask(5)  # whole initial design now pending
+        with pytest.raises(StudyError, match="initial design incomplete"):
+            study.ask(1)
+
+    def test_tell_unknown_trial_id(self):
+        study = make_study()
+        study.start_initial()
+        with pytest.raises(StudyError, match="unknown trial id 99"):
+            study.tell(99, Evaluation(1.0, np.array([-1.0])))
+
+    def test_tell_twice_rejected(self):
+        study = make_study()
+        trial = study.ask(1)[0]
+        study.tell(trial, study.problem.evaluate_unit(trial.u))
+        with pytest.raises(StudyError, match="already told"):
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+
+    def test_ask_past_budget_raises(self):
+        study = drive_serially(make_study())
+        assert study.done
+        with pytest.raises(BudgetExhausted, match="max_evaluations=10"):
+            study.ask()
+
+    def test_ask_counts_pending_against_budget(self):
+        study = make_study(max_evaluations=6)
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        study.ask(1)  # the last budget slot, now pending
+        with pytest.raises(BudgetExhausted, match="1 pending"):
+            study.ask(1)
+
+    def test_batch_ask_over_capacity_raises(self):
+        study = make_study(max_evaluations=7)
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        with pytest.raises(BudgetExhausted, match="asked for 3"):
+            study.ask(3)
+
+    def test_batch_ask_with_pending_rejected(self):
+        study = make_study(max_evaluations=12)
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        study.ask(1)
+        with pytest.raises(StudyError, match="empty pending set"):
+            study.ask(2)
+
+    def test_tell_non_finite_objective_is_absorbed(self):
+        study = make_study()
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        trial = study.ask(1)[0]
+        study.tell(trial, Evaluation(np.nan, np.array([-1.0])))
+        # the optimizer keeps proposing: sanitization handles the NaN
+        nxt = study.ask(1)[0]
+        assert nxt.u.shape == (2,)
+        study.tell(nxt, Evaluation(np.inf, np.array([0.5])))
+        assert study.result.n_evaluations == 7
+
+    def test_tell_wrong_constraint_count(self):
+        study = make_study()
+        trial = study.ask(1)[0]
+        with pytest.raises(StudyError, match="1"):
+            study.tell(trial, Evaluation(1.0, np.array([-1.0, -2.0])))
+
+    def test_tell_bare_objective_requires_unconstrained(self):
+        study = make_study()
+        trial = study.ask(1)[0]
+        with pytest.raises(StudyError, match="bare objective"):
+            study.tell(trial, 1.5)
+
+    def test_best_tracks_feasible_incumbent(self):
+        study = drive_serially(make_study())
+        best = study.best()
+        assert best is not None
+        assert best.evaluation.objective == study.result.best_objective()
+
+    def test_streaming_tell_order_is_commit_order(self):
+        """Telling out of ask order commits in tell order (async contract)."""
+        study = make_study(
+            max_evaluations=9,
+            scheduler=SchedulerConfig(executor="async-thread", n_eval_workers=2),
+        )
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        first = study.ask(1)[0]
+        second = study.ask(1)[0]
+        assert second.pending_at_proposal == (first.proposal_id,)
+        study.tell(second, study.problem.evaluate_unit(second.u))
+        study.tell(first, study.problem.evaluate_unit(first.u))
+        search = [r for r in study.result.records if r.phase == "search"]
+        assert [r.proposal_id for r in search] == [
+            second.proposal_id,
+            first.proposal_id,
+        ]
+        assert study.ledger.completion_order == [
+            second.proposal_id,
+            first.proposal_id,
+        ]
+
+
+class TestCheckpointResume:
+    def _drive(self, study, until=None):
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        while not study.done:
+            if until is not None and study.result.n_evaluations >= until:
+                return study
+            trial = study.ask()[0]
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        return study
+
+    def test_serial_resume_matches_uninterrupted(self, tmp_path):
+        uninterrupted = drive_serially(make_study())
+        half = self._drive(make_study(), until=7)
+        path = half.checkpoint(tmp_path / "study.json")
+        resumed = Study.resume(
+            path, toy_constrained_quadratic(2), surrogate_factory=gp_factory
+        )
+        assert resumed.result.n_evaluations == 7
+        self._drive(resumed)
+        np.testing.assert_array_equal(
+            resumed.result.x_matrix, uninterrupted.result.x_matrix
+        )
+        np.testing.assert_array_equal(
+            resumed.result.objectives, uninterrupted.result.objectives
+        )
+
+    def test_resume_validates_problem_and_kwargs(self, tmp_path):
+        study = self._drive(make_study(), until=6)
+        path = study.checkpoint(tmp_path / "study.json")
+        with pytest.raises(StudyError, match="picklable_quadratic"):
+            Study.resume(
+                path, make_picklable_problem(), surrogate_factory=gp_factory
+            )
+        with pytest.raises(StudyError, match="max_evaluations"):
+            Study.resume(
+                path,
+                toy_constrained_quadratic(2),
+                surrogate_factory=gp_factory,
+                max_evaluations=20,
+            )
+        with pytest.raises(StudyError, match="not a study checkpoint"):
+            bogus = tmp_path / "bogus.json"
+            bogus.write_text('{"format": "something-else"}')
+            Study.resume(
+                bogus, toy_constrained_quadratic(2), surrogate_factory=gp_factory
+            )
+
+    def test_async_mid_flight_resume_matches_uninterrupted(self, tmp_path):
+        """Kill an async run at a landing; the resumed trace is bitwise."""
+        scheduler_config = SchedulerConfig(
+            executor="async-thread", n_eval_workers=3, clock=FakeClock()
+        )
+
+        def fresh_study():
+            return Study(
+                make_picklable_problem(),
+                surrogate_factory=gp_factory,
+                scheduler=scheduler_config,
+                n_initial=5,
+                max_evaluations=13,
+                seed=2024,
+            )
+
+        uninterrupted = fresh_study()
+        uninterrupted.optimizer.run_study(uninterrupted)
+
+        class _Abort(Exception):
+            pass
+
+        interrupted = fresh_study()
+        path = tmp_path / "async.json"
+
+        def checkpoint_then_die(landing, result):
+            if landing == 3:
+                interrupted.checkpoint(path)
+                raise _Abort
+
+        interrupted.optimizer.callback = checkpoint_then_die
+        with pytest.raises(_Abort):
+            interrupted.optimizer.run_study(interrupted)
+
+        resumed = Study.resume(
+            path,
+            make_picklable_problem(),
+            surrogate_factory=gp_factory,
+            scheduler=scheduler_config,
+        )
+        assert resumed.result.n_evaluations == 5 + 3
+        assert resumed.n_pending == 2  # the in-flight trials survived
+        resumed.optimizer.run_study(resumed)
+
+        np.testing.assert_array_equal(
+            resumed.result.x_matrix, uninterrupted.result.x_matrix
+        )
+        np.testing.assert_array_equal(
+            resumed.result.objectives, uninterrupted.result.objectives
+        )
+        assert (
+            resumed.ledger.completion_order
+            == uninterrupted.ledger.completion_order
+        )
+        assert [
+            (r.proposal_id, r.pending_at_proposal)
+            for r in resumed.result.records
+        ] == [
+            (r.proposal_id, r.pending_at_proposal)
+            for r in uninterrupted.result.records
+        ]
+
+    def test_fantasy_only_checkpoint_warns(self, tmp_path):
+        study = Study(
+            toy_constrained_quadratic(2),
+            surrogate=_tiny_surrogate(),
+            scheduler=SchedulerConfig(
+                executor="async-thread",
+                n_eval_workers=2,
+                async_refit="fantasy-only",
+                async_full_refit_every=3,
+                clock=FakeClock(),
+            ),
+            n_initial=5,
+            max_evaluations=9,
+            seed=1,
+        )
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        trial = study.ask(1)[0]
+        study.tell(trial, study.problem.evaluate_unit(trial.u))
+        with pytest.warns(UserWarning, match="fantasy-only"):
+            study.checkpoint(tmp_path / "warm.json")
+
+
+def _tiny_surrogate():
+    from repro.bo.config import SurrogateConfig
+
+    return SurrogateConfig(
+        n_ensemble=2, hidden_dims=(10, 10), n_features=6, epochs=20
+    )

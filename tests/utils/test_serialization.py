@@ -64,6 +64,81 @@ class TestResultRoundtrip:
         np.testing.assert_allclose(clone.best_so_far(), original.best_so_far())
 
 
+class TestLedgerProvenanceRoundtrip:
+    """Regression: ``result_to_dict`` used to drop ``result.ledger`` and
+    all scheduler provenance (iteration, batch index, pending sets)."""
+
+    def async_result(self):
+        """A short asynchronous run whose result carries a full ledger."""
+        from repro.bo.loop import SurrogateBO
+        from repro.bo.scheduler import FakeClock
+        from repro.benchfns import toy_constrained_quadratic
+        from repro.gp import GPRegression
+
+        return SurrogateBO(
+            toy_constrained_quadratic(2),
+            lambda rng: GPRegression(n_restarts=1, seed=rng),
+            n_initial=4,
+            max_evaluations=9,
+            executor="async-thread",
+            n_eval_workers=2,
+            async_clock=FakeClock(),
+            pending_strategy="penalize",
+            seed=5,
+        ).run()
+
+    def test_ledger_roundtrips(self):
+        original = self.async_result()
+        clone = result_from_dict(result_to_dict(original))
+        assert clone.ledger is not None
+        assert len(clone.ledger) == len(original.ledger)
+        assert clone.ledger.completion_order == original.ledger.completion_order
+        for before, after in zip(original.ledger.entries, clone.ledger.entries):
+            assert after.proposal_id == before.proposal_id
+            assert after.u == before.u
+            assert after.pending_at_proposal == before.pending_at_proposal
+            assert after.n_landed_at_submit == before.n_landed_at_submit
+            assert after.committed_at == before.committed_at
+            assert after.record_index == before.record_index
+            assert after.strategy == before.strategy == "penalize"
+
+    def test_record_provenance_roundtrips(self):
+        original = self.async_result()
+        clone = result_from_dict(result_to_dict(original))
+        assert [
+            (r.iteration, r.batch_index, r.pending, r.proposal_id,
+             r.pending_at_proposal)
+            for r in clone.records
+        ] == [
+            (r.iteration, r.batch_index, r.pending, r.proposal_id,
+             r.pending_at_proposal)
+            for r in original.records
+        ]
+        assert clone.cache_hits == original.cache_hits
+        assert clone.cache_misses == original.cache_misses
+
+    def test_sync_result_without_provenance_still_loads(self):
+        """Pre-provenance dicts (older saves) stay readable."""
+        legacy = {
+            "problem": "p",
+            "algorithm": "a",
+            "records": [
+                {
+                    "index": 0,
+                    "x": [0.5],
+                    "phase": "search",
+                    "objective": 1.0,
+                    "constraints": [],
+                    "metrics": {},
+                }
+            ],
+        }
+        clone = result_from_dict(legacy)
+        assert clone.n_evaluations == 1
+        assert clone.ledger is None
+        assert clone.records[0].pending == ()
+
+
 class TestModelRoundtrip:
     def make_fitted(self, seed=0):
         rng = np.random.default_rng(3)
