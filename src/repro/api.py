@@ -16,7 +16,9 @@ Three ways in, from highest- to lowest-level:
   ``Study.resume()`` persist a run across process restarts.
 * **Building blocks** — the testbench problems of the paper's two
   evaluation circuits, the executor factory, the deterministic replay
-  clock, and run (de)serialization.
+  clock, run (de)serialization, and the array-backend selectors
+  (:func:`get_namespace` / :func:`available_backends`) behind
+  ``SurrogateConfig(backend=...)``.
 
 Example (ask/tell against an external evaluator)::
 
@@ -31,6 +33,11 @@ Example (ask/tell against an external evaluator)::
     print(study.best())
 """
 
+from repro.backend import (
+    BackendNotAvailable,
+    available_backends,
+    get_namespace,
+)
 from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
 from repro.bo.config import (
     AcquisitionConfig,
@@ -62,6 +69,7 @@ from repro.utils.serialization import (
 
 __all__ = [
     "AcquisitionConfig",
+    "BackendNotAvailable",
     "BudgetExhausted",
     "ChargePumpProblem",
     "DifferentialEvolution",
@@ -84,6 +92,8 @@ __all__ = [
     "Trial",
     "TwoStageOpAmpProblem",
     "WEIBO",
+    "available_backends",
+    "get_namespace",
     "load_result",
     "make_evaluator",
     "result_from_dict",

@@ -41,6 +41,9 @@ EXECUTOR_SPECS = ("serial", "thread", "process", "async-thread", "async-process"
 #: training engines for the NN-feature-GP ensembles
 SURROGATE_ENGINES = ("auto", "batched", "loop")
 
+#: array backends for the batched engine (see :mod:`repro.backend`)
+SURROGATE_BACKENDS = ("auto", "numpy", "torch", "cupy")
+
 ACQUISITIONS = ("wei", "thompson")
 
 
@@ -77,6 +80,15 @@ class SurrogateConfig:
     original, numerically equivalent path), ``"auto"`` picks ``"batched"``
     except for single-point Thompson (which keeps the loop path so
     historical seeded runs are preserved).
+
+    ``backend`` selects the batched engine's array backend
+    (:mod:`repro.backend`): ``"numpy"`` (default, bitwise-reference path),
+    ``"torch"`` / ``"cupy"`` (soft dependencies), or ``"auto"`` (first
+    importable accelerator, falling back to numpy).  ``device`` names the
+    accelerator device (e.g. ``"cuda:0"``); ``linalg_threads`` spreads
+    the numpy path's per-slice Cholesky/solve loops over a thread pool
+    (LAPACK releases the GIL), serial when ``None``.  The loop engine
+    ignores all three.
     """
 
     n_ensemble: int = 5
@@ -89,6 +101,9 @@ class SurrogateConfig:
     pretrain_epochs: int = 0
     patience: int | None = 60
     engine: str = "auto"
+    backend: str = "numpy"
+    device: str | None = None
+    linalg_threads: int | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "n_ensemble", check_count("n_ensemble", self.n_ensemble))
@@ -99,6 +114,19 @@ class SurrogateConfig:
         if self.lr <= 0:
             raise ValueError(f"lr must be positive, got {self.lr}")
         check_choice("engine", self.engine, SURROGATE_ENGINES)
+        object.__setattr__(
+            self,
+            "backend",
+            check_choice("backend", str(self.backend).lower(), SURROGATE_BACKENDS),
+        )
+        if self.device is not None:
+            object.__setattr__(self, "device", str(self.device))
+        if self.linalg_threads is not None:
+            object.__setattr__(
+                self,
+                "linalg_threads",
+                check_count("linalg_threads", self.linalg_threads),
+            )
 
     def resolve_engine(self, acquisition: str, q: int) -> str:
         """The concrete engine for an acquisition family and batch size."""
@@ -108,6 +136,18 @@ class SurrogateConfig:
         # before the bank grew posterior sampling are preserved; q-point
         # Thompson wants the stacked predict path
         return "loop" if (acquisition == "thompson" and q == 1) else "batched"
+
+    def resolve_backend(self):
+        """The configured :class:`~repro.backend.base.ArrayNamespace`.
+
+        Raises :class:`~repro.backend.BackendNotAvailable` when an
+        explicitly requested soft-dependency backend is not installed.
+        """
+        from repro.backend import get_namespace
+
+        return get_namespace(
+            self.backend, device=self.device, linalg_threads=self.linalg_threads
+        )
 
     # -- factory builders -----------------------------------------------------
     # The core model classes import repro.bo (the driver layer), so these
@@ -156,6 +196,8 @@ class SurrogateConfig:
         """``(rng, n_targets) -> SurrogateBank`` for the batched engine."""
         from repro.core.batched_gp import SurrogateBank
 
+        xb = self.resolve_backend()
+
         def make_bank(rng, n_targets):
             return SurrogateBank(
                 input_dim=input_dim,
@@ -167,6 +209,7 @@ class SurrogateConfig:
                 output_activation=self.output_activation,
                 trainer_factory=self.batched_trainer_factory,
                 seed=rng,
+                backend=xb,
             )
 
         return make_bank
@@ -313,6 +356,7 @@ __all__ = [
     "ASYNC_REFIT_POLICIES",
     "AcquisitionConfig",
     "EXECUTOR_SPECS",
+    "SURROGATE_BACKENDS",
     "SURROGATE_ENGINES",
     "SchedulerConfig",
     "SurrogateConfig",

@@ -31,16 +31,16 @@ class, and the pinned PR-2/3/4 traces are bitwise unchanged:
   recorded completion order reproduces an asynchronous run bitwise.
 
 :meth:`checkpoint` / :meth:`Study.resume` persist the whole state machine
-(history, ledger, RNG stream, pending set) through
+(history, ledger, RNG stream, pending set, and — under
+``async_refit="fantasy-only"`` — the warm surrogate bank) through
 :mod:`repro.utils.serialization`, so a killed 10k-evaluation run restarts
-losslessly: under the default ``async_refit="full"`` policy a resume at
-any landing continues on the exact trace of the uninterrupted run.
+losslessly: a resume at any landing continues on the exact trace of the
+uninterrupted run.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -664,24 +664,17 @@ class Study:
         Captures the committed history (with ledger provenance), the
         pending set, the undrawn initial design, the RNG stream position
         and the iteration counters — everything needed for
-        :meth:`resume` to continue the run losslessly.  Under the default
-        ``async_refit="full"`` policy the resumed trace is bitwise
-        identical to the uninterrupted one when the checkpoint is taken
-        at a landing (i.e. after a :meth:`tell`, before further asks);
-        ``"fantasy-only"`` runs resume correctly but lose the warm
-        surrogate state (the first post-resume proposal triggers a fresh
-        fit), so their traces may diverge from the uninterrupted run.
+        :meth:`resume` to continue the run losslessly.  The resumed trace
+        is bitwise identical to the uninterrupted one when the checkpoint
+        is taken at a landing (i.e. after a :meth:`tell`, before further
+        asks): under the default ``async_refit="full"`` policy the next
+        ask refits from the restored history and RNG position, and under
+        ``"fantasy-only"`` the warm surrogate state (bank weights, scales
+        and the incrementally sanitized targets) is serialized alongside
+        and restored exactly.
         """
         from repro.utils import serialization
 
-        if self.optimizer.async_refit == "fantasy-only" and self._fitted is not None:
-            warnings.warn(
-                "checkpointing under async_refit='fantasy-only' drops the "
-                "warm surrogate state; the resumed trace may diverge from "
-                "the uninterrupted run (use async_refit='full' for bitwise "
-                "resume)",
-                stacklevel=2,
-            )
         payload = {
             "format": CHECKPOINT_FORMAT,
             "problem": self.problem.name,
@@ -705,6 +698,30 @@ class Study:
             "initial_queue": [_trial_to_dict(t) for t in self._initial_queue],
             "pending": [_trial_to_dict(t) for t in self._pending.values()],
         }
+        fitted = self._fitted
+        if (
+            self.optimizer.async_refit == "fantasy-only"
+            and fitted is not None
+            and fitted.bank is not None
+        ):
+            # the warm bank is live state under "fantasy-only": absorbed
+            # landings and warm-started periodic refits both read it, so a
+            # bitwise resume must restore it (fantasies are rebuilt from
+            # the pending set per proposal and are deliberately dropped)
+            payload["needs_refit"] = bool(self._needs_refit)
+            payload["warm_surrogate"] = {
+                "bank": serialization.bank_state_to_dict(fitted.bank),
+                "objective_y": np.asarray(
+                    fitted.objective_y, dtype=float
+                ).tolist(),
+                "constraint_ys": [
+                    np.asarray(ys, dtype=float).tolist()
+                    for ys in fitted.constraint_ys
+                ],
+                "lipschitz": (
+                    None if fitted.lipschitz is None else float(fitted.lipschitz)
+                ),
+            }
         path = Path(path)
         path.write_text(json.dumps(payload, indent=1))
         return path
@@ -773,8 +790,35 @@ class Study:
         hits, misses = problem.cache_stats
         study._cache_hits0 = hits - study.result.cache_hits
         study._cache_misses0 = misses - study.result.cache_misses
-        # the fitted surrogates are not serialized; force a fresh fit
-        study._needs_refit = True
+        warm = payload.get("warm_surrogate")
+        if warm is not None and study.optimizer.surrogate_bank_factory is not None:
+            # rebuild the warm bank under a throwaway RNG (the study's
+            # stream must stay exactly where the checkpoint left it) and
+            # overwrite the fresh weights with the serialized state
+            bank = study.optimizer.surrogate_bank_factory(
+                np.random.default_rng(0), 1 + problem.n_constraints
+            )
+            serialization.restore_bank_state(bank, warm["bank"])
+            study._fitted = _IterationModels(
+                objective=bank.target_model(0),
+                constraints=[
+                    bank.target_model(1 + i)
+                    for i in range(problem.n_constraints)
+                ],
+                bank=bank,
+                x=np.asarray(bank.gp._x_train, dtype=float),
+                objective_y=np.asarray(warm["objective_y"], dtype=float),
+                constraint_ys=[
+                    np.asarray(ys, dtype=float)
+                    for ys in warm["constraint_ys"]
+                ],
+                lipschitz=warm.get("lipschitz"),
+            )
+            study._needs_refit = bool(payload.get("needs_refit", True))
+        else:
+            # no warm surrogate travelled with the checkpoint; force a
+            # fresh fit on the first post-resume proposal
+            study._needs_refit = True
         return study
 
     def __repr__(self) -> str:

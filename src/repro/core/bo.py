@@ -98,6 +98,9 @@ class NNBO(SurrogateBO):
         acquisition=_UNSET,
         log_space_acq=_UNSET,
         engine=_UNSET,
+        backend=_UNSET,
+        device=_UNSET,
+        linalg_threads=_UNSET,
         q=_UNSET,
         executor=_UNSET,
         n_eval_workers=_UNSET,
@@ -132,6 +135,9 @@ class NNBO(SurrogateBO):
                 "pretrain_epochs": pretrain_epochs,
                 "patience": patience,
                 "engine": engine,
+                "backend": backend,
+                "device": device,
+                "linalg_threads": linalg_threads,
             },
             {},
             owner=type(self).__name__,
@@ -179,6 +185,9 @@ class NNBO(SurrogateBO):
         self.engine = surrogate.resolve_engine(
             acquisition_config.acquisition, scheduler_config.q
         )
+        self.backend = surrogate.backend
+        self.device = surrogate.device
+        self.linalg_threads = surrogate.linalg_threads
 
         member_factory = surrogate.member_factory(problem.dim)
         trainer_factory = surrogate.trainer_factory

@@ -168,6 +168,9 @@ def nnbo_configs(config):
         hidden_dims=config.hidden_dims,
         n_features=config.n_features,
         epochs=config.epochs,
+        backend=getattr(config, "backend", "numpy"),
+        device=getattr(config, "device", None),
+        linalg_threads=getattr(config, "linalg_threads", None),
     )
     acquisition = AcquisitionConfig(pending_strategy=config.pending_strategy)
     scheduler = SchedulerConfig(
@@ -219,6 +222,24 @@ def add_scheduler_arguments(parser) -> None:
         "proposal: fantasy lies (default), local penalization on the "
         "clean posterior, or hallucinated-UCB believer conditioning",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "torch", "cupy"),
+        default=None,
+        help="array backend for NN-BO's batched surrogate engine "
+        "(numpy is the bitwise-reference default; torch/cupy need the "
+        "matching package installed; auto picks the first available "
+        "accelerator)",
+    )
+    parser.add_argument(
+        "--device", default=None,
+        help="accelerator device for the array backend (e.g. cuda:0)",
+    )
+    parser.add_argument(
+        "--linalg-threads", type=int, default=None,
+        help="thread count for the numpy backend's per-slice "
+        "Cholesky/solve loops (default: serial)",
+    )
 
 
 def apply_scheduler_arguments(args, config) -> None:
@@ -238,6 +259,12 @@ def apply_scheduler_arguments(args, config) -> None:
         config.async_refit = args.async_refit
     if args.pending_strategy is not None:
         config.pending_strategy = args.pending_strategy
+    if args.backend is not None:
+        config.backend = args.backend
+    if args.device is not None:
+        config.device = args.device
+    if args.linalg_threads is not None:
+        config.linalg_threads = args.linalg_threads
 
 
 def summarize(results: list[OptimizationResult]) -> AlgorithmSummary:

@@ -73,6 +73,9 @@ class Table1Config:
     n_eval_workers: int | None = None
     async_refit: str = "full"
     pending_strategy: str = "fantasy"
+    backend: str = "numpy"
+    device: str | None = None
+    linalg_threads: int | None = None
     problem_kwargs: dict = field(default_factory=dict)
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 from scipy import linalg as sla
 from scipy.linalg import lapack
@@ -11,12 +13,21 @@ class CholeskyError(RuntimeError):
     """Raised when a covariance matrix cannot be factorized even with jitter."""
 
 
+#: first rung of the jitter ladder, relative to ``mean(diag(mat))``.  The
+#: escalation below computes rung ``k`` as ``10.0 ** (k - 10)`` — whose
+#: ``k = 0`` value equals this constant bitwise (``10.0 ** -10 == 1e-10``)
+#: while keeping every later rung identical to the historical ladder
+#: (naive cumulative ``jitter *= 10`` drifts by one ulp at rung 3).
+JITTER_START = 1e-10
+
+
 def jitter_cholesky(mat: np.ndarray, max_tries: int = 6) -> np.ndarray:
     """Lower Cholesky factor of an SPD matrix, adding diagonal jitter on failure.
 
     Covariance matrices built from nearly-duplicate BO samples are often
     numerically semidefinite; progressively larger jitter (starting at
-    ``1e-10 * mean(diag)``) is the standard fix.
+    exactly ``JITTER_START * mean(diag)``, growing 10x per retry) is the
+    standard fix.
 
     Returns the lower-triangular factor ``L`` with ``L @ L.T ≈ mat``.
     """
@@ -26,10 +37,13 @@ def jitter_cholesky(mat: np.ndarray, max_tries: int = 6) -> np.ndarray:
     diag_mean = float(np.mean(np.diag(mat)))
     if diag_mean <= 0:
         diag_mean = 1.0
+    # one identity buffer shared across all retries (the ladder used to
+    # rebuild np.eye per attempt)
+    eye = np.eye(mat.shape[0])
     jitter = 0.0
     for attempt in range(max_tries):
         try:
-            return sla.cholesky(mat + jitter * np.eye(mat.shape[0]), lower=True)
+            return sla.cholesky(mat + jitter * eye, lower=True)
         except sla.LinAlgError:
             jitter = diag_mean * 10.0 ** (attempt - 10)
     raise CholeskyError(
@@ -65,6 +79,12 @@ def log_det_from_cholesky(chol_lower: np.ndarray) -> float:
 #   work when invoked S times per epoch.  At these sizes the per-slice
 #   calls are a rounding error next to the stacked GEMMs, which are where
 #   the batching speedup lives.
+#
+# The per-slice loop parallelizes cleanly: slices are independent and the
+# LAPACK routines release the GIL, so a thread pool over slices keeps the
+# factors bitwise identical (each slice runs the exact serial kernel)
+# while using multiple cores.  ``threads`` opts in; the serial loop stays
+# the default.
 
 
 def lapack_jitter_cholesky(mat: np.ndarray) -> np.ndarray:
@@ -82,14 +102,59 @@ def lapack_jitter_cholesky(mat: np.ndarray) -> np.ndarray:
     return chol
 
 
-def batched_jitter_cholesky(mats: np.ndarray) -> np.ndarray:
+def solve_r_and_inverse(
+    chol_s: np.ndarray, u_s: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One ``dpotrs`` for both ``r = A^{-1}u`` and ``A^{-1}`` itself.
+
+    The concatenated right-hand side ``[u | I]`` is solved column by
+    column, so each returned piece is bitwise identical to its standalone
+    solve.  The ``A^{-1}`` block is returned in LAPACK's column-major
+    layout on purpose: downstream GEMMs depend bitwise on operand
+    ordering, and the serial path multiplies the (column-major) scipy
+    solve output directly.
+    """
+    m = u_s.shape[0]
+    rhs = np.concatenate([u_s[:, None], np.eye(m)], axis=1)
+    sol, _ = lapack.dpotrs(chol_s, rhs, lower=1)
+    return sol[:, 0], sol[:, 1:]
+
+
+def map_slices(fn, count: int, threads: int | None = None) -> None:
+    """Run ``fn(s)`` for every slice index, optionally across a thread pool.
+
+    ``fn`` must write its results into preallocated output arrays (slices
+    are disjoint, so concurrent writes never alias).  With ``threads`` of
+    ``None``/``0``/``1`` this is the plain serial loop; otherwise a pool of
+    ``threads`` workers maps over the indices — each slice still executes
+    the identical serial kernel, so results are bitwise independent of the
+    thread count.
+    """
+    if not threads or threads <= 1 or count <= 1:
+        for s in range(count):
+            fn(s)
+        return
+    with ThreadPoolExecutor(max_workers=min(int(threads), count)) as pool:
+        # list() drains the iterator so worker exceptions propagate
+        list(pool.map(fn, range(count)))
+
+
+def batched_jitter_cholesky(mats: np.ndarray, threads: int | None = None) -> np.ndarray:
     """Lower Cholesky factors of an SPD stack ``(S, M, M)``.
 
     Each slice is factorized with :func:`lapack_jitter_cholesky`, so
     jitter escalation on one ill-conditioned member cannot perturb the
     others and every factor is bitwise identical to the serial path's.
+    ``threads`` spreads the slice loop over a thread pool (LAPACK releases
+    the GIL); the factors do not depend on the thread count.
     """
     mats = np.asarray(mats, dtype=float)
     if mats.ndim != 3 or mats.shape[-1] != mats.shape[-2]:
         raise ValueError(f"expected an (S, M, M) stack, got shape {mats.shape}")
-    return np.stack([lapack_jitter_cholesky(mat) for mat in mats])
+    out = np.empty_like(mats)
+
+    def factor(s: int) -> None:
+        out[s] = lapack_jitter_cholesky(mats[s])
+
+    map_slices(factor, mats.shape[0], threads)
+    return out

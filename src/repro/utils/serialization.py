@@ -189,6 +189,72 @@ def config_payload(config) -> dict:
     return config_to_dict(config)
 
 
+# -- surrogate-bank snapshots (warm fantasy-only resume) ----------------------------
+
+
+def bank_state_to_dict(bank) -> dict:
+    """JSON-safe snapshot of a fitted :class:`~repro.core.batched_gp.SurrogateBank`.
+
+    Captures the learned state only — stacked network weights, GP scales,
+    target normalization, and the *real* training set (fantasies are
+    deliberately dropped: the streaming proposer rebuilds them from the
+    pending set on every proposal).  Floats travel through JSON by
+    shortest round-trip repr, so the restored float64 arrays are bitwise
+    identical to the live ones.
+    """
+    gp = bank.gp
+    if gp._x_train is None:
+        raise ValueError("cannot snapshot an unfitted surrogate bank")
+    xb = gp.xb
+    host = xb.from_device
+    return {
+        "n_targets": bank.n_targets,
+        "n_members": bank.n_members,
+        "network": np.asarray(host(gp.network.get_stacked_params())).tolist(),
+        "log_noise": np.asarray(host(gp.log_noise_variance)).tolist(),
+        "log_prior": np.asarray(host(gp.log_prior_variance)).tolist(),
+        "y_mean": np.asarray(host(gp._y_mean)).tolist(),
+        "y_scale": np.asarray(host(gp._y_scale)).tolist(),
+        "x_train": np.asarray(gp._x_train).tolist(),
+        "z_train": np.asarray(host(gp._z_train)).tolist(),
+    }
+
+
+def restore_bank_state(bank, data: dict):
+    """Restore a :func:`bank_state_to_dict` snapshot into a fresh bank.
+
+    The caller provides a bank built with the same architecture (the
+    surrogate config's ``bank_factory`` guarantees that); this function
+    overwrites its parameters and recomputes the cached posterior, after
+    which predictions are bitwise identical to the snapshotted bank's.
+    """
+    gp = bank.gp
+    if (bank.n_targets, bank.n_members) != (
+        int(data["n_targets"]),
+        int(data["n_members"]),
+    ):
+        raise ValueError(
+            f"bank layout mismatch: snapshot has "
+            f"{data['n_targets']} targets x {data['n_members']} members, "
+            f"bank has {bank.n_targets} x {bank.n_members}"
+        )
+    xb = gp.xb
+    gp.network.set_stacked_params(
+        xb.to_device(np.asarray(data["network"], dtype=float))
+    )
+    gp.log_noise_variance = xb.to_device(np.asarray(data["log_noise"], dtype=float))
+    gp.log_prior_variance = xb.to_device(np.asarray(data["log_prior"], dtype=float))
+    gp._y_mean = xb.to_device(np.asarray(data["y_mean"], dtype=float))
+    gp._y_scale = xb.to_device(np.asarray(data["y_scale"], dtype=float))
+    gp._x_train = np.asarray(data["x_train"], dtype=float)
+    gp._z_train = xb.to_device(np.asarray(data["z_train"], dtype=float))
+    gp._x_fantasy = []
+    gp._z_fantasy = []
+    gp.update_posterior()
+    bank._pred_cache = None
+    return bank
+
+
 # -- model snapshots ----------------------------------------------------------------
 
 

@@ -16,6 +16,9 @@ Contracts pinned here:
   run.
 """
 
+import json
+import warnings
+
 import numpy as np
 import pytest
 
@@ -409,17 +412,13 @@ class TestCheckpointResume:
             for r in uninterrupted.result.records
         ]
 
-    def test_fantasy_only_checkpoint_warns(self, tmp_path):
+    def test_fantasy_only_checkpoint_roundtrips_warm_bank(self, tmp_path):
+        """Warm bank state travels with the checkpoint; posterior is bitwise."""
+        scheduler = _fantasy_only_scheduler()
         study = Study(
             toy_constrained_quadratic(2),
             surrogate=_tiny_surrogate(),
-            scheduler=SchedulerConfig(
-                executor="async-thread",
-                n_eval_workers=2,
-                async_refit="fantasy-only",
-                async_full_refit_every=3,
-                clock=FakeClock(),
-            ),
+            scheduler=scheduler,
             n_initial=5,
             max_evaluations=9,
             seed=1,
@@ -428,8 +427,86 @@ class TestCheckpointResume:
             study.tell(trial, study.problem.evaluate_unit(trial.u))
         trial = study.ask(1)[0]
         study.tell(trial, study.problem.evaluate_unit(trial.u))
-        with pytest.warns(UserWarning, match="fantasy-only"):
-            study.checkpoint(tmp_path / "warm.json")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # must checkpoint without warning
+            path = study.checkpoint(tmp_path / "warm.json")
+        payload = json.loads(path.read_text())
+        assert "warm_surrogate" in payload
+        assert payload["needs_refit"] is False  # the landing was absorbed
+
+        resumed = Study.resume(
+            path,
+            toy_constrained_quadratic(2),
+            surrogate=_tiny_surrogate(),
+            scheduler=scheduler,
+        )
+        assert resumed._fitted is not None
+        assert resumed._fitted.bank is not None
+        assert resumed._needs_refit is False
+        np.testing.assert_array_equal(resumed._fitted.x, study._fitted.x)
+        np.testing.assert_array_equal(
+            resumed._fitted.objective_y, study._fitted.objective_y
+        )
+        xq = np.random.default_rng(5).uniform(size=(7, 2))
+        for t in range(1 + study.problem.n_constraints):
+            m0, v0 = study._fitted.bank.predict_target(t, xq)
+            m1, v1 = resumed._fitted.bank.predict_target(t, xq)
+            np.testing.assert_array_equal(m0, m1)
+            np.testing.assert_array_equal(v0, v1)
+
+    def test_async_fantasy_only_mid_flight_resume_matches_uninterrupted(
+        self, tmp_path
+    ):
+        """Kill a fantasy-only async run at a landing; the resume is bitwise."""
+        scheduler = _fantasy_only_scheduler()
+
+        def fresh_study():
+            return Study(
+                toy_constrained_quadratic(2),
+                surrogate=_tiny_surrogate(),
+                scheduler=scheduler,
+                n_initial=5,
+                max_evaluations=9,
+                seed=1,
+            )
+
+        uninterrupted = fresh_study()
+        uninterrupted.optimizer.run_study(uninterrupted)
+
+        class _Abort(Exception):
+            pass
+
+        interrupted = fresh_study()
+        path = tmp_path / "warm_async.json"
+
+        def checkpoint_then_die(landing, result):
+            if landing == 2:
+                interrupted.checkpoint(path)
+                raise _Abort
+
+        interrupted.optimizer.callback = checkpoint_then_die
+        with pytest.raises(_Abort):
+            interrupted.optimizer.run_study(interrupted)
+
+        resumed = Study.resume(
+            path,
+            toy_constrained_quadratic(2),
+            surrogate=_tiny_surrogate(),
+            scheduler=scheduler,
+        )
+        assert resumed._fitted is not None and resumed._fitted.bank is not None
+        resumed.optimizer.run_study(resumed)
+
+        np.testing.assert_array_equal(
+            resumed.result.x_matrix, uninterrupted.result.x_matrix
+        )
+        np.testing.assert_array_equal(
+            resumed.result.objectives, uninterrupted.result.objectives
+        )
+        assert (
+            resumed.ledger.completion_order
+            == uninterrupted.ledger.completion_order
+        )
 
 
 def _tiny_surrogate():
@@ -437,4 +514,14 @@ def _tiny_surrogate():
 
     return SurrogateConfig(
         n_ensemble=2, hidden_dims=(10, 10), n_features=6, epochs=20
+    )
+
+
+def _fantasy_only_scheduler():
+    return SchedulerConfig(
+        executor="async-thread",
+        n_eval_workers=2,
+        async_refit="fantasy-only",
+        async_full_refit_every=3,
+        clock=FakeClock(),
     )

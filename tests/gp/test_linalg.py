@@ -33,6 +33,20 @@ class TestJitterCholesky:
         with pytest.raises(ValueError):
             jitter_cholesky(np.zeros((2, 3)))
 
+    def test_first_jitter_rung_is_documented_value(self):
+        """The first retry adds exactly ``1e-10 * mean(diag)``, bitwise."""
+        import scipy.linalg as sla
+
+        from repro.gp.linalg import JITTER_START
+
+        assert JITTER_START == 1e-10
+        mat = np.array([[1.0, 1.0], [1.0, 1.0]])  # singular: plain Cholesky fails
+        diag_mean = float(np.mean(np.diag(mat)))
+        expected = sla.cholesky(
+            mat + (1e-10 * diag_mean) * np.eye(2), lower=True
+        )
+        np.testing.assert_array_equal(jitter_cholesky(mat), expected)
+
 
 class TestSolvers:
     def test_solve_cholesky(self, rng):
@@ -85,6 +99,25 @@ class TestBatchedLinalg:
         chols = batched_jitter_cholesky(mats)
         for mat, chol in zip(mats, chols):
             np.testing.assert_array_equal(chol, jitter_cholesky(mat))
+
+    def test_batched_cholesky_threads_bitwise(self, rng):
+        """The threaded per-slice path returns the serial result exactly."""
+        from repro.gp.linalg import batched_jitter_cholesky
+
+        mats = self.make_stack(rng, s=6)
+        np.testing.assert_array_equal(
+            batched_jitter_cholesky(mats, threads=2),
+            batched_jitter_cholesky(mats),
+        )
+
+    def test_map_slices_threads_propagate_errors(self):
+        from repro.gp.linalg import map_slices
+
+        def boom(s):
+            raise RuntimeError(f"slice {s}")
+
+        with pytest.raises(RuntimeError, match="slice"):
+            map_slices(boom, 4, threads=2)
 
     def test_batched_cholesky_rejects_bad_shape(self):
         from repro.gp.linalg import batched_jitter_cholesky
