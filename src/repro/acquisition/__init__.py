@@ -23,6 +23,7 @@ from repro.acquisition.maximize import (
     AcquisitionMaximizer,
     DifferentialEvolutionMaximizer,
     RandomSearchMaximizer,
+    ScanPolishMaximizer,
 )
 from repro.acquisition.penalization import (
     PENDING_STRATEGIES,
@@ -30,6 +31,15 @@ from repro.acquisition.penalization import (
     LocalPenalizer,
     PenalizedAcquisition,
     estimate_lipschitz,
+)
+from repro.acquisition.spaces import (
+    PROPOSAL_SPACES,
+    LineSpace,
+    ProposalSpace,
+    SubspaceMaximizer,
+    TrustRegionConfig,
+    TrustRegionSpace,
+    make_proposal_space,
 )
 from repro.acquisition.wei import WeightedExpectedImprovement
 
@@ -39,11 +49,19 @@ __all__ = [
     "FANTASY_STRATEGIES",
     "FantasyModelSet",
     "HallucinatedUCB",
+    "LineSpace",
     "LocalPenalizer",
     "PENDING_STRATEGIES",
+    "PROPOSAL_SPACES",
     "PenalizedAcquisition",
+    "ProposalSpace",
     "RandomSearchMaximizer",
+    "ScanPolishMaximizer",
+    "SubspaceMaximizer",
+    "TrustRegionConfig",
+    "TrustRegionSpace",
     "WeightedExpectedImprovement",
+    "make_proposal_space",
     "constraint_lies",
     "estimate_lipschitz",
     "expected_improvement",

@@ -17,6 +17,12 @@ from scipy import optimize as sopt
 from repro.utils.rng import ensure_rng
 
 
+#: hard ceiling on the Nelder-Mead polish budget — ``100 * dim`` iterations
+#: is fine at circuit dimensions (d=36 → 3600) but explodes at d=200+;
+#: the cap only binds above d=50, so existing pinned traces are unchanged.
+POLISH_MAXITER_CAP = 5000
+
+
 def _masked_values(values) -> np.ndarray:
     """Acquisition values with non-finite entries demoted to ``-inf``.
 
@@ -29,6 +35,29 @@ def _masked_values(values) -> np.ndarray:
     """
     values = np.asarray(values, dtype=float)
     return np.where(np.isfinite(values), values, -np.inf)
+
+
+def evaluate_chunked(acquisition, candidates: np.ndarray,
+                     chunk: int | None = None) -> np.ndarray:
+    """Masked acquisition values of ``candidates``, optionally chunked.
+
+    A d=200 DE population or a large trust-region candidate scan pushed
+    through a stacked GP posterior in one call allocates ``O(n * n_train *
+    members)`` intermediates; chunking bounds the peak.  ``chunk=None``
+    evaluates in one batch — the default everywhere a pinned trace exists,
+    because BLAS reductions are not guaranteed bitwise across batch
+    shapes.
+    """
+    candidates = np.asarray(candidates, dtype=float)
+    if chunk is None or len(candidates) <= chunk:
+        return _masked_values(acquisition(candidates))
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    parts = [
+        _masked_values(acquisition(candidates[start:start + chunk]))
+        for start in range(0, len(candidates), chunk)
+    ]
+    return np.concatenate(parts)
 
 
 class AcquisitionMaximizer:
@@ -95,6 +124,20 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
         Standard DE control parameters F and CR.
     polish:
         Run Nelder-Mead from the DE champion at the end.
+    max_pop:
+        Ceiling on the effective population.  ``None`` (the default) is
+        dim-aware — ``max(120, 4 * dim)`` — so the documented ``4 * dim``
+        rule actually holds at every dimension instead of silently
+        collapsing to 120 members for d>30, while d<=30 keeps the exact
+        historical population (bitwise-pinned traces depend on it).
+    polish_maxiter:
+        Nelder-Mead iteration budget.  ``None`` uses the historical
+        ``100 * dim`` capped at :data:`POLISH_MAXITER_CAP` (the cap only
+        binds above d=50).
+    eval_chunk:
+        Evaluate candidate batches in chunks of at most this many rows
+        (``None`` = one batch).  Leave unset wherever bitwise traces
+        matter; see :func:`evaluate_chunked`.
     """
 
     def __init__(
@@ -104,7 +147,9 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
         mutation: float = 0.6,
         crossover: float = 0.9,
         polish: bool = True,
-        max_pop: int = 120,
+        max_pop: int | None = None,
+        polish_maxiter: int | None = None,
+        eval_chunk: int | None = None,
     ):
         if pop_size < 5:
             raise ValueError(f"pop_size must be >= 5, got {pop_size}")
@@ -114,21 +159,40 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
             raise ValueError(f"mutation must be in (0, 2], got {mutation}")
         if not 0.0 < crossover <= 1.0:
             raise ValueError(f"crossover must be in (0, 1], got {crossover}")
+        if max_pop is not None and max_pop < 5:
+            raise ValueError(f"max_pop must be >= 5, got {max_pop}")
+        if polish_maxiter is not None and polish_maxiter < 1:
+            raise ValueError(f"polish_maxiter must be >= 1, got {polish_maxiter}")
+        if eval_chunk is not None and eval_chunk < 1:
+            raise ValueError(f"eval_chunk must be >= 1, got {eval_chunk}")
         self.pop_size = int(pop_size)
         self.generations = int(generations)
         self.mutation = float(mutation)
         self.crossover = float(crossover)
         self.polish = bool(polish)
-        self.max_pop = int(max_pop)
+        self.max_pop = None if max_pop is None else int(max_pop)
+        self.polish_maxiter = None if polish_maxiter is None else int(polish_maxiter)
+        self.eval_chunk = None if eval_chunk is None else int(eval_chunk)
+
+    def population_size(self, dim: int) -> int:
+        """Effective population at ``dim``: ``min(max(pop_size, 4*dim), cap)``."""
+        cap = self.max_pop if self.max_pop is not None else max(120, 4 * dim)
+        return min(max(self.pop_size, 4 * dim), cap)
+
+    def resolve_polish_maxiter(self, dim: int) -> int:
+        """Nelder-Mead budget at ``dim`` (``100 * dim`` capped by default)."""
+        if self.polish_maxiter is not None:
+            return self.polish_maxiter
+        return min(100 * dim, POLISH_MAXITER_CAP)
 
     def maximize(self, acquisition, dim: int, rng=None) -> np.ndarray:
         rng = ensure_rng(rng)
-        n_pop = min(max(self.pop_size, 4 * dim), self.max_pop)
+        n_pop = self.population_size(dim)
         pop = rng.uniform(0.0, 1.0, size=(n_pop, dim))
-        fitness = _masked_values(acquisition(pop))
+        fitness = evaluate_chunked(acquisition, pop, self.eval_chunk)
         for _ in range(self.generations):
             trial = self._make_trials(pop, rng)
-            trial_fitness = _masked_values(acquisition(trial))
+            trial_fitness = evaluate_chunked(acquisition, trial, self.eval_chunk)
             improved = trial_fitness > fitness
             pop[improved] = trial[improved]
             fitness[improved] = trial_fitness[improved]
@@ -137,7 +201,8 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
         # a champion with no finite value (fully masked batch) has nothing
         # to polish — Nelder-Mead on an all-inf surface only spews NaNs
         if self.polish and np.isfinite(f0):
-            best = self._polish(acquisition, best, f0)
+            best = self._polish(acquisition, best, f0,
+                                maxiter=self.resolve_polish_maxiter(dim))
         return best
 
     def _make_trials(self, pop: np.ndarray, rng) -> np.ndarray:
@@ -160,7 +225,11 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
         return np.where(cross, mutant, pop)
 
     @staticmethod
-    def _polish(acquisition, x0: np.ndarray, f0: float) -> np.ndarray:
+    def _polish(acquisition, x0: np.ndarray, f0: float,
+                maxiter: int | None = None) -> np.ndarray:
+        if maxiter is None:
+            maxiter = min(100 * x0.size, POLISH_MAXITER_CAP)
+
         def negative(x):
             x = np.clip(x, 0.0, 1.0)
             value = float(_masked_values(acquisition(x.reshape(1, -1)))[0])
@@ -172,8 +241,49 @@ class DifferentialEvolutionMaximizer(AcquisitionMaximizer):
             negative,
             x0,
             method="Nelder-Mead",
-            options={"maxiter": 100 * x0.size, "xatol": 1e-4, "fatol": 1e-10},
+            options={"maxiter": int(maxiter), "xatol": 1e-4, "fatol": 1e-10},
         )
         if np.isfinite(res.fun) and -res.fun >= f0:
             return np.clip(res.x, 0.0, 1.0)
         return x0
+
+
+class ScanPolishMaximizer(AcquisitionMaximizer):
+    """Best-of-N candidate scan plus a capped Nelder-Mead polish.
+
+    The embedded engine of the trust-region proposal space: a few thousand
+    uniform candidates are evaluated in chunked batches and the champion
+    gets a short local polish.  Cost per proposal is ``O(n_samples)``
+    surrogate evaluations regardless of dimension — no ``4 * dim``
+    population, no ``100 * dim`` polish budget.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 2048,
+        polish: bool = True,
+        polish_maxiter: int = 200,
+        eval_chunk: int | None = 4096,
+    ):
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        if polish_maxiter < 1:
+            raise ValueError(f"polish_maxiter must be >= 1, got {polish_maxiter}")
+        if eval_chunk is not None and eval_chunk < 1:
+            raise ValueError(f"eval_chunk must be >= 1, got {eval_chunk}")
+        self.n_samples = int(n_samples)
+        self.polish = bool(polish)
+        self.polish_maxiter = int(polish_maxiter)
+        self.eval_chunk = None if eval_chunk is None else int(eval_chunk)
+
+    def maximize(self, acquisition, dim: int, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        candidates = rng.uniform(0.0, 1.0, size=(self.n_samples, dim))
+        values = evaluate_chunked(acquisition, candidates, self.eval_chunk)
+        best = candidates[int(np.argmax(values))].copy()
+        f0 = float(np.max(values))
+        if self.polish and np.isfinite(f0):
+            best = DifferentialEvolutionMaximizer._polish(
+                acquisition, best, f0, maxiter=self.polish_maxiter
+            )
+        return best

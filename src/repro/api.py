@@ -40,9 +40,11 @@ from repro.backend import (
 )
 from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
 from repro.bo.config import (
+    PROPOSAL_SPACES,
     AcquisitionConfig,
     SchedulerConfig,
     SurrogateConfig,
+    TrustRegionConfig,
 )
 from repro.bo.history import EvaluationRecord, OptimizationResult
 from repro.bo.loop import SurrogateBO
@@ -82,6 +84,7 @@ __all__ = [
     "GASPAD",
     "NNBO",
     "OptimizationResult",
+    "PROPOSAL_SPACES",
     "Problem",
     "ProposalLedger",
     "SchedulerConfig",
@@ -90,6 +93,7 @@ __all__ = [
     "SurrogateBO",
     "SurrogateConfig",
     "Trial",
+    "TrustRegionConfig",
     "TwoStageOpAmpProblem",
     "WEIBO",
     "available_backends",

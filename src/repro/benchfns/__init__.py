@@ -8,6 +8,11 @@ from repro.benchfns.constrained import (
     tension_spring_problem,
     toy_constrained_quadratic,
 )
+from repro.benchfns.highdim import (
+    HIGHDIM_FUNCTIONS,
+    embedded_highdim_problem,
+    highdim_problem_suite,
+)
 from repro.benchfns.synthetic import (
     ackley,
     branin,
@@ -18,12 +23,15 @@ from repro.benchfns.synthetic import (
 )
 
 __all__ = [
+    "HIGHDIM_FUNCTIONS",
     "ackley",
     "branin",
+    "embedded_highdim_problem",
     "g06_problem",
     "g08_problem",
     "gardner_problem",
     "hartmann6",
+    "highdim_problem_suite",
     "pressure_vessel_problem",
     "rastrigin",
     "rosenbrock",

@@ -1,0 +1,146 @@
+"""High-dimensional embedded test problems (low effective dimension).
+
+Production circuits go to hundreds of parameters, but circuit performance
+rarely depends on all of them at once — a handful of critical devices
+dominate each metric.  This family mimics that structure: a classic
+synthetic function (sphere / rastrigin / ackley) acts on a seeded random
+subset of ``effective_dim`` coordinates while the remaining dimensions are
+pure nuisance.  The unconstrained optimum value is exactly ``0`` at a
+seeded interior ``shift`` (never on the boundary), and objectives are
+normalized to O(1) so equal-budget regret comparisons across functions
+share one meaningful tolerance.
+
+The ``constrained`` variant adds one active linear constraint on the
+effective coordinates that excludes the unconstrained optimum, forcing
+best-feasible designs onto the boundary (a ~20% feasible-volume region,
+so random initial designs still find feasible points).
+
+These problems are the workload of
+``benchmarks/bench_highdim_proposals.py``, which pins proposal-cycle time
+and equal-budget regret of the line / trust-region proposal spaces
+against the full-space maximizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.problem import FunctionProblem
+
+#: base functions accepted by :func:`embedded_highdim_problem`
+HIGHDIM_FUNCTIONS = ("sphere", "rastrigin", "ackley")
+
+
+def _sphere_normalized(z: np.ndarray) -> float:
+    # z in [-1, 1]^k; max value 1 at the corners
+    return float(np.mean(z**2))
+
+
+def _rastrigin_normalized(z: np.ndarray) -> float:
+    # rastrigin on y = 1.5 z in [-1.5, 1.5]^k, scaled so typical values
+    # are O(1) (per-dim maximum ~22.25, normalizer 10 k)
+    y = 1.5 * z
+    per_dim = y**2 + 10.0 * (1.0 - np.cos(2.0 * np.pi * y))
+    return float(np.sum(per_dim) / (10.0 * z.size))
+
+
+def _ackley_normalized(z: np.ndarray) -> float:
+    # ackley on y = 3 z in [-3, 3]^k, normalized by its ~11 range
+    y = 3.0 * z
+    k = z.size
+    term1 = -20.0 * np.exp(-0.2 * np.sqrt(np.sum(y**2) / k))
+    term2 = -np.exp(np.sum(np.cos(2.0 * np.pi * y)) / k)
+    return float((term1 + term2 + 20.0 + np.e) / 10.0)
+
+
+_BASE = {
+    "sphere": _sphere_normalized,
+    "rastrigin": _rastrigin_normalized,
+    "ackley": _ackley_normalized,
+}
+
+
+def embedded_highdim_problem(
+    function: str = "sphere",
+    dim: int = 100,
+    effective_dim: int = 6,
+    seed: int = 0,
+    constrained: bool = False,
+) -> FunctionProblem:
+    """An embedded high-dim problem over ``[0, 1]^dim``.
+
+    A seeded permutation picks the ``effective_dim`` active coordinates
+    and a seeded interior ``shift`` (in ``[0.25, 0.75]`` per coordinate)
+    places the optimum; the base function sees ``z = 2 (x_active -
+    shift)``, which stays within ``[-1.5, 1.5]`` for ``x`` in the unit
+    box (the per-function normalizations account for that range).  The
+    unconstrained optimum value is exactly ``0``.
+
+    With ``constrained=True`` one linear constraint ``mean(shift) + 0.1 -
+    mean(x_active) < 0`` is added: feasibility requires pushing the
+    active coordinates *above* their optimum on average, so the
+    constrained optimum rides the boundary and best-feasible regret
+    actually exercises the feasibility machinery.
+    """
+    function = str(function).lower()
+    if function not in _BASE:
+        raise ValueError(
+            f"function must be one of {HIGHDIM_FUNCTIONS}, got {function!r}"
+        )
+    if dim < 2:
+        raise ValueError(f"dim must be >= 2, got {dim}")
+    if not 1 <= effective_dim <= dim:
+        raise ValueError(
+            f"effective_dim must be in [1, dim={dim}], got {effective_dim}"
+        )
+    rng = np.random.default_rng(seed)
+    active = np.sort(rng.permutation(dim)[:effective_dim])
+    shift = rng.uniform(0.25, 0.75, size=effective_dim)
+    base = _BASE[function]
+
+    def objective(x) -> float:
+        z = 2.0 * (np.asarray(x, dtype=float)[active] - shift)
+        return base(z)
+
+    constraints = []
+    if constrained:
+        boundary = float(np.mean(shift)) + 0.1
+
+        def feasibility(x) -> float:
+            return boundary - float(np.mean(np.asarray(x, dtype=float)[active]))
+
+        constraints.append(feasibility)
+
+    name = f"{function}{dim}_eff{effective_dim}" + ("_c" if constrained else "")
+    return FunctionProblem(
+        name=name,
+        lower=np.zeros(dim),
+        upper=np.ones(dim),
+        objective=objective,
+        constraints=constraints,
+    )
+
+
+def highdim_problem_suite(
+    dim: int = 100, effective_dim: int = 6, seed: int = 0
+) -> list[FunctionProblem]:
+    """The standard bench suite at one dimension: all three base
+    functions unconstrained plus the constrained sphere variant."""
+    problems = [
+        embedded_highdim_problem(fn, dim=dim, effective_dim=effective_dim, seed=seed)
+        for fn in HIGHDIM_FUNCTIONS
+    ]
+    problems.append(
+        embedded_highdim_problem(
+            "sphere", dim=dim, effective_dim=effective_dim, seed=seed,
+            constrained=True,
+        )
+    )
+    return problems
+
+
+__all__ = [
+    "HIGHDIM_FUNCTIONS",
+    "embedded_highdim_problem",
+    "highdim_problem_suite",
+]

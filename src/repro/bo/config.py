@@ -27,10 +27,11 @@ maps them onto these configs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, is_dataclass
 
 from repro.acquisition.fantasy import FANTASY_STRATEGIES
 from repro.acquisition.penalization import validate_pending_strategy
+from repro.acquisition.spaces import PROPOSAL_SPACES, TrustRegionConfig
 
 #: surrogate update policies of the asynchronous (refill-on-completion) loop
 ASYNC_REFIT_POLICIES = ("full", "fantasy-only")
@@ -226,6 +227,14 @@ class AcquisitionConfig:
     in-flight designs shape each proposal's acquisition (see
     :mod:`repro.acquisition.penalization`); ``hallucinate_kappa`` is the
     GP-BUCB confidence multiplier of the ``"hallucinate"`` strategy.
+
+    ``proposal_space`` picks where the inner-loop maximizer searches
+    (see :mod:`repro.acquisition.spaces`): ``"full"`` — the whole unit
+    box, today's path, bitwise unchanged; ``"line"`` — a random 1-D line
+    through the incumbent (LinEasyBO-style, cheap at high dimension);
+    ``"trust-region"`` — a TuRBO-style adaptive box around the incumbent
+    whose knobs live in ``trust_region`` (a
+    :class:`~repro.acquisition.spaces.TrustRegionConfig` or dict).
     """
 
     acquisition: str = "wei"
@@ -234,9 +243,35 @@ class AcquisitionConfig:
     fantasy: str = "believer"
     pending_strategy: str = "fantasy"
     hallucinate_kappa: float = 2.0
+    proposal_space: str = "full"
+    trust_region: TrustRegionConfig | None = None
 
     def __post_init__(self):
         check_choice("acquisition", self.acquisition, ACQUISITIONS)
+        object.__setattr__(
+            self,
+            "proposal_space",
+            check_choice(
+                "proposal_space",
+                str(self.proposal_space).replace("_", "-").lower(),
+                PROPOSAL_SPACES,
+            ),
+        )
+        if self.trust_region is not None:
+            if isinstance(self.trust_region, dict):
+                object.__setattr__(
+                    self, "trust_region", TrustRegionConfig(**self.trust_region)
+                )
+            elif not isinstance(self.trust_region, TrustRegionConfig):
+                raise ValueError(
+                    "trust_region must be a TrustRegionConfig or dict, got "
+                    f"{type(self.trust_region).__name__}"
+                )
+            if self.proposal_space != "trust-region":
+                raise ValueError(
+                    "trust_region is only meaningful with "
+                    f"proposal_space='trust-region', got {self.proposal_space!r}"
+                )
         if self.fantasy not in FANTASY_STRATEGIES:
             raise ValueError(
                 f"fantasy must be one of {FANTASY_STRATEGIES}, got {self.fantasy!r}"
@@ -258,6 +293,17 @@ class AcquisitionConfig:
         if self.log_space is None:
             return n_constraints >= 4
         return bool(self.log_space)
+
+    def resolve_proposal_space(self):
+        """A fresh (mutable) proposal-space instance, or ``None`` for full.
+
+        Each optimizer builds its own instance: trust regions carry
+        adaptive state, so sharing one across studies would couple their
+        traces.
+        """
+        from repro.acquisition.spaces import make_proposal_space
+
+        return make_proposal_space(self.proposal_space, self.trust_region)
 
 
 @dataclass(frozen=True)
@@ -345,6 +391,8 @@ def config_to_dict(config) -> dict:
         value = getattr(config, f.name)
         if isinstance(value, tuple):
             value = list(value)
+        elif is_dataclass(value) and not isinstance(value, type):
+            value = config_to_dict(value)
         elif not isinstance(value, (str, int, float, bool, type(None))):
             value = type(value).__name__
         payload[f.name] = value
@@ -356,10 +404,12 @@ __all__ = [
     "ASYNC_REFIT_POLICIES",
     "AcquisitionConfig",
     "EXECUTOR_SPECS",
+    "PROPOSAL_SPACES",
     "SURROGATE_BACKENDS",
     "SURROGATE_ENGINES",
     "SchedulerConfig",
     "SurrogateConfig",
+    "TrustRegionConfig",
     "check_choice",
     "check_count",
     "config_to_dict",

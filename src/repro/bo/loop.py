@@ -57,6 +57,7 @@ from repro.acquisition.penalization import (
     PenalizedAcquisition,
     estimate_lipschitz,
 )
+from repro.acquisition.spaces import SubspaceMaximizer, incumbent_index
 from repro.acquisition.wei import WeightedExpectedImprovement
 from repro.bo.config import (
     ASYNC_REFIT_POLICIES,
@@ -188,7 +189,8 @@ class SurrogateBO:
     -------------------
     The historical flat kwargs — ``acquisition``, ``log_space_acq``,
     ``duplicate_tol``, ``fantasy``, ``pending_strategy``,
-    ``hallucinate_kappa`` (now :class:`AcquisitionConfig` fields) and
+    ``hallucinate_kappa``, ``proposal_space``, ``trust_region`` (now
+    :class:`AcquisitionConfig` fields) and
     ``q``, ``executor``, ``n_eval_workers``, ``async_refit``,
     ``async_full_refit_every``, ``async_clock`` (now
     :class:`SchedulerConfig` fields) — still work and map onto the
@@ -215,6 +217,8 @@ class SurrogateBO:
         fantasy=_UNSET,
         pending_strategy=_UNSET,
         hallucinate_kappa=_UNSET,
+        proposal_space=_UNSET,
+        trust_region=_UNSET,
         async_refit=_UNSET,
         async_full_refit_every=_UNSET,
         async_clock=_UNSET,
@@ -248,6 +252,8 @@ class SurrogateBO:
                 "fantasy": fantasy,
                 "pending_strategy": pending_strategy,
                 "hallucinate_kappa": hallucinate_kappa,
+                "proposal_space": proposal_space,
+                "trust_region": trust_region,
             },
             {"log_space": "log_space_acq"},
             owner=type(self).__name__,
@@ -276,6 +282,15 @@ class SurrogateBO:
         self.acq_maximizer = acq_maximizer or DifferentialEvolutionMaximizer()
         self.acquisition_config = acquisition_config
         self.scheduler_config = scheduler_config
+        #: the active :class:`~repro.acquisition.spaces.ProposalSpace`
+        #: instance, or ``None`` for the full box — in which case the
+        #: maximizer is left unwrapped and the historical RNG stream /
+        #: numerics are bitwise untouched
+        self.proposal_space = acquisition_config.resolve_proposal_space()
+        if self.proposal_space is not None:
+            self.acq_maximizer = SubspaceMaximizer(
+                self.proposal_space, self.acq_maximizer
+            )
         # flat mirrors of the config fields: the proposal machinery (and a
         # fair amount of downstream code) reads these attributes
         self.acquisition = acquisition_config.acquisition
@@ -544,10 +559,27 @@ class SurrogateBO:
         )
         return PenalizedAcquisition(base, penalizer, log_space=self.log_space_acq)
 
+    def _prepare_proposal_space(
+        self, x_unit: np.ndarray, result: OptimizationResult
+    ) -> None:
+        """Point the active proposal subspace at the current incumbent.
+
+        A no-op on the full-space path.  ``x_unit`` rows parallel
+        ``result.records`` (both append per committed evaluation), so the
+        incumbent record's index addresses its unit design directly.
+        """
+        if self.proposal_space is None:
+            return
+        idx = incumbent_index(result)
+        self.acq_maximizer.set_incumbent(
+            None if idx is None or idx >= len(x_unit) else x_unit[idx]
+        )
+
     def _propose(self, x_unit: np.ndarray, result: OptimizationResult) -> np.ndarray:
         """Single-point proposal (the q=1 fast path; original loop semantics)."""
         fitted = self._fit_surrogates(x_unit, result)
         acquisition_fn = self._make_acquisition(fitted, result)
+        self._prepare_proposal_space(x_unit, result)
         proposal = self.acq_maximizer.maximize(
             acquisition_fn, self.problem.dim, self.rng
         )
@@ -603,6 +635,7 @@ class SurrogateBO:
                 pick = self._resample_non_duplicate(known)
             return pick
 
+        self._prepare_proposal_space(x_unit, result)
         return self.acq_maximizer.maximize_batch(
             stage_acquisition,
             q,

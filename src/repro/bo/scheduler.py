@@ -534,7 +534,10 @@ class ProposalEntry:
     ``strategy`` records how the proposal's acquisition absorbed the
     pending set (``"fantasy"``, ``"penalize"`` or ``"hallucinate"`` — see
     :mod:`repro.acquisition.penalization`), so replays and audits know
-    which coordination rule produced each design.
+    which coordination rule produced each design.  ``retracted`` marks a
+    proposal abandoned via :meth:`~repro.bo.study.Study.retract` — it
+    never landed and never will, but its provenance (what later proposals
+    conditioned on) stays auditable.
     """
 
     proposal_id: int
@@ -545,6 +548,7 @@ class ProposalEntry:
     committed_at: int | None = None
     record_index: int | None = None
     strategy: str = "fantasy"
+    retracted: bool = False
 
 
 class ProposalLedger:
@@ -586,9 +590,26 @@ class ProposalLedger:
         entry = self.entries[proposal_id]
         if entry.committed_at is not None:
             raise ValueError(f"proposal {proposal_id} committed twice")
+        if entry.retracted:
+            raise ValueError(
+                f"proposal {proposal_id} was retracted and cannot commit"
+            )
         self._n_committed += 1
         entry.committed_at = self._n_committed
         entry.record_index = int(record_index)
+        return entry
+
+    def retract(self, proposal_id: int) -> ProposalEntry:
+        """Mark one in-flight proposal as abandoned (never landing)."""
+        entry = self.entries[proposal_id]
+        if entry.committed_at is not None:
+            raise ValueError(
+                f"proposal {proposal_id} already committed and cannot be "
+                "retracted"
+            )
+        if entry.retracted:
+            raise ValueError(f"proposal {proposal_id} retracted twice")
+        entry.retracted = True
         return entry
 
     def entry(self, proposal_id: int) -> ProposalEntry:

@@ -190,6 +190,7 @@ class Study:
         self._unit_x: list[np.ndarray] = []
         self._pending: dict[int, Trial] = {}
         self._told: set[int] = set()
+        self._retracted: set[int] = set()
         self._initial_queue: list[Trial] = []
         self._next_id = 0
         self._iteration = 0
@@ -256,6 +257,11 @@ class Study:
     def n_pending(self) -> int:
         """Trials asked but not yet told."""
         return len(self._pending)
+
+    @property
+    def n_retracted(self) -> int:
+        """Search trials dropped via :meth:`retract`."""
+        return len(self._retracted)
 
     @property
     def remaining_capacity(self) -> int:
@@ -425,6 +431,11 @@ class Study:
                     f"trial {trial_id} was already told; each trial commits "
                     "exactly once"
                 )
+            if trial_id in self._retracted:
+                raise StudyError(
+                    f"trial {trial_id} was retracted; a retracted trial "
+                    "cannot be told"
+                )
             raise StudyError(
                 f"unknown trial id {trial_id}; pending ids: "
                 f"{sorted(self._pending)}"
@@ -432,6 +443,12 @@ class Study:
         evaluation = self._coerce_evaluation(evaluation)
         del self._pending[trial_id]
         record_index = self.result.n_evaluations
+        space = self.optimizer.proposal_space
+        improved = (
+            self._improves_incumbent(evaluation)
+            if (task.phase == "search" and space is not None)
+            else None
+        )
         if task.phase == "initial":
             self.result.append(
                 self.problem.scaler.inverse_transform(task.u),
@@ -461,7 +478,76 @@ class Study:
         self._sync_cache_counters()
         if task.phase == "search":
             self._absorb(task.u, evaluation)
+        if improved is not None:
+            space.observe(improved)
         return self.result.records[-1]
+
+    def _improves_incumbent(self, evaluation: Evaluation) -> bool:
+        """Would committing ``evaluation`` improve the incumbent?
+
+        The success signal of adaptive proposal spaces (the trust region's
+        expand/shrink counters): a feasible landing strictly beating the
+        best feasible objective, the first feasible landing ever, or —
+        while nothing is feasible yet — a landing lowering the smallest
+        total violation seen.  Called before the evaluation is appended.
+        """
+        best = self.result.best_feasible()
+        if best is not None:
+            return bool(
+                evaluation.feasible
+                and evaluation.objective < best.evaluation.objective
+            )
+        if evaluation.feasible:
+            return True
+        if not self.result.records:
+            return True
+        floor = min(
+            r.evaluation.violation
+            if np.isfinite(r.evaluation.violation)
+            else np.inf
+            for r in self.result.records
+        )
+        violation = evaluation.violation
+        return bool(np.isfinite(violation) and violation < floor)
+
+    def retract(self, trial) -> Trial:
+        """Drop an asked-but-untold trial, freeing its budget slot.
+
+        The BO-as-a-service primitive: a client that timed out mid-flight
+        (or a speculative evaluation that lost its race) abandons its
+        trial instead of telling a result.  An *initial-design* trial is
+        re-queued at the front of the design queue — the design point
+        itself is part of the seeded experiment plan and will be handed
+        out again by the next :meth:`ask`.  A *search* trial is removed
+        from the pending set (its fantasies/penalties disappear from the
+        next proposal automatically — conditioning is rebuilt from the
+        live pending set each ask) and its ledger entry is marked
+        retracted, keeping the provenance trail honest.  Telling a
+        retracted trial afterwards raises; retraction round-trips through
+        :meth:`checkpoint`/:meth:`resume`.
+        """
+        trial_id = trial.id if isinstance(trial, Trial) else int(trial)
+        task = self._pending.get(trial_id)
+        if task is None:
+            if trial_id in self._told:
+                raise StudyError(
+                    f"trial {trial_id} was already told; only pending "
+                    "trials can be retracted"
+                )
+            if trial_id in self._retracted:
+                raise StudyError(f"trial {trial_id} was already retracted")
+            raise StudyError(
+                f"unknown trial id {trial_id}; pending ids: "
+                f"{sorted(self._pending)}"
+            )
+        del self._pending[trial_id]
+        if task.phase == "initial":
+            self._initial_queue.insert(0, task)
+            return task
+        self._retracted.add(trial_id)
+        if task.proposal_id is not None:
+            self.ledger.retract(task.proposal_id)
+        return task
 
     def _coerce_evaluation(self, evaluation) -> Evaluation:
         if isinstance(evaluation, Evaluation):
@@ -532,6 +618,7 @@ class Study:
         else:
             self._condition_on_pending(pending_units)
             acquisition = bo._make_acquisition(self._fitted, self.result)
+        bo._prepare_proposal_space(x_unit, self.result)
         pick = bo.acq_maximizer.maximize(acquisition, bo.problem.dim, bo.rng)
         if pending_units:
             known = np.vstack(
@@ -692,12 +779,22 @@ class Study:
             "iteration": self._iteration,
             "next_trial_id": self._next_id,
             "told": sorted(self._told),
+            "retracted": sorted(self._retracted),
             "landings_since_fit": self._landings_since_fit,
             "result": serialization.result_to_dict(self.result),
             "unit_x": [u.tolist() for u in self._unit_x],
             "initial_queue": [_trial_to_dict(t) for t in self._initial_queue],
             "pending": [_trial_to_dict(t) for t in self._pending.values()],
         }
+        space = self.optimizer.proposal_space
+        if space is not None:
+            # adaptive proposal-space state (trust-region length/counters)
+            # is live optimizer state: a resumed study must continue with
+            # the exact region the interrupted run had reached
+            payload["proposal_space"] = {
+                "name": space.name,
+                "state": space.state_to_dict(),
+            }
         fitted = self._fitted
         if (
             self.optimizer.async_refit == "fantasy-only"
@@ -777,6 +874,24 @@ class Study:
         study._iteration = int(payload["iteration"])
         study._next_id = int(payload["next_trial_id"])
         study._told = set(int(i) for i in payload["told"])
+        study._retracted = set(int(i) for i in payload.get("retracted", []))
+        saved_space = payload.get("proposal_space")
+        space = study.optimizer.proposal_space
+        if saved_space is not None:
+            if space is None or space.name != saved_space["name"]:
+                raise StudyError(
+                    "checkpoint was taken with proposal_space="
+                    f"{saved_space['name']!r} but resume() built "
+                    f"{space.name if space is not None else 'full'!r}; pass "
+                    "the same AcquisitionConfig as the original study"
+                )
+            space.restore_state(saved_space["state"])
+        elif space is not None:
+            raise StudyError(
+                "checkpoint was taken with proposal_space='full' but "
+                f"resume() built {space.name!r}; pass the same "
+                "AcquisitionConfig as the original study"
+            )
         study._landings_since_fit = int(payload["landings_since_fit"])
         study._initial_queue = [
             _trial_from_dict(d, problem) for d in payload["initial_queue"]

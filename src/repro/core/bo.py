@@ -107,6 +107,8 @@ class NNBO(SurrogateBO):
         fantasy=_UNSET,
         pending_strategy=_UNSET,
         hallucinate_kappa=_UNSET,
+        proposal_space=_UNSET,
+        trust_region=_UNSET,
         async_refit=_UNSET,
         async_full_refit_every=_UNSET,
         async_clock=_UNSET,
@@ -152,6 +154,8 @@ class NNBO(SurrogateBO):
                 "fantasy": fantasy,
                 "pending_strategy": pending_strategy,
                 "hallucinate_kappa": hallucinate_kappa,
+                "proposal_space": proposal_space,
+                "trust_region": trust_region,
             },
             {"log_space": "log_space_acq"},
             owner=type(self).__name__,

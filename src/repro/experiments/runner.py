@@ -172,7 +172,10 @@ def nnbo_configs(config):
         device=getattr(config, "device", None),
         linalg_threads=getattr(config, "linalg_threads", None),
     )
-    acquisition = AcquisitionConfig(pending_strategy=config.pending_strategy)
+    acquisition = AcquisitionConfig(
+        pending_strategy=config.pending_strategy,
+        proposal_space=getattr(config, "proposal_space", "full"),
+    )
     scheduler = SchedulerConfig(
         q=config.q,
         executor=config.eval_executor,
@@ -223,6 +226,14 @@ def add_scheduler_arguments(parser) -> None:
         "clean posterior, or hallucinated-UCB believer conditioning",
     )
     parser.add_argument(
+        "--proposal-space",
+        choices=("full", "line", "trust-region"),
+        default=None,
+        help="where NN-BO's inner-loop maximizer searches: the full unit "
+        "box (default), a random 1-D line through the incumbent "
+        "(cheap at high dimension), or a TuRBO-style trust region",
+    )
+    parser.add_argument(
         "--backend",
         choices=("auto", "numpy", "torch", "cupy"),
         default=None,
@@ -259,6 +270,8 @@ def apply_scheduler_arguments(args, config) -> None:
         config.async_refit = args.async_refit
     if args.pending_strategy is not None:
         config.pending_strategy = args.pending_strategy
+    if args.proposal_space is not None:
+        config.proposal_space = args.proposal_space
     if args.backend is not None:
         config.backend = args.backend
     if args.device is not None:

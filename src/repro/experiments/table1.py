@@ -73,6 +73,7 @@ class Table1Config:
     n_eval_workers: int | None = None
     async_refit: str = "full"
     pending_strategy: str = "fantasy"
+    proposal_space: str = "full"
     backend: str = "numpy"
     device: str | None = None
     linalg_threads: int | None = None

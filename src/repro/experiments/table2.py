@@ -78,6 +78,7 @@ class Table2Config:
     n_eval_workers: int | None = None
     async_refit: str = "full"
     pending_strategy: str = "fantasy"
+    proposal_space: str = "full"
     backend: str = "numpy"
     device: str | None = None
     linalg_threads: int | None = None

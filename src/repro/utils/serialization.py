@@ -35,6 +35,7 @@ def ledger_to_dict(ledger) -> dict | None:
                 "committed_at": entry.committed_at,
                 "record_index": entry.record_index,
                 "strategy": entry.strategy,
+                "retracted": entry.retracted,
             }
             for entry in ledger.entries
         ]
@@ -62,6 +63,7 @@ def ledger_from_dict(data: dict | None):
             committed_at=item.get("committed_at"),
             record_index=item.get("record_index"),
             strategy=item.get("strategy", "fantasy"),
+            retracted=bool(item.get("retracted", False)),
         )
         ledger.entries.append(entry)
         if entry.committed_at is not None:

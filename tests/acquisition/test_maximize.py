@@ -4,8 +4,11 @@ import numpy as np
 import pytest
 
 from repro.acquisition.maximize import (
+    POLISH_MAXITER_CAP,
     DifferentialEvolutionMaximizer,
     RandomSearchMaximizer,
+    ScanPolishMaximizer,
+    evaluate_chunked,
 )
 
 
@@ -23,10 +26,11 @@ def peaked(center, width=0.05):
 MAXIMIZERS = [
     RandomSearchMaximizer(n_samples=4000),
     DifferentialEvolutionMaximizer(pop_size=30, generations=30),
+    ScanPolishMaximizer(n_samples=4000),
 ]
 
 
-@pytest.mark.parametrize("maximizer", MAXIMIZERS, ids=["random", "de"])
+@pytest.mark.parametrize("maximizer", MAXIMIZERS, ids=["random", "de", "scan"])
 class TestCommonBehaviour:
     def test_stays_in_unit_box(self, maximizer, rng):
         x = maximizer.maximize(peaked([0.99, 0.01]), dim=2, rng=rng)
@@ -88,11 +92,116 @@ class TestDEMaximizer:
             {"generations": 0},
             {"mutation": 0.0},
             {"crossover": 1.5},
+            {"max_pop": 4},
+            {"polish_maxiter": 0},
+            {"eval_chunk": 0},
         ],
     )
     def test_rejects_bad_params(self, kwargs):
         with pytest.raises(ValueError):
             DifferentialEvolutionMaximizer(**kwargs)
+
+
+class TestHighDimScaling:
+    """Regression: `max_pop=120` silently collapsed the `4*dim` rule at
+    d>30, and the `100*dim` polish budget exploded at d=100+."""
+
+    def test_population_keeps_historical_sizes_at_low_dim(self):
+        de = DifferentialEvolutionMaximizer()
+        # the pinned circuit traces depend on these exact sizes
+        assert de.population_size(2) == 40
+        assert de.population_size(10) == 40
+        assert de.population_size(30) == 120
+        assert de.population_size(36) == 144
+
+    def test_population_honours_4dim_rule_at_high_dim(self):
+        de = DifferentialEvolutionMaximizer()
+        assert de.population_size(100) == 400
+        assert de.population_size(200) == 800
+        # an explicit max_pop restores the old (collapsing) ceiling
+        legacy = DifferentialEvolutionMaximizer(max_pop=120)
+        assert legacy.population_size(100) == 120
+
+    def test_polish_budget_capped(self):
+        de = DifferentialEvolutionMaximizer()
+        assert de.resolve_polish_maxiter(36) == 3600  # uncapped, historical
+        assert de.resolve_polish_maxiter(100) == POLISH_MAXITER_CAP
+        assert DifferentialEvolutionMaximizer(
+            polish_maxiter=7
+        ).resolve_polish_maxiter(100) == 7
+
+    def test_d100_first_batch_has_4dim_rows(self):
+        """End-to-end at d=100: the evaluated population really is 400."""
+        shapes = []
+
+        def recording(x):
+            x = np.atleast_2d(x)
+            shapes.append(x.shape)
+            return -np.sum((x - 0.5) ** 2, axis=1)
+
+        de = DifferentialEvolutionMaximizer(generations=1, polish=False)
+        x = de.maximize(recording, dim=100, rng=np.random.default_rng(0))
+        assert x.shape == (100,)
+        assert shapes[0] == (400, 100)
+
+    def test_chunked_evaluation_matches_unchunked(self, rng):
+        acq = peaked([0.4] * 3, width=0.3)
+        candidates = rng.uniform(size=(101, 3))
+        full = evaluate_chunked(acq, candidates, chunk=None)
+        for chunk in (1, 7, 100, 101, 500):
+            np.testing.assert_array_equal(
+                evaluate_chunked(acq, candidates, chunk=chunk), full
+            )
+
+    def test_chunked_evaluation_masks_nan(self, rng):
+        acq = nan_poisoned([0.75, 0.5])
+        candidates = rng.uniform(size=(64, 2))
+        values = evaluate_chunked(acq, candidates, chunk=16)
+        assert np.all(np.isfinite(values) | (values == -np.inf))
+        assert np.all(values[candidates[:, 0] < 0.5] == -np.inf)
+
+    def test_chunk_does_not_change_de_result(self):
+        """eval_chunk is a memory knob, not a search knob."""
+        acq = peaked([0.3, 0.8, 0.5], width=0.2)
+        a = DifferentialEvolutionMaximizer(
+            pop_size=20, generations=10, polish=False
+        ).maximize(acq, 3, np.random.default_rng(5))
+        b = DifferentialEvolutionMaximizer(
+            pop_size=20, generations=10, polish=False, eval_chunk=7
+        ).maximize(acq, 3, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScanPolishMaximizer:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_samples": 0}, {"polish_maxiter": 0}, {"eval_chunk": 0}],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            ScanPolishMaximizer(**kwargs)
+
+    def test_cost_is_dim_independent(self):
+        """The scan evaluates exactly n_samples rows at any dimension."""
+        for dim in (2, 100):
+            rows = []
+
+            def counting(x):
+                x = np.atleast_2d(x)
+                rows.append(x.shape[0])
+                return -np.sum((x - 0.5) ** 2, axis=1)
+
+            scan = ScanPolishMaximizer(n_samples=256, polish=False)
+            scan.maximize(counting, dim=dim, rng=np.random.default_rng(0))
+            assert sum(rows) == 256
+
+    def test_polish_improves_or_keeps(self):
+        acq = peaked([0.42, 0.42], width=0.1)
+        base = ScanPolishMaximizer(n_samples=200, polish=False)
+        polished = ScanPolishMaximizer(n_samples=200, polish=True)
+        x_base = base.maximize(acq, 2, np.random.default_rng(0))
+        x_pol = polished.maximize(acq, 2, np.random.default_rng(0))
+        assert acq(x_pol.reshape(1, -1))[0] >= acq(x_base.reshape(1, -1))[0] - 1e-12
 
 
 class TestRandomSearch:

@@ -1,0 +1,112 @@
+"""Tests for the embedded high-dimensional problem family."""
+
+import numpy as np
+import pytest
+
+from repro.benchfns import (
+    HIGHDIM_FUNCTIONS,
+    embedded_highdim_problem,
+    highdim_problem_suite,
+)
+
+
+def _optimum_x(problem_seed, dim, effective_dim):
+    """Reconstruct the seeded optimum: shift on active coords, 0.5 elsewhere."""
+    rng = np.random.default_rng(problem_seed)
+    active = np.sort(rng.permutation(dim)[:effective_dim])
+    shift = rng.uniform(0.25, 0.75, size=effective_dim)
+    x = np.full(dim, 0.5)
+    x[active] = shift
+    return x, active, shift
+
+
+@pytest.mark.parametrize("function", HIGHDIM_FUNCTIONS)
+@pytest.mark.parametrize("dim", [100, 200])
+class TestEmbeddedFamily:
+    def test_optimum_is_exactly_zero(self, function, dim):
+        problem = embedded_highdim_problem(function, dim=dim, effective_dim=6)
+        x_opt, _, _ = _optimum_x(0, dim, 6)
+        assert problem.dim == dim
+        assert problem.evaluate(x_opt).objective == pytest.approx(0.0, abs=1e-12)
+
+    def test_objective_is_o1_on_the_box(self, function, dim, rng):
+        problem = embedded_highdim_problem(function, dim=dim, effective_dim=6)
+        values = [
+            problem.evaluate(rng.uniform(size=dim)).objective for _ in range(50)
+        ]
+        assert all(0.0 <= v <= 5.0 for v in values)
+
+    def test_nuisance_coordinates_are_inert(self, function, dim, rng):
+        """Moving any inactive coordinate must not change the objective."""
+        problem = embedded_highdim_problem(function, dim=dim, effective_dim=6)
+        _, active, _ = _optimum_x(0, dim, 6)
+        x = rng.uniform(size=dim)
+        reference = problem.evaluate(x).objective
+        perturbed = x.copy()
+        inactive = np.setdiff1d(np.arange(dim), active)
+        perturbed[inactive] = rng.uniform(size=inactive.size)
+        assert problem.evaluate(perturbed).objective == pytest.approx(reference)
+
+    def test_seed_moves_the_embedding(self, function, dim):
+        a = embedded_highdim_problem(function, dim=dim, effective_dim=6, seed=0)
+        b = embedded_highdim_problem(function, dim=dim, effective_dim=6, seed=1)
+        x = np.full(dim, 0.3)
+        assert a.evaluate(x).objective != b.evaluate(x).objective
+
+
+class TestConstrainedVariant:
+    def test_unconstrained_optimum_is_infeasible(self):
+        problem = embedded_highdim_problem("sphere", constrained=True)
+        x_opt, _, _ = _optimum_x(0, 100, 6)
+        ev = problem.evaluate(x_opt)
+        assert not ev.feasible
+        assert ev.objective == pytest.approx(0.0, abs=1e-12)
+
+    def test_feasible_region_is_reachable(self, rng):
+        """Random sampling must find feasible points (else BO inits fail)."""
+        problem = embedded_highdim_problem("sphere", constrained=True)
+        feasible = sum(
+            problem.evaluate(rng.uniform(size=100)).feasible for _ in range(200)
+        )
+        assert feasible >= 10  # ~20% feasible volume by construction
+
+    def test_pushing_active_coords_up_restores_feasibility(self):
+        problem = embedded_highdim_problem("sphere", constrained=True)
+        x, active, shift = _optimum_x(0, 100, 6)
+        x[active] = np.clip(shift + 0.2, 0.0, 1.0)  # above the boundary margin
+        assert problem.evaluate(x).feasible
+
+    def test_name_carries_the_variant(self):
+        assert embedded_highdim_problem("sphere").name == "sphere100_eff6"
+        assert (
+            embedded_highdim_problem("ackley", dim=200, constrained=True).name
+            == "ackley200_eff6_c"
+        )
+
+
+class TestValidation:
+    def test_unknown_function(self):
+        with pytest.raises(ValueError, match="function"):
+            embedded_highdim_problem("levy")
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError, match="dim"):
+            embedded_highdim_problem("sphere", dim=1)
+        with pytest.raises(ValueError, match="effective_dim"):
+            embedded_highdim_problem("sphere", dim=10, effective_dim=11)
+        with pytest.raises(ValueError, match="effective_dim"):
+            embedded_highdim_problem("sphere", dim=10, effective_dim=0)
+
+
+class TestSuite:
+    def test_contents(self):
+        suite = highdim_problem_suite(dim=100, effective_dim=6)
+        assert [p.name for p in suite] == [
+            "sphere100_eff6",
+            "rastrigin100_eff6",
+            "ackley100_eff6",
+            "sphere100_eff6_c",
+        ]
+        assert all(p.dim == 100 for p in suite)
+        assert suite[-1].n_constraints == 1
+        assert all(p.n_constraints == 0 for p in suite[:-1])

@@ -525,3 +525,88 @@ def _fantasy_only_scheduler():
         async_full_refit_every=3,
         clock=FakeClock(),
     )
+
+
+class TestRetract:
+    """`retract()` abandons an asked-but-untold trial (BO-as-a-service)."""
+
+    def _warmed(self, **overrides):
+        study = make_study(**overrides)
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        return study
+
+    def test_retract_frees_the_budget_slot(self):
+        study = self._warmed(max_evaluations=6)
+        trial = study.ask(1)[0]  # the last budget slot, now pending
+        study.retract(trial)
+        assert study.n_pending == 0
+        assert study.n_retracted == 1
+        replacement = study.ask(1)[0]  # the slot is available again
+        assert replacement.id != trial.id
+        study.tell(replacement, study.problem.evaluate_unit(replacement.u))
+        assert study.done
+
+    def test_retracted_trial_cannot_be_told(self):
+        study = self._warmed()
+        trial = study.ask(1)[0]
+        study.retract(trial)
+        with pytest.raises(StudyError, match="was retracted"):
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+
+    def test_retract_protocol_errors(self):
+        study = self._warmed()
+        trial = study.ask(1)[0]
+        study.retract(trial)
+        with pytest.raises(StudyError, match="already retracted"):
+            study.retract(trial)
+        told = study.ask(1)[0]
+        study.tell(told, study.problem.evaluate_unit(told.u))
+        with pytest.raises(StudyError, match="already told"):
+            study.retract(told)
+        with pytest.raises(StudyError, match="unknown trial id 99"):
+            study.retract(99)
+
+    def test_ledger_records_the_retraction(self):
+        study = self._warmed()
+        trial = study.ask(1)[0]
+        study.retract(trial)
+        entry = study.ledger.entry(trial.proposal_id)
+        assert entry.retracted
+        assert entry.record_index is None
+        # a retracted entry can never be committed afterwards
+        with pytest.raises(ValueError, match="retracted"):
+            study.ledger.commit(trial.proposal_id, 0)
+
+    def test_initial_trial_requeues_same_design(self):
+        study = make_study()
+        trial = study.ask(1)[0]
+        assert trial.phase == "initial"
+        study.retract(trial)
+        assert study.n_retracted == 0  # re-queued, not abandoned
+        again = study.ask(1)[0]
+        np.testing.assert_array_equal(again.u, trial.u)
+
+    def test_retraction_roundtrips_through_checkpoint(self, tmp_path):
+        study = self._warmed(max_evaluations=12)
+        abandoned = study.ask(1)[0]
+        study.retract(abandoned)
+        survivor = study.ask(1)[0]  # still pending at checkpoint time
+        path = study.checkpoint(tmp_path / "retract.json")
+        resumed = Study.resume(
+            path, toy_constrained_quadratic(2), surrogate_factory=gp_factory
+        )
+        assert resumed.n_retracted == 1
+        assert resumed.n_pending == 1
+        with pytest.raises(StudyError, match="was retracted"):
+            resumed.tell(abandoned.id, Evaluation(1.0, np.array([-1.0])))
+        assert resumed.ledger.entry(abandoned.proposal_id).retracted
+        # the surviving pending trial still commits normally
+        pending_id = list(resumed.pending_trials())[0]
+        resumed.tell(
+            pending_id, resumed.problem.evaluate_unit(pending_id.u)
+        )
+        while not resumed.done:
+            trial = resumed.ask()[0]
+            resumed.tell(trial, resumed.problem.evaluate_unit(trial.u))
+        assert resumed.result.n_evaluations == 12

@@ -28,6 +28,17 @@ class TestTable1Machinery:
         assert table1.PAPER.n_ensemble == 5
         assert table1.PAPER.hidden_dims == (50, 50)
 
+    def test_proposal_space_flows_into_acquisition_config(self):
+        from repro.experiments.runner import nnbo_configs
+
+        config = table1.Table1Config(proposal_space="trust-region")
+        _, acquisition, _ = nnbo_configs(config)
+        assert acquisition.proposal_space == "trust-region"
+        # the default stays on the bitwise-pinned full-space path
+        _, acquisition, _ = nnbo_configs(table1.Table1Config())
+        assert acquisition.proposal_space == "full"
+        assert acquisition.resolve_proposal_space() is None
+
     def test_unknown_algorithm(self):
         config = table1.QUICK
         with pytest.raises(ValueError):
