@@ -1,0 +1,121 @@
+"""Sizing a circuit against a BO *service* instead of an in-process Study.
+
+A sizing campaign rarely lives in one process: the optimizer should
+survive machine restarts, serve several circuits at once, and hand
+designs to whatever owns the simulators — a SPICE farm, a license queue,
+a measurement bench.  ``repro.service`` packages the ask/tell core as a
+multi-study HTTP server whose client mirrors the :class:`repro.api.Study`
+API one-for-one:
+
+    python examples/service_sizing.py            # full demo
+    python examples/service_sizing.py --smoke    # CI smoke (tiny budget)
+
+The demo boots a real server as a subprocess (`python -m repro.service`)
+on an ephemeral port, creates a charge-pump study over the wire, drives
+it with the familiar ask/evaluate/tell loop, abandons one trial to show
+retraction, and — the service's whole point — *restarts the server* mid
+campaign and finishes the study from its durable checkpoints, with the
+trace continuing exactly where it stopped.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+from repro.api import ChargePumpProblem, StudyClient
+from repro.service import health, list_studies
+
+
+def boot_server(root):
+    """Start `python -m repro.service` and return (process, address)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--root", str(root), "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    # the server prints one JSON line with the bound ephemeral port
+    banner = json.loads(process.stdout.readline())
+    return process, (banner["host"], banner["port"])
+
+
+def main(smoke: bool = False):
+    problem = ChargePumpProblem()
+    n_initial, budget = (3, 5) if smoke else (6, 14)
+    surrogate = {
+        "n_ensemble": 2,
+        "hidden_dims": [16, 16],
+        "n_features": 8,
+        "epochs": 40,
+    }
+
+    root = tempfile.mkdtemp(prefix="bo_service_")
+    server, address = boot_server(root)
+    try:
+        print(f"server up at {address[0]}:{address[1]}  {health(address)}")
+
+        client = StudyClient.create(
+            address,
+            "charge_pump_sizing",
+            problem="charge_pump",  # registered name; the server owns the spec
+            n_initial=n_initial,
+            max_evaluations=budget,
+            seed=0,
+            surrogate=surrogate,
+        )
+        print(f"studies on server: {list_studies(address)}")
+
+        # the ask/tell loop is character-for-character the in-process one;
+        # evaluation stays client-side (here: the local testbench, in a
+        # real flow your simulator farm)
+        for trial in client.ask(2):
+            record = client.tell(trial, problem.evaluate(trial.x))
+            print(
+                f"  trial {trial.id} ({trial.phase}): "
+                f"objective {record.evaluation.objective:.4g}"
+            )
+
+        # a design the farm never finished: retract it, the budget slot
+        # comes straight back (leases automate this for crashed clients)
+        (abandoned,) = client.ask(1)
+        client.retract(abandoned)
+        print(f"  trial {abandoned.id} abandoned -> retracted, slot freed")
+
+        if not smoke:
+            # kill the server mid-campaign and restart it on the same
+            # store: every mutation checkpointed durably, so the study
+            # resumes bitwise and the loop below just keeps going
+            server.terminate()
+            server.wait(timeout=30)
+            server, address = boot_server(root)
+            client = StudyClient.connect(address, "charge_pump_sizing")
+            print(
+                f"server restarted; study resumed at "
+                f"{client.describe()['n_evaluations']} evaluations"
+            )
+
+        while not client.done:
+            for trial in client.ask(1):
+                client.tell(trial, problem.evaluate(trial.x))
+
+        best = client.best()
+        summary = (
+            "no feasible design yet (tiny budget)"
+            if best is None
+            else f"best feasible objective {best.evaluation.objective:.4g}"
+        )
+        print(f"done: {client.describe()['n_evaluations']} evaluations, {summary}")
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny budget, no restart (the CI service-job smoke step)",
+    )
+    main(smoke=parser.parse_args().smoke)

@@ -14,6 +14,12 @@ Three ways in, from highest- to lowest-level:
   code owns evaluation (external simulator farms, license queues,
   humans) and feeds results back with ``tell``.  ``checkpoint()`` /
   ``Study.resume()`` persist a run across process restarts.
+* **As a service** — :class:`StudyServer` / :class:`StudyClient`: a
+  multi-study HTTP server over :class:`StudyStore` (durable, leased,
+  resumable) whose client mirrors the ``Study`` API one-for-one —
+  same methods, same exception types (:class:`StudyError` and
+  subclasses cross the wire as stable codes under
+  :data:`PROTOCOL_VERSION`), bitwise-identical traces.
 * **Building blocks** — the testbench problems of the paper's two
   evaluation circuits, the executor factory, the deterministic replay
   clock, run (de)serialization, and the array-backend selectors
@@ -55,13 +61,27 @@ from repro.bo.scheduler import (
     ProposalLedger,
     make_evaluator,
 )
-from repro.bo.study import BudgetExhausted, Study, StudyError, Trial
+from repro.bo.study import (
+    BudgetExhausted,
+    CheckpointMismatch,
+    Study,
+    StudyError,
+    Trial,
+    UnknownTrial,
+)
 from repro.circuits.testbenches import (
     ChargePumpProblem,
     FoldedCascodeOTAProblem,
     TwoStageOpAmpProblem,
 )
 from repro.core import NNBO
+from repro.service import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    StudyClient,
+    StudyServer,
+    StudyStore,
+)
 from repro.utils.serialization import (
     load_result,
     result_from_dict,
@@ -74,6 +94,7 @@ __all__ = [
     "BackendNotAvailable",
     "BudgetExhausted",
     "ChargePumpProblem",
+    "CheckpointMismatch",
     "DifferentialEvolution",
     "Evaluation",
     "EvaluationExecutor",
@@ -85,16 +106,22 @@ __all__ = [
     "NNBO",
     "OptimizationResult",
     "PROPOSAL_SPACES",
+    "PROTOCOL_VERSION",
     "Problem",
     "ProposalLedger",
     "SchedulerConfig",
+    "ServiceError",
     "Study",
+    "StudyClient",
     "StudyError",
+    "StudyServer",
+    "StudyStore",
     "SurrogateBO",
     "SurrogateConfig",
     "Trial",
     "TrustRegionConfig",
     "TwoStageOpAmpProblem",
+    "UnknownTrial",
     "WEIBO",
     "available_backends",
     "get_namespace",

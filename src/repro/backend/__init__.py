@@ -39,8 +39,12 @@ class BackendNotAvailable(ImportError):
 
     Carries ``backend`` (the requested name) and ``package`` (the pip
     distribution that provides it); the message names both so the fix is
-    obvious from the traceback alone.
+    obvious from the traceback alone.  ``code`` is the stable wire error
+    code the BO service maps this exception to.
     """
+
+    #: stable error code (wire-safe kebab-case identifier)
+    code = "backend-not-available"
 
     def __init__(self, backend: str, package: str):
         self.backend = str(backend)

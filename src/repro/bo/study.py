@@ -57,11 +57,46 @@ CHECKPOINT_FORMAT = "repro.study/v1"
 
 
 class StudyError(ValueError):
-    """An ask/tell protocol violation (unknown trial, wrong phase, ...)."""
+    """An ask/tell protocol violation (unknown trial, wrong phase, ...).
+
+    Every class in the taxonomy carries a stable machine-readable
+    :attr:`code` — the BO service uses these verbatim as wire error codes,
+    so they are part of the public contract and must never change once
+    shipped.  Catching :class:`StudyError` catches the whole taxonomy.
+    """
+
+    #: stable error code (wire-safe kebab-case identifier)
+    code = "study-error"
 
 
 class BudgetExhausted(StudyError):
     """``ask()`` was called with no evaluation budget left."""
+
+    code = "budget-exhausted"
+
+
+class UnknownTrial(StudyError):
+    """A trial id this study never handed out (or no longer tracks)."""
+
+    code = "unknown-trial"
+
+
+class CheckpointMismatch(StudyError):
+    """A :meth:`Study.resume` argument disagrees with the checkpoint.
+
+    ``field`` names the offending checkpoint field; ``expected`` is the
+    checkpointed value and ``actual`` what ``resume()`` received — the
+    message spells out all three so the fix is obvious from the traceback
+    (and the service error envelope carries them in ``detail``).
+    """
+
+    code = "checkpoint-mismatch"
+
+    def __init__(self, message, *, field=None, expected=None, actual=None):
+        super().__init__(message)
+        self.field = field
+        self.expected = expected
+        self.actual = actual
 
 
 @dataclass
@@ -286,6 +321,72 @@ class Study:
         """The best feasible record so far, or ``None``."""
         return self.result.best_feasible()
 
+    def describe(self) -> dict:
+        """JSON-safe snapshot of the study state.
+
+        Counters, pending/retracted trial ids, the feasible incumbent and
+        short digests of the typed configs — everything a remote client
+        needs to render progress without downloading the full history.
+        The returned dict contains only plain JSON types
+        (``json.dumps(study.describe())`` round-trips losslessly) and
+        backs the BO service's ``status`` endpoint.
+        """
+        from repro.utils import serialization
+
+        best = self.result.best_feasible()
+        incumbent = None
+        if best is not None:
+            incumbent = {
+                "index": int(best.index),
+                "x": [float(v) for v in best.x],
+                "objective": float(best.evaluation.objective),
+                "constraints": [float(c) for c in best.evaluation.constraints],
+                "feasible": bool(best.evaluation.feasible),
+                "phase": str(best.phase),
+                "iteration": (
+                    None if best.iteration is None else int(best.iteration)
+                ),
+            }
+        digests = {
+            "acquisition": serialization.config_digest(
+                self.optimizer.acquisition_config
+            ),
+            "scheduler": serialization.config_digest(
+                self.optimizer.scheduler_config
+            ),
+        }
+        surrogate_config = getattr(self.optimizer, "surrogate_config", None)
+        if surrogate_config is not None:
+            digests["surrogate"] = serialization.config_digest(surrogate_config)
+        space = self.optimizer.proposal_space
+        return {
+            "problem": str(self.problem.name),
+            "algorithm": str(self.optimizer.algorithm_name),
+            "dim": int(self.problem.dim),
+            "n_constraints": int(self.problem.n_constraints),
+            "n_initial": int(self.n_initial),
+            "max_evaluations": int(self.max_evaluations),
+            "n_evaluations": int(self.n_evaluations),
+            "n_pending": int(self.n_pending),
+            "n_retracted": int(self.n_retracted),
+            "initial_remaining": int(self.initial_remaining),
+            "remaining_capacity": int(self.remaining_capacity),
+            "iteration": int(self._iteration),
+            "next_trial_id": int(self._next_id),
+            "done": bool(self.done),
+            "pending_ids": [int(i) for i in sorted(self._pending)],
+            "retracted_ids": [int(i) for i in sorted(self._retracted)],
+            "incumbent": incumbent,
+            "cache": {
+                "hits": int(self.result.cache_hits),
+                "misses": int(self.result.cache_misses),
+            },
+            "async_refit": str(self.optimizer.async_refit),
+            "proposal_space": "full" if space is None else str(space.name),
+            "config_digests": digests,
+            "checkpoint_format": CHECKPOINT_FORMAT,
+        }
+
     # -- ask ---------------------------------------------------------------------
 
     def start_initial(self) -> list[Trial]:
@@ -436,7 +537,7 @@ class Study:
                     f"trial {trial_id} was retracted; a retracted trial "
                     "cannot be told"
                 )
-            raise StudyError(
+            raise UnknownTrial(
                 f"unknown trial id {trial_id}; pending ids: "
                 f"{sorted(self._pending)}"
             )
@@ -536,7 +637,7 @@ class Study:
                 )
             if trial_id in self._retracted:
                 raise StudyError(f"trial {trial_id} was already retracted")
-            raise StudyError(
+            raise UnknownTrial(
                 f"unknown trial id {trial_id}; pending ids: "
                 f"{sorted(self._pending)}"
             )
@@ -752,13 +853,18 @@ class Study:
         pending set, the undrawn initial design, the RNG stream position
         and the iteration counters — everything needed for
         :meth:`resume` to continue the run losslessly.  The resumed trace
-        is bitwise identical to the uninterrupted one when the checkpoint
-        is taken at a landing (i.e. after a :meth:`tell`, before further
-        asks): under the default ``async_refit="full"`` policy the next
-        ask refits from the restored history and RNG position, and under
-        ``"fantasy-only"`` the warm surrogate state (bank weights, scales
-        and the incrementally sanitized targets) is serialized alongside
-        and restored exactly.
+        is bitwise identical to the uninterrupted one at any landing
+        (after a :meth:`tell`, before further asks: the next ask refits
+        from the restored history and RNG position) and, on the batched
+        engine, also between asks: whenever the live fit would be reused
+        by the next proposal, the warm surrogate state (bank weights,
+        scales and the incrementally sanitized targets) is serialized
+        alongside and restored exactly, so a checkpoint taken right after
+        an ask — the BO service checkpoints after *every* state mutation —
+        continues without consuming RNG the uninterrupted run would not
+        have.  Legacy per-target surrogates (``surrogate_factory``) carry
+        no serializable warm state; their between-ask resumes refit and
+        are deterministic but not bitwise.
         """
         from repro.utils import serialization
 
@@ -797,14 +903,22 @@ class Study:
             }
         fitted = self._fitted
         if (
-            self.optimizer.async_refit == "fantasy-only"
-            and fitted is not None
+            fitted is not None
             and fitted.bank is not None
+            and (
+                self.optimizer.async_refit == "fantasy-only"
+                or not self._needs_refit
+            )
         ):
-            # the warm bank is live state under "fantasy-only": absorbed
-            # landings and warm-started periodic refits both read it, so a
-            # bitwise resume must restore it (fantasies are rebuilt from
-            # the pending set per proposal and are deliberately dropped)
+            # the warm bank is live state under "fantasy-only" (absorbed
+            # landings and warm-started periodic refits both read it) and,
+            # under "full", whenever the current fit is still reusable
+            # (needs_refit False — i.e. the checkpoint was taken after an
+            # ask, before the next landing): the uninterrupted run would
+            # serve the next streaming proposal from this fit without
+            # touching the RNG, so a bitwise resume must restore it rather
+            # than refit (fantasies are rebuilt from the pending set per
+            # proposal and are deliberately dropped)
             payload["needs_refit"] = bool(self._needs_refit)
             payload["warm_surrogate"] = {
                 "bank": serialization.bank_state_to_dict(fitted.bank),
@@ -839,20 +953,31 @@ class Study:
         payload = json.loads(Path(path).read_text())
         marker = payload.get("format")
         if marker != CHECKPOINT_FORMAT:
-            raise StudyError(
-                f"{path} is not a study checkpoint (format={marker!r}, "
-                f"expected {CHECKPOINT_FORMAT!r})"
+            raise CheckpointMismatch(
+                f"{path} is not a study checkpoint: field 'format' is "
+                f"{marker!r}, expected {CHECKPOINT_FORMAT!r}",
+                field="format",
+                expected=CHECKPOINT_FORMAT,
+                actual=marker,
             )
         if payload["problem"] != problem.name:
-            raise StudyError(
-                f"checkpoint was taken on problem {payload['problem']!r} "
-                f"but resume() received {problem.name!r}"
+            raise CheckpointMismatch(
+                f"checkpoint field 'problem' is {payload['problem']!r} "
+                f"but resume() received problem {problem.name!r}",
+                field="problem",
+                expected=payload["problem"],
+                actual=problem.name,
             )
         for key in ("n_initial", "max_evaluations", "initial_design"):
             if key in study_kwargs:
-                raise StudyError(
-                    f"{key} is restored from the checkpoint "
-                    f"(={payload[key]!r}); do not pass it to resume()"
+                raise CheckpointMismatch(
+                    f"{key} is restored from the checkpoint (checkpoint "
+                    f"{key}={payload[key]!r}, resume() got "
+                    f"{key}={study_kwargs[key]!r}); do not pass it to "
+                    "resume()",
+                    field=key,
+                    expected=payload[key],
+                    actual=study_kwargs[key],
                 )
         study = cls(
             problem,
@@ -879,18 +1004,24 @@ class Study:
         space = study.optimizer.proposal_space
         if saved_space is not None:
             if space is None or space.name != saved_space["name"]:
-                raise StudyError(
-                    "checkpoint was taken with proposal_space="
-                    f"{saved_space['name']!r} but resume() built "
-                    f"{space.name if space is not None else 'full'!r}; pass "
-                    "the same AcquisitionConfig as the original study"
+                built = space.name if space is not None else "full"
+                raise CheckpointMismatch(
+                    "checkpoint field 'proposal_space' is "
+                    f"{saved_space['name']!r} but resume() built {built!r}; "
+                    "pass the same AcquisitionConfig as the original study",
+                    field="proposal_space",
+                    expected=saved_space["name"],
+                    actual=built,
                 )
             space.restore_state(saved_space["state"])
         elif space is not None:
-            raise StudyError(
-                "checkpoint was taken with proposal_space='full' but "
-                f"resume() built {space.name!r}; pass the same "
-                "AcquisitionConfig as the original study"
+            raise CheckpointMismatch(
+                "checkpoint field 'proposal_space' is 'full' but resume() "
+                f"built {space.name!r}; pass the same AcquisitionConfig as "
+                "the original study",
+                field="proposal_space",
+                expected="full",
+                actual=space.name,
             )
         study._landings_since_fit = int(payload["landings_since_fit"])
         study._initial_queue = [
@@ -975,7 +1106,9 @@ def _trial_from_dict(data: dict, problem: Problem) -> Trial:
 __all__ = [
     "BudgetExhausted",
     "CHECKPOINT_FORMAT",
+    "CheckpointMismatch",
     "Study",
     "StudyError",
     "Trial",
+    "UnknownTrial",
 ]

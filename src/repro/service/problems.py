@@ -1,0 +1,166 @@
+"""Problem registration for multi-tenant studies.
+
+A remote client cannot ship a Python callable, so the service accepts two
+kinds of problem spec in :class:`~repro.service.protocol.CreateStudyRequest`:
+
+* **registry problems** — the paper's three testbenches and the synthetic
+  benchmark suite, addressed by name (optionally with ``kwargs`` for
+  parameterized families).  The server owns the simulator; clients may
+  still evaluate externally, but ``x`` is reproducible server-side.
+* **external spec tables** — ``{"name", "lower", "upper",
+  "n_constraints"}``: the client owns an opaque simulator (a SPICE farm,
+  a lab bench) and the server only proposes designs and ingests results.
+  The resulting :class:`ExternalProblem` refuses server-side evaluation
+  by construction.
+
+Builders are referenced by dotted path and imported lazily, so importing
+:mod:`repro.service` does not drag in the circuit engine.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+import numpy as np
+
+from repro.bo.problem import Evaluation, Problem
+from repro.service.errors import BadRequest, UnknownProblem
+
+#: registered problem name -> "module:attr" builder (lazily imported)
+PROBLEM_REGISTRY: dict[str, str] = {
+    # the paper's testbenches (Table I / Table II circuits)
+    "charge_pump": "repro.circuits.testbenches:ChargePumpProblem",
+    "two_stage_opamp": "repro.circuits.testbenches:TwoStageOpAmpProblem",
+    "folded_cascode": "repro.circuits.testbenches:FoldedCascodeOTAProblem",
+    # synthetic constrained benchmarks
+    "gardner": "repro.benchfns:gardner_problem",
+    "g06": "repro.benchfns:g06_problem",
+    "g08": "repro.benchfns:g08_problem",
+    "pressure_vessel": "repro.benchfns:pressure_vessel_problem",
+    "tension_spring": "repro.benchfns:tension_spring_problem",
+    "toy_constrained_quadratic": "repro.benchfns:toy_constrained_quadratic",
+    # high-dimensional embedded family (kwargs: function, dim, seed, ...)
+    "embedded_highdim": "repro.benchfns:embedded_highdim_problem",
+}
+
+
+def registered_problems() -> tuple[str, ...]:
+    """The names :func:`build_problem` resolves, sorted."""
+    return tuple(sorted(PROBLEM_REGISTRY))
+
+
+class ExternalProblem(Problem):
+    """A client-declared search space with no server-side simulator.
+
+    Supports everything a :class:`~repro.bo.study.Study` needs (bounds,
+    unit-box scaling, constraint count); :meth:`evaluate` raises, because
+    only the owning client can run the simulator — results arrive
+    exclusively through ``tell``.
+    """
+
+    # no simulator means nothing to memoize; keeps cache counters at zero
+    cache_evaluations = False
+
+    def __init__(self, name: str, lower, upper, n_constraints: int):
+        super().__init__(name, lower, upper, n_constraints=n_constraints)
+
+    def evaluate(self, x: np.ndarray) -> Evaluation:
+        raise RuntimeError(
+            f"problem {self.name!r} is externally evaluated: the client "
+            "owns the simulator and must tell() results; the server never "
+            "evaluates designs"
+        )
+
+
+def build_problem(spec) -> Problem:
+    """Construct a :class:`Problem` from a wire problem spec.
+
+    ``spec`` is a registry name string, a ``{"name", "kwargs"}`` dict for
+    parameterized registry problems, or an external spec table
+    ``{"name", "lower", "upper", "n_constraints"}``.
+    """
+    if isinstance(spec, str):
+        return _build_registered(spec, {})
+    if not isinstance(spec, dict):
+        raise BadRequest(
+            "problem spec must be a registered name or an object, got "
+            f"{type(spec).__name__}"
+        )
+    name = spec.get("name")
+    if not isinstance(name, str) or not name:
+        raise BadRequest(
+            "problem spec object needs a non-empty 'name' field, got "
+            f"{name!r}"
+        )
+    if "lower" in spec or "upper" in spec:
+        return _build_external(name, spec)
+    unknown = sorted(set(spec) - {"name", "kwargs"})
+    if unknown:
+        raise BadRequest(
+            f"unknown problem-spec field(s) {unknown}; a registry spec "
+            "has 'name' and optional 'kwargs', an external spec table "
+            "has 'name', 'lower', 'upper' and 'n_constraints'",
+            detail={"unknown": unknown},
+        )
+    kwargs = spec.get("kwargs") or {}
+    if not isinstance(kwargs, dict):
+        raise BadRequest(
+            f"problem spec 'kwargs' must be an object, got "
+            f"{type(kwargs).__name__}"
+        )
+    return _build_registered(name, kwargs)
+
+
+def _build_registered(name: str, kwargs: dict) -> Problem:
+    target = PROBLEM_REGISTRY.get(name)
+    if target is None:
+        raise UnknownProblem(
+            f"no registered problem named {name!r}; registered: "
+            f"{list(registered_problems())} (or pass an external spec "
+            "table with 'lower'/'upper'/'n_constraints')",
+            detail={"registered": list(registered_problems())},
+        )
+    module_name, attr = target.split(":")
+    builder = getattr(import_module(module_name), attr)
+    try:
+        problem = builder(**kwargs)
+    except TypeError as exc:
+        raise BadRequest(
+            f"invalid kwargs for problem {name!r}: {exc}"
+        ) from exc
+    if not isinstance(problem, Problem):
+        raise UnknownProblem(
+            f"registered builder for {name!r} returned "
+            f"{type(problem).__name__}, not a Problem"
+        )
+    return problem
+
+
+def _build_external(name: str, spec: dict) -> ExternalProblem:
+    unknown = sorted(set(spec) - {"name", "lower", "upper", "n_constraints"})
+    if unknown:
+        raise BadRequest(
+            f"unknown external-problem field(s) {unknown}; an external "
+            "spec table has 'name', 'lower', 'upper' and 'n_constraints'",
+            detail={"unknown": unknown},
+        )
+    missing = sorted({"lower", "upper"} - set(spec))
+    if missing:
+        raise BadRequest(
+            f"external problem spec {name!r} is missing {missing}"
+        )
+    lower = np.asarray(spec["lower"], dtype=float)
+    upper = np.asarray(spec["upper"], dtype=float)
+    n_constraints = int(spec.get("n_constraints", 0))
+    try:
+        return ExternalProblem(name, lower, upper, n_constraints=n_constraints)
+    except ValueError as exc:
+        raise BadRequest(f"invalid external problem spec: {exc}") from exc
+
+
+__all__ = [
+    "ExternalProblem",
+    "PROBLEM_REGISTRY",
+    "build_problem",
+    "registered_problems",
+]

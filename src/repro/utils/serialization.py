@@ -191,6 +191,22 @@ def config_payload(config) -> dict:
     return config_to_dict(config)
 
 
+def config_digest(config) -> str:
+    """Short stable digest of a typed config.
+
+    SHA-256 over the canonical (sorted-key, compact) JSON form of
+    :func:`config_payload`, truncated to 12 hex chars.  Two studies with
+    equal digests were built from field-identical configs; the service's
+    ``status`` endpoint exposes these so clients can verify a resumed or
+    remote study matches their local expectations without shipping whole
+    config objects over the wire.
+    """
+    import hashlib
+
+    blob = json.dumps(config_payload(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
 # -- surrogate-bank snapshots (warm fantasy-only resume) ----------------------------
 
 

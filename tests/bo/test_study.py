@@ -26,7 +26,13 @@ from repro.bo.config import SchedulerConfig
 from repro.bo.loop import SurrogateBO
 from repro.bo.problem import Evaluation
 from repro.bo.scheduler import FakeClock
-from repro.bo.study import BudgetExhausted, Study, StudyError
+from repro.bo.study import (
+    BudgetExhausted,
+    CheckpointMismatch,
+    Study,
+    StudyError,
+    UnknownTrial,
+)
 from repro.benchfns import toy_constrained_quadratic
 from repro.core import NNBO
 
@@ -610,3 +616,164 @@ class TestRetract:
             trial = resumed.ask()[0]
             resumed.tell(trial, resumed.problem.evaluate_unit(trial.u))
         assert resumed.result.n_evaluations == 12
+
+
+class TestErrorTaxonomy:
+    """Stable `.code` attributes — the BO service's wire error codes."""
+
+    def test_codes_are_stable_api(self):
+        assert StudyError.code == "study-error"
+        assert BudgetExhausted.code == "budget-exhausted"
+        assert UnknownTrial.code == "unknown-trial"
+        assert CheckpointMismatch.code == "checkpoint-mismatch"
+
+    def test_unknown_trial_raised_for_never_issued_ids(self):
+        study = make_study()
+        with pytest.raises(UnknownTrial, match="unknown trial id 42"):
+            study.tell(42, 1.0)
+        with pytest.raises(UnknownTrial, match="unknown trial id 42"):
+            study.retract(42)
+
+    def test_budget_exhaustion_is_its_own_code(self):
+        study = make_study(n_initial=2, max_evaluations=2)
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        with pytest.raises(BudgetExhausted) as err:
+            study.ask()
+        assert err.value.code == "budget-exhausted"
+        assert isinstance(err.value, StudyError)  # hierarchy intact
+
+    def test_resume_mismatches_name_field_and_both_values(self, tmp_path):
+        study = make_study()
+        path = study.checkpoint(tmp_path / "study.json")
+
+        with pytest.raises(
+            CheckpointMismatch, match="'toy_quadratic_2d'.*'toy_quadratic_3d'"
+        ) as err:
+            Study.resume(
+                path,
+                toy_constrained_quadratic(3),
+                surrogate_factory=gp_factory,
+            )
+        assert err.value.field == "problem"
+        assert err.value.expected == "toy_quadratic_2d"
+        assert err.value.actual == "toy_quadratic_3d"
+
+        with pytest.raises(
+            CheckpointMismatch, match=r"n_initial=5.*n_initial=7"
+        ) as err:
+            Study.resume(
+                path,
+                toy_constrained_quadratic(2),
+                surrogate_factory=gp_factory,
+                n_initial=7,
+            )
+        assert err.value.field == "n_initial"
+        assert err.value.expected == 5
+        assert err.value.actual == 7
+
+    def test_resume_rejects_non_checkpoint_file(self, tmp_path):
+        path = tmp_path / "not_a_checkpoint.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(
+            CheckpointMismatch, match="is not a study checkpoint"
+        ) as err:
+            Study.resume(
+                path,
+                toy_constrained_quadratic(2),
+                surrogate_factory=gp_factory,
+            )
+        assert err.value.field == "format"
+        assert err.value.actual == "something-else"
+
+
+class TestDescribe:
+    def test_describe_is_json_round_trippable(self):
+        study = make_study()
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        study.ask(1)
+        described = study.describe()
+        assert json.loads(json.dumps(described)) == described
+
+    def test_describe_tracks_the_run(self):
+        study = make_study(n_initial=2, max_evaluations=6)
+        described = study.describe()
+        assert described["problem"] == "toy_quadratic_2d"
+        assert described["n_evaluations"] == 0
+        assert described["dim"] == 2
+        assert described["done"] is False
+        assert described["incumbent"] is None
+
+        for trial in study.start_initial():
+            study.tell(trial, study.problem.evaluate_unit(trial.u))
+        pending = study.ask(1)[0]
+        described = study.describe()
+        assert described["n_evaluations"] == 2
+        assert described["n_pending"] == 1
+        assert described["pending_ids"] == [pending.id]
+        assert described["remaining_capacity"] == 3
+        if described["incumbent"] is not None:
+            assert described["incumbent"]["objective"] == (
+                study.best().evaluation.objective
+            )
+
+    def test_config_digests_identify_equal_configs(self):
+        a = make_study(
+            surrogate_factory=None, surrogate=_tiny_surrogate(), seed=1
+        )
+        b = make_study(
+            surrogate_factory=None, surrogate=_tiny_surrogate(), seed=2
+        )
+        assert (
+            a.describe()["config_digests"] == b.describe()["config_digests"]
+        )
+
+
+class TestAskTimeCheckpoint:
+    def test_checkpoint_after_ask_resumes_bitwise_under_full_refit(
+        self, tmp_path
+    ):
+        """The service checkpoints after *every* mutation, asks included.
+
+        Under the default ``async_refit="full"`` a consecutive streaming
+        ask reuses the cached fit without consuming RNG — so a resume
+        from an ask-time checkpoint must restore the warm bank rather
+        than refit, or the RNG streams diverge.
+        """
+
+        def fresh():
+            return Study(
+                toy_constrained_quadratic(2),
+                surrogate=_tiny_surrogate(),
+                n_initial=3,
+                max_evaluations=9,
+                seed=4,
+            )
+
+        uninterrupted = fresh()
+        interrupted = fresh()
+        for study in (uninterrupted, interrupted):
+            for trial in study.start_initial():
+                study.tell(trial, study.problem.evaluate_unit(trial.u))
+            study.ask(1)  # pending at checkpoint time; fit is warm
+
+        path = interrupted.checkpoint(tmp_path / "after_ask.json")
+        payload = json.loads(path.read_text())
+        assert "warm_surrogate" in payload  # full-refit warm state travels
+        resumed = Study.resume(
+            path, toy_constrained_quadratic(2), surrogate=_tiny_surrogate()
+        )
+
+        for study in (uninterrupted, resumed):
+            pending = study.pending_trials()[0]
+            study.tell(pending, study.problem.evaluate_unit(pending.u))
+            while not study.done:
+                trial = study.ask()[0]
+                study.tell(trial, study.problem.evaluate_unit(trial.u))
+        np.testing.assert_array_equal(
+            resumed.result.x_matrix, uninterrupted.result.x_matrix
+        )
+        np.testing.assert_array_equal(
+            resumed.result.objectives, uninterrupted.result.objectives
+        )

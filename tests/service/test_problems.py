@@ -1,0 +1,100 @@
+"""Problem-registration tests: registry names, kwargs, external specs."""
+
+import numpy as np
+import pytest
+
+from repro.bo.problem import Problem
+from repro.service.errors import BadRequest, UnknownProblem
+from repro.service.problems import (
+    PROBLEM_REGISTRY,
+    ExternalProblem,
+    build_problem,
+    registered_problems,
+)
+
+
+class TestRegistry:
+    def test_every_registered_name_builds_a_problem(self):
+        for name in registered_problems():
+            spec = name
+            if name == "embedded_highdim":
+                # the parameterized family needs its function/dim kwargs
+                spec = {
+                    "name": name,
+                    "kwargs": {"function": "sphere", "dim": 20, "seed": 0},
+                }
+            problem = build_problem(spec)
+            assert isinstance(problem, Problem), name
+            assert problem.dim >= 1
+
+    def test_paper_testbenches_are_registered(self):
+        for name in ("charge_pump", "two_stage_opamp", "folded_cascode"):
+            assert name in PROBLEM_REGISTRY
+
+    def test_kwargs_reach_the_builder(self):
+        problem = build_problem(
+            {"name": "embedded_highdim", "kwargs": {"function": "sphere", "dim": 33}}
+        )
+        assert problem.dim == 33
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(UnknownProblem, match="charge_pump") as err:
+            build_problem("nope")
+        assert err.value.code == "unknown-problem"
+        assert "nope" in str(err.value)
+
+    def test_bad_kwargs_are_bad_request(self):
+        with pytest.raises(BadRequest, match="gardner"):
+            build_problem({"name": "gardner", "kwargs": {"bogus": 1}})
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(BadRequest, match="bogus"):
+            build_problem({"name": "gardner", "bogus": 1})
+
+    def test_non_spec_types_rejected(self):
+        with pytest.raises(BadRequest):
+            build_problem(7)
+        with pytest.raises(BadRequest):
+            build_problem({"kwargs": {}})
+
+
+class TestExternalProblem:
+    def test_spec_table_builds_search_space(self):
+        problem = build_problem(
+            {
+                "name": "fab_bench",
+                "lower": [0.0, -1.0],
+                "upper": [1.0, 2.0],
+                "n_constraints": 3,
+            }
+        )
+        assert isinstance(problem, ExternalProblem)
+        assert problem.name == "fab_bench"
+        assert problem.dim == 2
+        assert problem.n_constraints == 3
+        np.testing.assert_array_equal(problem.lower, [0.0, -1.0])
+        np.testing.assert_array_equal(problem.upper, [1.0, 2.0])
+
+    def test_server_side_evaluation_refused(self):
+        problem = build_problem(
+            {"name": "fab", "lower": [0.0], "upper": [1.0], "n_constraints": 0}
+        )
+        with pytest.raises(RuntimeError, match="externally evaluated"):
+            problem.evaluate(np.zeros(1))
+        assert problem.cache_evaluations is False
+
+    def test_missing_bound_rejected(self):
+        with pytest.raises(BadRequest, match="upper"):
+            build_problem({"name": "fab", "lower": [0.0]})
+
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(BadRequest):
+            build_problem(
+                {"name": "fab", "lower": [0.0, 0.0], "upper": [1.0]}
+            )
+
+    def test_unknown_external_field_rejected(self):
+        with pytest.raises(BadRequest, match="kwargs"):
+            build_problem(
+                {"name": "fab", "lower": [0.0], "upper": [1.0], "kwargs": {}}
+            )

@@ -1,0 +1,186 @@
+"""Crash-recovery and paper-testbench acceptance tests.
+
+The brutal version of the durability contract: SIGKILL a *real* server
+process (no atexit, no flush, no goodbye) holding several studies with
+trials in flight, restart on the same store directory, and require every
+study to continue bitwise — plus the headline acceptance pin, a
+:class:`StudyClient`-driven study on the paper's charge-pump testbench
+bitwise-identical to an in-process :class:`Study`.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.benchfns import toy_constrained_quadratic
+from repro.bo.config import SurrogateConfig
+from repro.bo.study import Study
+from repro.circuits.testbenches import ChargePumpProblem
+from repro.service import StudyClient, StudyServer
+
+TINY = {"n_ensemble": 2, "hidden_dims": [10, 10], "n_features": 6, "epochs": 20}
+PROBLEM = toy_constrained_quadratic(2)
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def boot_server(root):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{_SRC}{os.pathsep}" + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--root",
+            str(root),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = json.loads(process.stdout.readline())
+    return process, (banner["host"], banner["port"])
+
+
+class TestSigkillRecovery:
+    def test_killed_server_resumes_every_study_bitwise(self, tmp_path):
+        root = tmp_path / "store"
+        seeds = {"alpha": 3, "beta": 5}
+        in_flight = {}
+
+        process, address = boot_server(root)
+        try:
+            for name, seed in seeds.items():
+                client = StudyClient.create(
+                    address,
+                    name,
+                    problem="toy_constrained_quadratic",
+                    n_initial=3,
+                    max_evaluations=9,
+                    seed=seed,
+                    surrogate=TINY,
+                )
+                asked = client.ask(2)  # both studies have in-flight trials
+                if name == "alpha":  # one also has a committed landing
+                    client.tell(asked[0], PROBLEM.evaluate(asked[0].x))
+                    asked = asked[1:]
+                in_flight[name] = asked
+        finally:
+            # SIGKILL: no shutdown hooks, no flush — durability must
+            # already be on disk from the per-mutation checkpoints
+            process.kill()
+            process.wait(timeout=30)
+
+        process, address = boot_server(root)
+        try:
+            for name, seed in seeds.items():
+                client = StudyClient.connect(address, name)
+                pending = client.pending_trials()
+                assert [t.id for t in pending] == [
+                    t.id for t in in_flight[name]
+                ]
+                for expected, got in zip(in_flight[name], pending):
+                    np.testing.assert_array_equal(expected.u, got.u)
+                for trial in pending:
+                    client.tell(trial, PROBLEM.evaluate(trial.x))
+                records = []
+                while not client.done:
+                    for trial in client.ask(1):
+                        records.append(
+                            client.tell(trial, PROBLEM.evaluate(trial.x))
+                        )
+
+                reference = Study(
+                    toy_constrained_quadratic(2),
+                    n_initial=3,
+                    max_evaluations=9,
+                    seed=seed,
+                    surrogate=SurrogateConfig(**TINY),
+                )
+                asked = reference.ask(2)
+                if name == "alpha":
+                    reference.tell(asked[0], PROBLEM.evaluate(asked[0].x))
+                    asked = asked[1:]
+                for trial in asked:
+                    reference.tell(trial, PROBLEM.evaluate(trial.x))
+                while not reference.done:
+                    for trial in reference.ask(1):
+                        reference.tell(trial, PROBLEM.evaluate(trial.x))
+
+                best = client.best()
+                reference_best = reference.best()
+                np.testing.assert_array_equal(best.x, reference_best.x)
+                assert (
+                    best.evaluation.objective
+                    == reference_best.evaluation.objective
+                )
+                # the full post-restart tail, bitwise
+                tail = reference.result.records[-len(records):]
+                np.testing.assert_array_equal(
+                    np.array([r.x for r in tail]),
+                    np.array([r.x for r in records]),
+                )
+                np.testing.assert_array_equal(
+                    np.array([r.evaluation.objective for r in tail]),
+                    np.array([r.evaluation.objective for r in records]),
+                )
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+
+
+@pytest.mark.slow
+class TestChargePumpAcceptance:
+    def test_client_driven_charge_pump_bitwise_vs_in_process(self, tmp_path):
+        problem = ChargePumpProblem()
+        budget, n_initial, seed = 8, 4, 0
+
+        with StudyServer(tmp_path / "store", port=0) as server:
+            client = StudyClient.create(
+                server.address,
+                "cp",
+                problem="charge_pump",
+                n_initial=n_initial,
+                max_evaluations=budget,
+                seed=seed,
+                surrogate=TINY,
+            )
+            remote = []
+            while not client.done:
+                for trial in client.ask(1):
+                    remote.append(
+                        client.tell(trial, problem.evaluate(trial.x))
+                    )
+
+        reference = Study(
+            ChargePumpProblem(),
+            n_initial=n_initial,
+            max_evaluations=budget,
+            seed=seed,
+            surrogate=SurrogateConfig(**TINY),
+        )
+        while not reference.done:
+            for trial in reference.ask(1):
+                reference.tell(trial, problem.evaluate(trial.x))
+
+        np.testing.assert_array_equal(
+            reference.result.x_matrix,
+            np.array([record.x for record in remote]),
+        )
+        np.testing.assert_array_equal(
+            reference.result.objectives,
+            np.array([record.evaluation.objective for record in remote]),
+        )
+        np.testing.assert_array_equal(
+            reference.result.constraint_matrix,
+            np.array([record.evaluation.constraints for record in remote]),
+        )
