@@ -5,8 +5,20 @@ substitution, which is what the optimization budgets of Tables I/II are
 denominated in.  Useful for regression-testing simulator performance,
 since the table benches' wall time is dominated by these calls.
 
+The backend-axis test compares the in-process MNA backend against a
+subprocess ngspice-protocol backend (the repo's fake-ngspice stub, which
+runs the same MNA engine behind the real deck-write/raw-parse path) on
+identical op-amp evaluations, recording the per-eval process overhead in
+``BENCH_simulator.json``.
+
 Run: ``pytest benchmarks/bench_simulator.py --benchmark-only``
 """
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -15,10 +27,38 @@ from repro.circuits import ACAnalysis, Circuit, DCAnalysis, nmos_180
 from repro.circuits.ac import log_freqs
 from repro.circuits.pvt import NOMINAL, standard_corners
 from repro.circuits.testbenches import ChargePumpProblem, TwoStageOpAmpProblem
+from repro.sim import NgspiceBackend
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 OPAMP_X = np.array(
     [40e-6, 0.5e-6, 10e-6, 0.5e-6, 80e-6, 0.3e-6, 40e-6, 0.5e-6, 3e-12, 10e-6]
 )
+
+FAKE_NGSPICE = Path(__file__).resolve().parents[1] / "tests" / "sim" / "fake_ngspice.py"
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one result record into ``BENCH_simulator.json``.
+
+    Same stable-key ``results`` mapping as the other BENCH_*.json
+    artifacts, so the per-backend eval costs are trackable across PRs.
+    """
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_simulator.json")
+    data: dict = {"bench": "simulator", "results": {}}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict) and isinstance(existing.get("results"), dict):
+            data = existing
+    except (OSError, ValueError):
+        pass
+    data["bench"] = "simulator"
+    data["quick"] = QUICK
+    data["results"][key] = payload
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    print(f"[simulator] recorded {key!r} in {path}")
 
 
 @pytest.mark.benchmark(group="simulator")
@@ -73,3 +113,47 @@ def test_newton_iteration_cost(benchmark):
     ckt = problem.build_circuit(OPAMP_X)
     analysis = DCAnalysis(ckt)
     benchmark(lambda: analysis.solve())
+
+
+def test_backend_axis_process_overhead():
+    """Per-eval cost of the MNA backend vs. the subprocess ngspice path.
+
+    The stub backend runs the identical MNA solve behind a real deck
+    write, subprocess launch, and rawfile parse, so the measured gap *is*
+    the external-simulator protocol overhead.  No floor is asserted — a
+    subprocess per eval is legitimately orders of magnitude slower than
+    an in-process solve; the point is to record the number.
+    """
+    reps = 2 if QUICK else 5
+    stub = NgspiceBackend(binary=[sys.executable, str(FAKE_NGSPICE)], timeout=120.0)
+    timings: dict[str, float] = {}
+    gains: dict[str, float] = {}
+    for label, backend in (("mna", "mna"), ("ngspice-stub", stub)):
+        problem = TwoStageOpAmpProblem(sim_backend=backend)
+        problem.simulate(OPAMP_X)  # warm-up outside the timed loop
+        start = time.perf_counter()
+        for _ in range(reps):
+            metrics = problem.simulate(OPAMP_X)
+        timings[label] = (time.perf_counter() - start) / reps
+        gains[label] = metrics["gain_db"]
+        assert metrics["gain_db"] > 40.0
+    overhead = timings["ngspice-stub"] / timings["mna"]
+    _record(
+        "opamp_eval_backend_axis",
+        {
+            "reps": reps,
+            "mna_s_per_eval": timings["mna"],
+            "ngspice_stub_s_per_eval": timings["ngspice-stub"],
+            "subprocess_overhead_x": overhead,
+            "gain_db_mna": gains["mna"],
+            "gain_db_ngspice_stub": gains["ngspice-stub"],
+        },
+    )
+    # both paths must measure the same amplifier (grid regeneration in the
+    # deck round-trip allows tiny numeric drift, not behavioral drift)
+    assert abs(gains["mna"] - gains["ngspice-stub"]) < 1e-3
+    print(
+        f"[simulator] per-eval: mna={timings['mna'] * 1e3:.2f} ms, "
+        f"ngspice-stub={timings['ngspice-stub'] * 1e3:.2f} ms "
+        f"({overhead:.1f}x subprocess overhead)"
+    )

@@ -25,6 +25,12 @@ Three ways in, from highest- to lowest-level:
   clock, run (de)serialization, and the array-backend selectors
   (:func:`get_namespace` / :func:`available_backends`) behind
   ``SurrogateConfig(backend=...)``.
+* **Simulator backends** — the pluggable engine layer of
+  :mod:`repro.sim`: :class:`SimulatorBackend` implementations
+  (:class:`MNABackend`, :class:`NgspiceBackend`) selected by the
+  testbenches' ``sim_backend`` knob, :func:`problem_from_netlist` to
+  size an existing SPICE deck, and :class:`CornerRobustProblem` for
+  worst-case-over-PVT studies.
 
 Example (ask/tell against an external evaluator)::
 
@@ -75,6 +81,16 @@ from repro.circuits.testbenches import (
     TwoStageOpAmpProblem,
 )
 from repro.core import NNBO
+from repro.sim import (
+    SIM_BACKENDS,
+    CornerRobustProblem,
+    MNABackend,
+    NgspiceBackend,
+    SimulatorBackend,
+    SimulatorNotAvailable,
+    problem_from_netlist,
+    resolve_sim_backend,
+)
 from repro.service import (
     PROTOCOL_VERSION,
     ServiceError,
@@ -95,6 +111,7 @@ __all__ = [
     "BudgetExhausted",
     "ChargePumpProblem",
     "CheckpointMismatch",
+    "CornerRobustProblem",
     "DifferentialEvolution",
     "Evaluation",
     "EvaluationExecutor",
@@ -103,14 +120,19 @@ __all__ = [
     "FoldedCascodeOTAProblem",
     "FunctionProblem",
     "GASPAD",
+    "MNABackend",
     "NNBO",
+    "NgspiceBackend",
     "OptimizationResult",
     "PROPOSAL_SPACES",
     "PROTOCOL_VERSION",
     "Problem",
     "ProposalLedger",
+    "SIM_BACKENDS",
     "SchedulerConfig",
     "ServiceError",
+    "SimulatorBackend",
+    "SimulatorNotAvailable",
     "Study",
     "StudyClient",
     "StudyError",
@@ -127,6 +149,8 @@ __all__ = [
     "get_namespace",
     "load_result",
     "make_evaluator",
+    "problem_from_netlist",
+    "resolve_sim_backend",
     "result_from_dict",
     "result_to_dict",
     "save_result",

@@ -135,11 +135,25 @@ class Problem:
         """Simulate one design point ``x`` (in natural units)."""
         raise NotImplementedError
 
+    def cache_context(self) -> tuple:
+        """Identity of the evaluation machinery, mixed into cache keys.
+
+        Problems whose numbers depend on more than the design vector (for
+        example which simulator backend ran, see
+        :meth:`repro.sim.base.SimulatorBackend.cache_context`) override
+        this; entries recorded under one context are never served — in
+        memory or from disk — to a problem configured with another.  The
+        default empty tuple keeps plain problems' keys and on-disk cache
+        schema unchanged.
+        """
+        return ()
+
     def cache_key(self, u: np.ndarray) -> tuple:
-        """Memoization key for unit-box coordinates (rounded, clipped)."""
+        """Memoization key: evaluation context + rounded unit coordinates."""
         u = check_vector_1d(u, "u", length=self.dim)
         u_clipped = np.clip(u, 0.0, 1.0)
-        return tuple(np.round(u_clipped, self.cache_decimals).tolist())
+        coords = tuple(np.round(u_clipped, self.cache_decimals).tolist())
+        return tuple(self.cache_context()) + coords
 
     def lookup_cached(self, u: np.ndarray, count: bool = True) -> Evaluation | None:
         """Return the memoized evaluation of ``u`` or ``None``.
@@ -228,40 +242,62 @@ class Problem:
         return os.path.join(self.cache_dir, f"{slug}.evals.jsonl")
 
     def _load_disk_cache(self):
-        """Warm the in-memory cache from the JSON-lines store (if present)."""
+        """Warm the in-memory cache from the JSON-lines store (if present).
+
+        Entries recorded under a different :meth:`cache_context` (e.g. a
+        different simulator backend or version) are skipped, not loaded
+        under the current context.
+        """
         path = self._disk_cache_path
         if path is None or not os.path.exists(path):
             return
+        context = tuple(self.cache_context())
+        for entry in self._read_disk_entries(path):
+            try:
+                coords = tuple(float(v) for v in entry["key"])
+                entry_context = tuple(entry.get("context", ()))
+                evaluation = Evaluation(
+                    objective=entry["objective"],
+                    constraints=np.asarray(entry["constraints"], dtype=float),
+                    metrics=dict(entry.get("metrics", {})),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # tolerate a torn final line from a crashed run
+            if len(coords) == self.dim and entry_context == context:
+                self._eval_cache[context + coords] = evaluation
+
+    @staticmethod
+    def _read_disk_entries(path: str):
         with open(path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    entry = json.loads(line)
-                    key = tuple(float(v) for v in entry["key"])
-                    evaluation = Evaluation(
-                        objective=entry["objective"],
-                        constraints=np.asarray(entry["constraints"], dtype=float),
-                        metrics=dict(entry.get("metrics", {})),
-                    )
-                except (KeyError, TypeError, ValueError):
-                    continue  # tolerate a torn final line from a crashed run
-                if len(key) == self.dim:
-                    self._eval_cache[key] = evaluation
+                    yield json.loads(line)
+                except ValueError:
+                    continue
 
     def _append_disk_entry(self, key: tuple, evaluation: Evaluation):
-        """Persist one simulation (caller holds the cache lock)."""
+        """Persist one simulation (caller holds the cache lock).
+
+        ``key`` is a full cache key (context prefix + coordinates); the
+        context is stored as its own field — and omitted entirely when
+        empty, keeping the historical schema for context-free problems.
+        """
         path = self._disk_cache_path
         if path is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
+        context = tuple(self.cache_context())
         entry = {
-            "key": list(key),
+            "key": list(key[len(context):]),
             "objective": evaluation.objective,
             "constraints": evaluation.constraints.tolist(),
             "metrics": _json_safe(evaluation.metrics),
         }
+        if context:
+            entry["context"] = _json_safe(list(context))
         with open(path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(entry) + "\n")
 

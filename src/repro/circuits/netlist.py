@@ -13,7 +13,14 @@ from repro.circuits.devices import (
 from repro.circuits.mosfet import MOSFET, MOSFETParams
 
 GROUND = "0"
-_GROUND_ALIASES = {"0", "gnd", "GND", "vss!", "gnd!"}
+#: lower-cased ground spellings; matching is case-insensitive (SPICE node
+#: names are), so ``GND``/``Gnd``/``VSS!`` all map to the reference node
+_GROUND_ALIASES = {"0", "gnd", "gnd!", "vss!", "ground"}
+
+
+def is_ground(name) -> bool:
+    """Whether a node name is the ground reference (any alias, any case)."""
+    return str(name).lower() in _GROUND_ALIASES
 
 
 class Circuit:
@@ -105,7 +112,7 @@ class Circuit:
         """MNA index of a node (-1 for ground)."""
         self.finalize()
         name = str(name)
-        if name in _GROUND_ALIASES:
+        if is_ground(name):
             return -1
         try:
             return self._node_index[name]
@@ -124,7 +131,7 @@ class Circuit:
         for device in self.devices:
             for node in device.nodes:
                 node = str(node)
-                if node in _GROUND_ALIASES or node in self._node_index:
+                if is_ground(node) or node in self._node_index:
                     continue
                 self._node_index[node] = len(self._node_index)
         n_nodes = len(self._node_index)
@@ -132,7 +139,7 @@ class Circuit:
             raise ValueError(f"circuit {self.name!r} has only ground nodes")
 
         def index_of(node_name: str) -> int:
-            if node_name in _GROUND_ALIASES:
+            if is_ground(node_name):
                 return -1
             return self._node_index[node_name]
 

@@ -75,9 +75,19 @@ def parse_value(token: str) -> float:
     return value
 
 
-def format_value(value: float) -> str:
-    """Format a number compactly for netlist output."""
-    return f"{value:.6g}"
+#: vacuum permittivity x SiO2 relative permittivity [F/m]; converts the
+#: model's areal gate capacitance to/from the SPICE TOX card
+_EPS_OX = 3.9 * 8.854e-12
+
+
+def format_value(value: float, precision: int = 6) -> str:
+    """Format a number compactly for netlist output.
+
+    The default 6 significant digits keeps decks human-readable; pass
+    ``precision=17`` for machine round-trips (``%.17g`` reproduces any
+    double exactly through parse -> format -> parse).
+    """
+    return f"{value:.{int(precision)}g}"
 
 
 def _join_continuations(lines: list[str]) -> list[str]:
@@ -119,6 +129,12 @@ def _parse_model_card(tokens: list[str], text: str) -> tuple[str, MOSFETParams]:
     gamma = params.get("gamma", 0.45)
     phi = params.get("phi", 0.85)
     polarity = "n" if mtype == "NMOS" else "p"
+    defaults = MOSFETParams(polarity=polarity, vth0=vto, kp=kp, lambda_l=lam)
+    # capacitance cards: TOX encodes the areal gate capacitance, CGSO/CGDO
+    # the overlap per width, CJSW the junction sidewall per width
+    cox = _EPS_OX / params["tox"] if params.get("tox") else defaults.cox
+    cov = params.get("cgso", params.get("cgdo", defaults.cov))
+    cj_w = params.get("cjsw", defaults.cj_w)
     # our model uses lambda_l = lambda * L; store the raw SPICE lambda and
     # convert at instance time (see parse_netlist)
     model = MOSFETParams(
@@ -128,6 +144,9 @@ def _parse_model_card(tokens: list[str], text: str) -> tuple[str, MOSFETParams]:
         lambda_l=lam,  # placeholder; scaled per instance below
         gamma=gamma,
         phi=phi,
+        cox=cox,
+        cov=cov,
+        cj_w=cj_w,
     )
     return name, model
 
@@ -340,49 +359,84 @@ def _require(condition: bool, line: str):
         raise SpiceError(f"malformed card: {line!r}")
 
 
-def write_netlist(circuit: Circuit, title: str | None = None) -> str:
+def write_netlist(
+    circuit: Circuit, title: str | None = None, precision: int = 6
+) -> str:
     """Serialize a circuit to a SPICE deck (round-trips with
     :func:`parse_netlist` for the supported device set).
 
     MOSFET models are emitted per instance (``.MODEL mod_<name>``) because
-    our parameter sets are per-device after corner adjustment.
+    our parameter sets are per-device after corner adjustment; the model
+    cards carry the capacitance parameters (TOX/CGSO/CGDO/CJSW) so AC
+    behavior round-trips, not just the DC equations.  ``precision`` is the
+    significant-digit count of every number (6 for readable decks, 17 for
+    exact machine round-trips).
+
+    SPICE dispatches on a card's first letter, but our circuits allow
+    free-form device names (bias blocks generate ``bn_m1``-style MOSFETs);
+    such names get the canonical type letter prefixed (``Mbn_m1``) so the
+    deck is legal for :func:`parse_netlist` and real simulators alike.
+    Prefixed names are already canonical on re-parse, so a deck reaches a
+    textual fixpoint after a single write/parse round trip.
     """
+
+    def fmt(value: float) -> str:
+        return format_value(value, precision)
+
+    emitted: set[str] = set()
+
+    def card_name(device, letter: str) -> str:
+        name = device.name
+        if not name.lower().startswith(letter):
+            name = letter.upper() + name
+        if name.lower() in emitted:
+            raise SpiceError(
+                f"cannot serialize circuit {circuit.name!r}: device name "
+                f"{device.name!r} collides with another card named {name!r}"
+            )
+        emitted.add(name.lower())
+        return name
+
     lines = [title or f"* {circuit.name}"]
     model_cards: list[str] = []
     for device in circuit.devices:
         if isinstance(device, Resistor):
             a, b = device.nodes
-            lines.append(f"{device.name} {a} {b} {format_value(device.resistance)}")
+            lines.append(f"{card_name(device, 'r')} {a} {b} {fmt(device.resistance)}")
         elif isinstance(device, Capacitor):
             a, b = device.nodes
-            lines.append(f"{device.name} {a} {b} {format_value(device.capacitance)}")
+            lines.append(f"{card_name(device, 'c')} {a} {b} {fmt(device.capacitance)}")
         elif isinstance(device, VoltageSource) or isinstance(device, CurrentSource):
             a, b = device.nodes
-            card = f"{device.name} {a} {b} DC {format_value(device.dc)}"
+            letter = "v" if isinstance(device, VoltageSource) else "i"
+            card = f"{card_name(device, letter)} {a} {b} DC {fmt(device.dc)}"
             if device.ac:
-                card += f" AC {format_value(device.ac)}"
+                card += f" AC {fmt(device.ac)}"
             lines.append(card)
         elif isinstance(device, VCVS):
             lines.append(
-                f"{device.name} {' '.join(device.nodes)} {format_value(device.gain)}"
+                f"{card_name(device, 'e')} {' '.join(device.nodes)} {fmt(device.gain)}"
             )
         elif isinstance(device, VCCS):
             lines.append(
-                f"{device.name} {' '.join(device.nodes)} {format_value(device.gm)}"
+                f"{card_name(device, 'g')} {' '.join(device.nodes)} {fmt(device.gm)}"
             )
         elif isinstance(device, MOSFET):
-            model_name = f"mod_{device.name.lower()}"
+            name = card_name(device, "m")
+            model_name = f"mod_{name.lower()}"
             p = device.params
             mtype = "NMOS" if p.polarity == "n" else "PMOS"
             spice_lambda = p.lambda_l / device.l
             model_cards.append(
-                f".MODEL {model_name} {mtype} (LEVEL=1 VTO={format_value(p.vth0)} "
-                f"KP={format_value(p.kp)} LAMBDA={format_value(spice_lambda)} "
-                f"GAMMA={format_value(p.gamma)} PHI={format_value(p.phi)})"
+                f".MODEL {model_name} {mtype} (LEVEL=1 VTO={fmt(p.vth0)} "
+                f"KP={fmt(p.kp)} LAMBDA={fmt(spice_lambda)} "
+                f"GAMMA={fmt(p.gamma)} PHI={fmt(p.phi)} "
+                f"TOX={fmt(_EPS_OX / p.cox)} "
+                f"CGSO={fmt(p.cov)} CGDO={fmt(p.cov)} CJSW={fmt(p.cj_w)})"
             )
             lines.append(
-                f"{device.name} {' '.join(device.nodes)} {model_name} "
-                f"W={format_value(device.w)} L={format_value(device.l)} M={device.m}"
+                f"{name} {' '.join(device.nodes)} {model_name} "
+                f"W={fmt(device.w)} L={fmt(device.l)} M={device.m}"
             )
         else:
             raise SpiceError(f"cannot serialize device type {type(device).__name__}")

@@ -40,6 +40,14 @@ class SizingProblem(Problem):
     Subclasses define ``variables`` (list of :class:`DesignVariable`) and
     implement :meth:`simulate` returning a metrics dict; they also
     implement :meth:`_to_evaluation` mapping metrics to the eq. 1 form.
+
+    ``sim_backend`` selects the simulation engine (a name from
+    :data:`repro.sim.base.SIM_BACKENDS` or a
+    :class:`~repro.sim.base.SimulatorBackend` instance); resolution is
+    lazy so merely constructing a problem never probes for external
+    binaries, but string names are validated eagerly so typos fail at
+    construction.  The resolved backend's identity enters every
+    evaluation cache key via :meth:`cache_context`.
     """
 
     def __init__(
@@ -48,14 +56,39 @@ class SizingProblem(Problem):
         variables: list[DesignVariable],
         n_constraints: int,
         cache_dir=None,
+        sim_backend="mna",
     ):
+        from repro.sim.base import check_sim_backend
+
         if not variables:
             raise ValueError("sizing problem needs at least one design variable")
+        if isinstance(sim_backend, str):
+            check_sim_backend(sim_backend)
+        # set before super().__init__: loading a disk cache needs
+        # cache_context(), which resolves the backend
+        self._sim_backend_spec = sim_backend
+        self._sim_backend = None
         self.variables = list(variables)
         lower = np.array([v.lower for v in self.variables])
         upper = np.array([v.upper for v in self.variables])
         super().__init__(name, lower, upper, n_constraints, cache_dir=cache_dir)
         self.n_failures = 0
+
+    @property
+    def sim_backend(self):
+        """The resolved :class:`~repro.sim.base.SimulatorBackend` (lazy;
+        an unavailable external backend falls back to MNA with one
+        warning at first use)."""
+        if self._sim_backend is None:
+            from repro.sim.base import resolve_sim_backend
+
+            self._sim_backend = resolve_sim_backend(self._sim_backend_spec)
+        return self._sim_backend
+
+    def cache_context(self) -> tuple:
+        """Backend identity ``(name, version)`` — evaluations from one
+        engine are never served to a problem configured for another."""
+        return self.sim_backend.cache_context()
 
     @property
     def variable_names(self) -> list[str]:

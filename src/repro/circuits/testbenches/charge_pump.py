@@ -26,9 +26,10 @@ averages from the 40 uA target.
 
 Implementation note: because MOS gates draw no current, the reference and
 output branches decouple exactly — each corner solves two small reference
-netlists once and two output netlists per sweep point (warm-started),
-which keeps a 36-variable, 18-corner evaluation fast enough for the
-hundreds of simulations per optimization run.
+netlists once and warm-start-sweeps the two output netlists over Vout
+(a :class:`~repro.sim.base.DCTransferSweep`), which keeps a 36-variable,
+18-corner evaluation fast enough for the hundreds of simulations per
+optimization run.
 """
 
 from __future__ import annotations
@@ -36,12 +37,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bo.problem import Evaluation
-from repro.circuits.dc import DCAnalysis
 from repro.circuits.mosfet import MOSFETParams, nmos_040, pmos_040
 from repro.circuits.netlist import Circuit
 from repro.circuits.pvt import PVTCorner, standard_corners
 from repro.circuits.testbenches.base import DesignVariable, SizingProblem
 from repro.circuits.units import MICRO
+from repro.sim.base import DCTransferSweep, OperatingPoint
 
 _UM = 1e-6
 
@@ -101,6 +102,7 @@ class ChargePumpProblem(SizingProblem):
         r_compliance: float = 2e6,
         nmos: MOSFETParams = nmos_040,
         pmos: MOSFETParams = pmos_040,
+        sim_backend="mna",
     ):
         variables = _geometry_variables() + [
             DesignVariable("r_dn", 500.0, 15e3, "Ohm"),
@@ -108,7 +110,9 @@ class ChargePumpProblem(SizingProblem):
             DesignVariable("r_cn", 60e3, 320e3, "Ohm"),
             DesignVariable("r_cp", 60e3, 320e3, "Ohm"),
         ]
-        super().__init__("charge_pump", variables, n_constraints=5)
+        super().__init__(
+            "charge_pump", variables, n_constraints=5, sim_backend=sim_backend
+        )
         self.corners = list(corners) if corners is not None else standard_corners()
         if not self.corners:
             raise ValueError("need at least one PVT corner")
@@ -214,27 +218,23 @@ class ChargePumpProblem(SizingProblem):
         if polarity == "p":
             guess = {"vdd": vdd, "d1": vdd * 0.25, "d2": vdd * 0.45,
                      "d3": vdd * 0.65, "src": vdd - 0.05}
-        ref_dc = DCAnalysis(ref).solve(initial=guess)
-        v_gate = ref_dc.voltage("d3")
-        v_casc = ref_dc.voltage("casc")
+        ref_op = self.sim_backend.run(ref, [OperatingPoint(initial=guess)]).op()
+        v_gate = ref_op.voltage("d3")
+        v_casc = ref_op.voltage("casc")
 
         vout_lo = self.vout_margin
         vout_hi = vdd - self.vout_margin
         sweep = np.linspace(vout_lo, vout_hi, self.n_sweep)
-        currents = np.empty(self.n_sweep)
-        warm = None
-        for k, vout in enumerate(sweep):
-            ckt = self.build_output_circuit(
-                p, polarity, nmos, pmos, vdd, v_gate, v_casc, vout
-            )
-            analysis = DCAnalysis(ckt)
-            out_dc = analysis.solve(initial=warm if warm is not None else None)
-            warm = out_dc.x.copy()
-            i_br = out_dc.branch_current("VOUT")
-            # the P branch pushes current into VOUT's + terminal (positive by
-            # the SPICE convention); the N branch pulls it out (negative)
-            currents[k] = i_br if polarity == "p" else -i_br
-        return currents
+        ckt = self.build_output_circuit(
+            p, polarity, nmos, pmos, vdd, v_gate, v_casc, float(sweep[0])
+        )
+        raw = self.sim_backend.run(
+            ckt, [DCTransferSweep("VOUT", tuple(float(v) for v in sweep))]
+        )
+        i_br = raw.sweep().branch_current("VOUT")
+        # the P branch pushes current into VOUT's + terminal (positive by
+        # the SPICE convention); the N branch pulls it out (negative)
+        return i_br if polarity == "p" else -i_br
 
     # -- simulation -------------------------------------------------------------------
 

@@ -16,19 +16,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bo.problem import Evaluation
-from repro.circuits.ac import ACAnalysis, log_freqs
+from repro.circuits.ac import log_freqs
 from repro.circuits.blocks import (
     add_bias_diode_stack,
     add_cascode_pair,
     add_differential_pair,
 )
-from repro.circuits.dc import DCAnalysis
 from repro.circuits.measure import dc_gain_db, phase_margin_deg, unity_gain_frequency
 from repro.circuits.mosfet import MOSFETParams, nmos_180, pmos_180
 from repro.circuits.netlist import Circuit
 from repro.circuits.pvt import NOMINAL, PVTCorner
 from repro.circuits.testbenches.base import DesignVariable, SizingProblem
 from repro.circuits.units import MEGA, MICRO, PICO
+from repro.sim.base import ACSweep, OperatingPoint
 
 _UM = 1e-6
 
@@ -65,8 +65,12 @@ class FoldedCascodeOTAProblem(SizingProblem):
         nmos: MOSFETParams = nmos_180,
         pmos: MOSFETParams = pmos_180,
         sweep: tuple[float, float, int] = (10.0, 3e9, 10),
+        sim_backend="mna",
     ):
-        super().__init__("folded_cascode_ota", list(self._VARIABLES), n_constraints=2)
+        super().__init__(
+            "folded_cascode_ota", list(self._VARIABLES), n_constraints=2,
+            sim_backend=sim_backend,
+        )
         self.vdd = float(vdd) * corner.vdd_scale
         self.cl = float(cl)
         self.ugf_spec = float(ugf_spec)
@@ -133,16 +137,21 @@ class FoldedCascodeOTAProblem(SizingProblem):
 
     # -- simulation --------------------------------------------------------------
 
+    def analysis_plan(self) -> list:
+        """The testbench's analyses: bias point, then the AC sweep at it."""
+        return [OperatingPoint(initial=self._initial_guess()), ACSweep(self.freqs)]
+
     def simulate(self, x: np.ndarray) -> dict:
         """DC + AC analysis; returns gain/UGF/PM and supply current."""
         ckt = self.build_circuit(x)
-        dc = DCAnalysis(ckt).solve(initial=self._initial_guess())
-        ac = ACAnalysis(ckt).sweep(dc, self.freqs)
+        raw = self.sim_backend.run(ckt, self.analysis_plan())
+        dc, ac = raw.op(), raw.ac()
         tf = ac.transfer("out")
+        freqs = ac.freqs
         return {
             "gain_db": float(dc_gain_db(tf)),
-            "ugf_hz": float(unity_gain_frequency(self.freqs, tf)),
-            "pm_deg": float(phase_margin_deg(self.freqs, tf)),
+            "ugf_hz": float(unity_gain_frequency(freqs, tf)),
+            "pm_deg": float(phase_margin_deg(freqs, tf)),
             "idd_a": float(-dc.branch_current("VDD")),
             "vout_dc": dc.voltage("out"),
         }

@@ -26,14 +26,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bo.problem import Evaluation
-from repro.circuits.ac import ACAnalysis, log_freqs
-from repro.circuits.dc import DCAnalysis
+from repro.circuits.ac import log_freqs
 from repro.circuits.mosfet import MOSFETParams, nmos_180, pmos_180
 from repro.circuits.netlist import Circuit
 from repro.circuits.measure import dc_gain_db, phase_margin_deg, unity_gain_frequency
 from repro.circuits.pvt import NOMINAL, PVTCorner
 from repro.circuits.testbenches.base import DesignVariable, SizingProblem
 from repro.circuits.units import MEGA, MICRO, PICO
+from repro.sim.base import ACSweep, OperatingPoint
 
 _UM = 1e-6
 
@@ -53,6 +53,9 @@ class TwoStageOpAmpProblem(SizingProblem):
         PVT condition (Table I uses the nominal corner).
     sweep:
         ``(f_start, f_stop, points_per_decade)`` of the AC analysis.
+    sim_backend:
+        Simulation engine, see :class:`~repro.circuits.testbenches.base.
+        SizingProblem` (default: the built-in MNA engine).
     """
 
     #: W/L bounds span the common 180 nm analog sizing space; Cc and Ibias
@@ -83,8 +86,12 @@ class TwoStageOpAmpProblem(SizingProblem):
         nmos: MOSFETParams = nmos_180,
         pmos: MOSFETParams = pmos_180,
         sweep: tuple[float, float, int] = (10.0, 3e9, 10),
+        sim_backend="mna",
     ):
-        super().__init__("two_stage_opamp", list(self._VARIABLES), n_constraints=2)
+        super().__init__(
+            "two_stage_opamp", list(self._VARIABLES), n_constraints=2,
+            sim_backend=sim_backend,
+        )
         self.vdd = float(vdd) * corner.vdd_scale
         self.cl = float(cl)
         self.ugf_spec = float(ugf_spec)
@@ -150,15 +157,22 @@ class TwoStageOpAmpProblem(SizingProblem):
 
     # -- simulation -----------------------------------------------------------------
 
+    def analysis_plan(self) -> list:
+        """The testbench's analyses: bias point, then the AC sweep at it."""
+        return [OperatingPoint(initial=self._initial_guess()), ACSweep(self.freqs)]
+
     def simulate(self, x: np.ndarray) -> dict:
         """DC + AC analysis; returns gain/UGF/PM plus bias diagnostics."""
         ckt = self.build_circuit(x)
-        dc = DCAnalysis(ckt).solve(initial=self._initial_guess())
-        ac = ACAnalysis(ckt).sweep(dc, self.freqs)
+        raw = self.sim_backend.run(ckt, self.analysis_plan())
+        dc, ac = raw.op(), raw.ac()
         tf = ac.transfer("out")
+        # measure on the frequencies the backend realized (identical to the
+        # requested grid for MNA; ngspice regenerates its own DEC grid)
+        freqs = ac.freqs
         gain = dc_gain_db(tf)
-        ugf = unity_gain_frequency(self.freqs, tf)
-        pm = phase_margin_deg(self.freqs, tf)
+        ugf = unity_gain_frequency(freqs, tf)
+        pm = phase_margin_deg(freqs, tf)
         idd = -dc.branch_current("VDD")  # current delivered by the supply
         return {
             "gain_db": float(gain),
@@ -167,7 +181,7 @@ class TwoStageOpAmpProblem(SizingProblem):
             "idd_a": float(idd),
             "vout_dc": dc.voltage("out"),
             "regions": {
-                name: dc.op(name).region
+                name: dc.region(name)
                 for name in ("M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8")
             },
         }

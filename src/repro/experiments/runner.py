@@ -251,6 +251,14 @@ def add_scheduler_arguments(parser) -> None:
         help="thread count for the numpy backend's per-slice "
         "Cholesky/solve loops (default: serial)",
     )
+    parser.add_argument(
+        "--sim-backend",
+        choices=("mna", "ngspice"),
+        default=None,
+        help="circuit simulator the testbench drives: the built-in MNA "
+        "engine (bitwise-reproducible default) or an external ngspice "
+        "binary (falls back to MNA with a warning when not installed)",
+    )
 
 
 def apply_scheduler_arguments(args, config) -> None:
@@ -278,6 +286,8 @@ def apply_scheduler_arguments(args, config) -> None:
         config.device = args.device
     if args.linalg_threads is not None:
         config.linalg_threads = args.linalg_threads
+    if args.sim_backend is not None:
+        config.sim_backend = args.sim_backend
 
 
 def summarize(results: list[OptimizationResult]) -> AlgorithmSummary:

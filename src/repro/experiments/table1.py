@@ -77,6 +77,7 @@ class Table1Config:
     backend: str = "numpy"
     device: str | None = None
     linalg_threads: int | None = None
+    sim_backend: str = "mna"
     problem_kwargs: dict = field(default_factory=dict)
 
 
@@ -97,7 +98,9 @@ PAPER = Table1Config()
 
 def make_problem(config: Table1Config) -> TwoStageOpAmpProblem:
     """Fresh testbench instance (stateless across runs except counters)."""
-    return TwoStageOpAmpProblem(**config.problem_kwargs)
+    kwargs = dict(config.problem_kwargs)
+    kwargs.setdefault("sim_backend", config.sim_backend)
+    return TwoStageOpAmpProblem(**kwargs)
 
 
 def make_optimizer(name: str, config: Table1Config, problem, seed: int):

@@ -82,6 +82,7 @@ class Table2Config:
     backend: str = "numpy"
     device: str | None = None
     linalg_threads: int | None = None
+    sim_backend: str = "mna"
     problem_kwargs: dict = field(default_factory=dict)
 
 
@@ -102,7 +103,9 @@ PAPER = Table2Config()
 
 def make_problem(config: Table2Config) -> ChargePumpProblem:
     """Fresh charge-pump testbench."""
-    return ChargePumpProblem(**config.problem_kwargs)
+    kwargs = dict(config.problem_kwargs)
+    kwargs.setdefault("sim_backend", config.sim_backend)
+    return ChargePumpProblem(**kwargs)
 
 
 def make_optimizer(name: str, config: Table2Config, problem, seed: int):

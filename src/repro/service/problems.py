@@ -28,10 +28,15 @@ from repro.service.errors import BadRequest, UnknownProblem
 
 #: registered problem name -> "module:attr" builder (lazily imported)
 PROBLEM_REGISTRY: dict[str, str] = {
-    # the paper's testbenches (Table I / Table II circuits)
+    # the paper's testbenches (Table I / Table II circuits); all accept a
+    # "sim_backend" kwarg ("mna" or "ngspice") selecting the simulator
     "charge_pump": "repro.circuits.testbenches:ChargePumpProblem",
     "two_stage_opamp": "repro.circuits.testbenches:TwoStageOpAmpProblem",
     "folded_cascode": "repro.circuits.testbenches:FoldedCascodeOTAProblem",
+    # worst-case-over-PVT variants (kwargs: processes, vdd_scales,
+    # temps_c, n_workers, sim_backend, ...)
+    "two_stage_opamp_pvt": "repro.sim.corners:two_stage_opamp_pvt",
+    "folded_cascode_pvt": "repro.sim.corners:folded_cascode_pvt",
     # synthetic constrained benchmarks
     "gardner": "repro.benchfns:gardner_problem",
     "g06": "repro.benchfns:g06_problem",

@@ -1,0 +1,64 @@
+"""Pluggable simulator backends for circuit sizing.
+
+Public surface of the ``repro.sim`` package:
+
+* protocol + specs/results — :class:`SimulatorBackend`,
+  :class:`OperatingPoint` / :class:`ACSweep` / :class:`DCTransferSweep`,
+  :class:`RawResults`, :func:`resolve_sim_backend`;
+* engines — :class:`MNABackend` (in-process, the bitwise default) and
+  :class:`NgspiceBackend` (external ``ngspice -b`` subprocess);
+* problem builders — :func:`problem_from_netlist` (SPICE deck in,
+  sizing problem out) and :class:`CornerRobustProblem`
+  (worst-case-over-PVT wrapper).
+"""
+
+from repro.sim.base import (
+    SIM_BACKENDS,
+    ACSweep,
+    ACSweepResult,
+    DCTransferSweep,
+    DCTransferSweepResult,
+    OperatingPoint,
+    OperatingPointResult,
+    RawResults,
+    SimulationError,
+    SimulatorBackend,
+    SimulatorNotAvailable,
+    check_sim_backend,
+    resolve_sim_backend,
+)
+from repro.sim.corners import (
+    CornerRobustProblem,
+    folded_cascode_pvt,
+    two_stage_opamp_pvt,
+)
+from repro.sim.importer import NetlistProblem, problem_from_netlist
+from repro.sim.mna import MNABackend
+from repro.sim.ngspice import NgspiceBackend
+from repro.sim.rawfile import RawfileError, RawPlot, parse_rawfile
+
+__all__ = [
+    "ACSweep",
+    "ACSweepResult",
+    "CornerRobustProblem",
+    "DCTransferSweep",
+    "DCTransferSweepResult",
+    "MNABackend",
+    "NetlistProblem",
+    "NgspiceBackend",
+    "OperatingPoint",
+    "OperatingPointResult",
+    "RawPlot",
+    "RawResults",
+    "RawfileError",
+    "SIM_BACKENDS",
+    "SimulationError",
+    "SimulatorBackend",
+    "SimulatorNotAvailable",
+    "check_sim_backend",
+    "folded_cascode_pvt",
+    "parse_rawfile",
+    "problem_from_netlist",
+    "resolve_sim_backend",
+    "two_stage_opamp_pvt",
+]

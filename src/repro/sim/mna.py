@@ -1,0 +1,146 @@
+"""The built-in MNA engine behind the :class:`SimulatorBackend` protocol.
+
+This is the pre-refactor evaluation path, extracted verbatim from the
+testbench call sites: an :class:`~repro.sim.base.OperatingPoint` is one
+:class:`~repro.circuits.dc.DCAnalysis` solve, an
+:class:`~repro.sim.base.ACSweep` reuses that bias point through
+:class:`~repro.circuits.ac.ACAnalysis`, and a
+:class:`~repro.sim.base.DCTransferSweep` mutates the swept source's DC
+value point-by-point with warm-started solves (first point cold, exactly
+like the charge-pump inner loop).  The solve sequences — same analyses,
+same options, same initial vectors — are therefore bitwise-identical to
+the direct engine calls they replace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import __version__
+from repro.circuits.ac import ACAnalysis
+from repro.circuits.dc import DCAnalysis, DCSolution
+from repro.circuits.mosfet import MOSFET
+from repro.circuits.netlist import Circuit
+from repro.sim.base import (
+    ACSweep,
+    ACSweepResult,
+    DCTransferSweep,
+    DCTransferSweepResult,
+    OperatingPoint,
+    OperatingPointResult,
+    RawResults,
+    SimulatorBackend,
+)
+
+
+def _find_device(circuit: Circuit, name: str):
+    """Device lookup tolerating SPICE's case-insensitive names."""
+    try:
+        return circuit.device(name)
+    except KeyError:
+        folded = name.lower()
+        for device in circuit.devices:
+            if device.name.lower() == folded:
+                return device
+        raise
+
+
+def _branch_devices(circuit: Circuit) -> list:
+    return [d for d in circuit.devices if getattr(d, "n_branches", 0)]
+
+
+class MNABackend(SimulatorBackend):
+    """In-process modified-nodal-analysis engine (the bitwise default).
+
+    ``dc_options`` are forwarded to every
+    :class:`~repro.circuits.dc.DCAnalysis` (tolerances, iteration caps);
+    the default empty dict reproduces the engine's stock settings.
+    """
+
+    name = "mna"
+
+    def __init__(self, dc_options: dict | None = None):
+        self.dc_options = dict(dc_options or {})
+
+    @property
+    def version(self) -> str:
+        """The repro release: the engine ships with the package."""
+        return __version__
+
+    def run(self, circuit, analyses, initial: dict | None = None) -> RawResults:
+        results = []
+        dc_solution: DCSolution | None = None
+        for spec in analyses:
+            if isinstance(spec, OperatingPoint):
+                guess = spec.initial if spec.initial is not None else initial
+                dc_solution = DCAnalysis(circuit, **self.dc_options).solve(initial=guess)
+                results.append(self._op_result(circuit, dc_solution))
+            elif isinstance(spec, ACSweep):
+                if dc_solution is None:
+                    dc_solution = DCAnalysis(circuit, **self.dc_options).solve(
+                        initial=initial
+                    )
+                ac = ACAnalysis(circuit).sweep(dc_solution, spec.freqs)
+                results.append(self._ac_result(circuit, ac))
+            elif isinstance(spec, DCTransferSweep):
+                results.append(self._dc_transfer(circuit, spec, initial))
+            else:
+                raise TypeError(f"unsupported analysis spec {type(spec).__name__}")
+        return RawResults(backend=self.name, results=results)
+
+    # -- per-analysis execution ----------------------------------------------------
+
+    def _op_result(self, circuit: Circuit, sol: DCSolution) -> OperatingPointResult:
+        voltages = {node: sol.voltage(node) for node in circuit.node_names}
+        currents = {d.name: float(sol.x[d.branch_idx]) for d in _branch_devices(circuit)}
+        regions = {
+            d.name: d.last_op.region
+            for d in circuit.devices
+            if isinstance(d, MOSFET) and d.last_op is not None
+        }
+        return OperatingPointResult(voltages, currents, regions)
+
+    def _ac_result(self, circuit: Circuit, ac) -> ACSweepResult:
+        voltages = {node: ac.transfer(node) for node in circuit.node_names}
+        currents = {
+            d.name: ac.x[:, d.branch_idx].copy() for d in _branch_devices(circuit)
+        }
+        return ACSweepResult(freqs=ac.freqs, voltages=voltages, branch_currents=currents)
+
+    def _dc_transfer(
+        self, circuit: Circuit, spec: DCTransferSweep, initial: dict | None
+    ) -> DCTransferSweepResult:
+        source = _find_device(circuit, spec.source)
+        if not hasattr(source, "dc"):
+            raise TypeError(f"device {spec.source!r} has no DC value to sweep")
+        values = spec.grid()
+        circuit.finalize()
+        nodes = circuit.node_names
+        branch_devices = _branch_devices(circuit)
+        voltages = {node: np.empty(values.size) for node in nodes}
+        currents = {d.name: np.empty(values.size) for d in branch_devices}
+        seed = spec.initial if spec.initial is not None else initial
+        original_dc = source.dc
+        # the warm-start chain the charge-pump inner loop pinned: point 0
+        # from the (possibly absent) seed, every later point from the
+        # previous solution vector
+        warm = seed
+        try:
+            for k, value in enumerate(values):
+                source.dc = value
+                sol = DCAnalysis(circuit, **self.dc_options).solve(
+                    initial=warm if warm is not None else None
+                )
+                warm = sol.x.copy()
+                for node in nodes:
+                    voltages[node][k] = sol.voltage(node)
+                for device in branch_devices:
+                    currents[device.name][k] = float(sol.x[device.branch_idx])
+        finally:
+            source.dc = original_dc
+        return DCTransferSweepResult(
+            source=source.name,
+            values=values,
+            voltages=voltages,
+            branch_currents=currents,
+        )

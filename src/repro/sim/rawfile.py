@@ -1,0 +1,178 @@
+"""Parser for SPICE ASCII rawfiles (the ``write`` output of ngspice).
+
+An ASCII rawfile is a sequence of *plots*, one per completed analysis,
+each shaped::
+
+    Title: <free text>
+    Date: <free text>
+    Plotname: Operating Point | AC Analysis | DC transfer characteristic | ...
+    Flags: real | complex
+    No. Variables: <n_vars>
+    No. Points: <n_points>
+    Variables:
+            0       v(out)  voltage
+            1       vdd#branch      current
+            ...
+    Values:
+     0      <value of var 0>
+            <value of var 1>
+            ...
+     1      <value of var 0>
+            ...
+
+Complex plots encode each value as ``re,im``.  The parser is tolerant of
+blank lines and unknown header keys (ngspice adds ``Command:``/
+``Options:`` lines), intolerant of structural damage — a truncated or
+garbled file raises :class:`RawfileError`, which the ngspice backend
+treats as a retryable failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class RawfileError(ValueError):
+    """Raised when a rawfile cannot be parsed (truncated, binary, garbled)."""
+
+
+@dataclass
+class RawPlot:
+    """One analysis plot: metadata, variable table, and the value matrix."""
+
+    plotname: str
+    flags: str
+    #: ``(name, kind)`` per variable, e.g. ``("v(out)", "voltage")``
+    variables: list
+    #: shape ``(n_points, n_vars)``; complex when ``"complex" in flags``
+    data: np.ndarray
+
+    @property
+    def is_complex(self) -> bool:
+        return "complex" in self.flags.lower()
+
+    def column(self, index: int) -> np.ndarray:
+        """The value trace of one variable across all points."""
+        return self.data[:, index]
+
+
+def _parse_scalar(token: str, is_complex: bool):
+    token = token.strip()
+    if "," in token:
+        re_part, im_part = token.split(",", 1)
+        return complex(float(re_part), float(im_part))
+    value = float(token)
+    return complex(value, 0.0) if is_complex else value
+
+
+def parse_rawfile(text: str) -> list[RawPlot]:
+    """Parse every plot in an ASCII rawfile, in file order."""
+    if "Binary:" in text:
+        raise RawfileError(
+            "binary rawfile; the deck must `set filetype=ascii` before writing"
+        )
+    lines = text.splitlines()
+    plots: list[RawPlot] = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i].strip()
+        if not line:
+            i += 1
+            continue
+        # -- header -----------------------------------------------------------
+        header: dict[str, str] = {}
+        while i < n:
+            stripped = lines[i].strip()
+            if not stripped:
+                i += 1
+                continue
+            if stripped.lower().startswith("variables:"):
+                i += 1
+                break
+            if ":" not in stripped:
+                raise RawfileError(f"expected a 'Key: value' header line, got {stripped!r}")
+            key, _, value = stripped.partition(":")
+            header[key.strip().lower()] = value.strip()
+            i += 1
+        else:
+            raise RawfileError("rawfile ended inside a plot header")
+        try:
+            n_vars = int(header["no. variables"])
+            n_points = int(header["no. points"])
+        except (KeyError, ValueError) as exc:
+            raise RawfileError(f"missing or malformed variable/point counts: {exc}") from exc
+        if n_vars <= 0 or n_points < 0:
+            raise RawfileError(
+                f"implausible counts: {n_vars} variables, {n_points} points"
+            )
+        plotname = header.get("plotname", "")
+        flags = header.get("flags", "real")
+        is_complex = "complex" in flags.lower()
+
+        # -- variable table ----------------------------------------------------
+        variables: list[tuple[str, str]] = []
+        while len(variables) < n_vars:
+            if i >= n:
+                raise RawfileError("rawfile ended inside the variable table")
+            stripped = lines[i].strip()
+            i += 1
+            if not stripped:
+                continue
+            fields = stripped.split()
+            if len(fields) < 3:
+                raise RawfileError(f"malformed variable line {stripped!r}")
+            variables.append((fields[1], fields[2]))
+
+        # -- values ------------------------------------------------------------
+        while i < n and not lines[i].strip():
+            i += 1
+        if i >= n or not lines[i].strip().lower().startswith("values:"):
+            raise RawfileError("expected a 'Values:' section")
+        i += 1
+        dtype = complex if is_complex else float
+        data = np.empty((n_points, n_vars), dtype=dtype)
+        for point in range(n_points):
+            row: list = []
+            first_line = None
+            while i < n:
+                stripped = lines[i].strip()
+                i += 1
+                if stripped:
+                    first_line = stripped
+                    break
+            if first_line is None:
+                raise RawfileError(f"rawfile ended at point {point}/{n_points}")
+            fields = first_line.split(None, 1)
+            if len(fields) != 2:
+                raise RawfileError(f"malformed point-index line {first_line!r}")
+            def take(token: str):
+                try:
+                    return _parse_scalar(token, is_complex)
+                except ValueError as exc:
+                    raise RawfileError(
+                        f"malformed value at point {point}: {token!r}"
+                    ) from exc
+
+            if not fields[0].isdigit() or int(fields[0]) != point:
+                raise RawfileError(
+                    f"point index mismatch: expected {point}, got {fields[0]!r}"
+                )
+            row.append(take(fields[1]))
+            while len(row) < n_vars:
+                if i >= n:
+                    raise RawfileError("rawfile ended mid-point")
+                stripped = lines[i].strip()
+                i += 1
+                if not stripped:
+                    continue
+                row.append(take(stripped))
+            data[point] = row
+        plots.append(
+            RawPlot(plotname=plotname, flags=flags, variables=variables, data=data)
+        )
+    if not plots:
+        raise RawfileError("no plots found in rawfile")
+    return plots

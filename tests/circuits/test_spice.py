@@ -213,3 +213,164 @@ class TestWriter:
     def test_model_card_contains_lambda(self):
         deck = write_netlist(self.build())
         assert "LAMBDA=" in deck
+
+
+class TestGroundAliases:
+    """SPICE decks in the wild spell ground many ways; all of them must
+    land on the reference node (parse + solve, not just tokenizing)."""
+
+    @pytest.mark.parametrize("spelling", ["0", "GND", "Gnd", "gnd!", "VSS!", "ground"])
+    def test_divider_solves_with_alias(self, spelling):
+        deck = (
+            "* divider\n"
+            f"V1 a {spelling} DC 10\n"
+            "R1 a b 3k\n"
+            f"R2 b {spelling} 1k\n"
+            ".END\n"
+        )
+        sol = DCAnalysis(parse_netlist(deck)).solve()
+        assert sol.voltage("b") == pytest.approx(2.5, rel=1e-6)
+
+    def test_mixed_aliases_are_one_node(self):
+        deck = "* mixed\nV1 a GND DC 10\nR1 a b 3k\nR2 b vss! 1k\n.END\n"
+        ckt = parse_netlist(deck)
+        assert "gnd" not in {n.lower() for n in ckt.node_names}
+        assert DCAnalysis(ckt).solve().voltage("b") == pytest.approx(2.5, rel=1e-6)
+
+
+class TestEndlessDeck:
+    def test_deck_without_end_card_parses(self):
+        ckt = parse_netlist("* no end\nV1 a 0 DC 10\nR1 a 0 2k\n")
+        assert DCAnalysis(ckt).solve().voltage("a") == pytest.approx(10.0, rel=1e-6)
+
+    def test_cards_after_end_ignored(self):
+        ckt = parse_netlist("* t\nR1 a 0 1k\n.END\nR2 a 0 1k\n")
+        assert len(ckt.devices) == 1
+
+
+class TestExactValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [2.0000000000000002e-05, 4.9999999999999998e-07, 1.0 / 3.0,
+         1e-15, 6.283185307179586, -1.375e4],
+    )
+    def test_precision_17_is_identity(self, value):
+        from repro.circuits.spice import format_value
+
+        assert parse_value(format_value(value, 17)) == value
+
+
+class TestNameCanonicalization:
+    """Free-form device names (bias blocks emit ``bn_m1`` MOSFETs) get the
+    SPICE type letter prefixed so the deck stays legal everywhere."""
+
+    def build(self):
+        ckt = Circuit("bias_cell")
+        ckt.vsource("VDD", "vdd", "0", 1.8)
+        ckt.mosfet("bn_m1", "bn_d1", "bn_d1", "0", "0", nmos_180, 20e-6, 0.5e-6)
+        ckt.isource("bn_ib", "vdd", "bn_d1", 10e-6)
+        return ckt
+
+    def test_prefixed_cards_emitted(self):
+        deck = write_netlist(self.build())
+        assert "\nMbn_m1 " in deck
+        assert "\nIbn_ib " in deck
+
+    def test_deck_reparses_and_matches_dc(self):
+        original = self.build()
+        clone = parse_netlist(write_netlist(original, precision=17))
+        assert isinstance(clone.device("Mbn_m1"), MOSFET)
+        v0 = DCAnalysis(original).solve().voltage("bn_d1")
+        v1 = DCAnalysis(clone).solve().voltage("bn_d1")
+        assert v1 == pytest.approx(v0, rel=1e-9)
+
+    def test_already_canonical_names_untouched(self):
+        deck = write_netlist(self.build())
+        assert "\nVDD " in deck
+
+    def test_prefix_collision_rejected(self):
+        ckt = Circuit("clash")
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.resistor("1", "a", "0", 1e3)  # canonicalizes to R1 too
+        with pytest.raises(SpiceError, match="collides"):
+            write_netlist(ckt)
+
+
+class TestModelCardCapacitances:
+    def test_tox_and_overlap_caps_emitted(self):
+        ckt = Circuit("caps")
+        ckt.mosfet("M1", "d", "g", "0", "0", nmos_180, 20e-6, 1e-6)
+        ckt.vsource("VDD", "d", "0", 1.8)
+        deck = write_netlist(ckt)
+        for key in ("TOX=", "CGSO=", "CGDO=", "CJSW="):
+            assert key in deck
+
+    def test_capacitance_params_round_trip(self):
+        ckt = Circuit("caps")
+        ckt.mosfet("M1", "d", "g", "0", "0", nmos_180, 20e-6, 1e-6)
+        ckt.vsource("VDD", "d", "0", 1.8)
+        clone = parse_netlist(write_netlist(ckt, precision=17))
+        p0, p1 = nmos_180, clone.device("M1").params
+        assert p1.cox == pytest.approx(p0.cox, rel=1e-12)
+        assert p1.cov == pytest.approx(p0.cov, rel=1e-12)
+        assert p1.cj_w == pytest.approx(p0.cj_w, rel=1e-12)
+
+
+class TestTestbenchExportFixpoint:
+    """Emit-then-parse pins for every testbench export: after one round
+    trip the deck is a textual fixpoint (write(parse(d)) == d) and the DC
+    solution matches the native circuit to 1e-9."""
+
+    def assert_roundtrip(self, ckt, guess=None):
+        import numpy as np
+
+        d1 = write_netlist(ckt, precision=17)
+        reparsed = parse_netlist(d1)
+        d2 = write_netlist(reparsed, precision=17)
+        assert write_netlist(parse_netlist(d2), precision=17) == d2
+        s0 = DCAnalysis(ckt).solve(initial=guess)
+        s1 = DCAnalysis(reparsed).solve(initial=guess)
+        assert set(reparsed.node_names) == set(ckt.node_names)
+        for node in ckt.node_names:
+            a, b = s0.voltage(node), s1.voltage(node)
+            assert abs(a - b) <= 1e-9 * max(1.0, abs(a)), node
+        assert np.isfinite(s0.x).all()
+
+    def test_two_stage_opamp(self):
+        import numpy as np
+        from repro.circuits.testbenches import TwoStageOpAmpProblem
+
+        problem = TwoStageOpAmpProblem()
+        x = np.array([40e-6, 0.5e-6, 10e-6, 0.5e-6, 80e-6,
+                      0.3e-6, 40e-6, 0.5e-6, 3e-12, 10e-6])
+        self.assert_roundtrip(problem.build_circuit(x), problem._initial_guess())
+
+    def test_folded_cascode(self):
+        import numpy as np
+        from repro.circuits.testbenches import FoldedCascodeOTAProblem
+
+        problem = FoldedCascodeOTAProblem()
+        x = np.array([60e-6, 0.4e-6, 40e-6, 0.5e-6, 60e-6, 0.25e-6,
+                      60e-6, 0.4e-6, 120e-6, 0.5e-6, 30e-6])
+        self.assert_roundtrip(problem.build_circuit(x), problem._initial_guess())
+
+    @pytest.mark.parametrize("polarity", ["n", "p"])
+    def test_charge_pump_circuits(self, polarity):
+        from repro.circuits.pvt import NOMINAL
+        from repro.circuits.testbenches import ChargePumpProblem
+
+        problem = ChargePumpProblem()
+        p = {v.name: 0.5 * (v.lower + v.upper) for v in problem.variables}
+        nmos = problem.nmos_nom.at_corner(NOMINAL.process, NOMINAL.temp_k)
+        pmos = problem.pmos_nom.at_corner(NOMINAL.process, NOMINAL.temp_k)
+        vdd = problem.vdd_nom
+        guess = {"vdd": vdd, "d1": vdd * 0.75, "d2": vdd * 0.55,
+                 "d3": vdd * 0.35, "src": 0.05}
+        ref = problem.build_reference_circuit(p, polarity, nmos, pmos, vdd)
+        self.assert_roundtrip(ref, guess)
+        ref_op = DCAnalysis(ref).solve(initial=guess)
+        out = problem.build_output_circuit(
+            p, polarity, nmos, pmos, vdd,
+            ref_op.voltage("d3"), ref_op.voltage("casc"), vdd / 2.0,
+        )
+        self.assert_roundtrip(out)

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""A stand-in ``ngspice`` binary for exercising NgspiceBackend without SPICE.
+
+Invoked exactly like the real simulator (``fake_ngspice.py -b -o log deck``
+or ``--version``); it parses the deck with the repository's own SPICE
+reader, executes the ``.control`` commands with the MNA engine, and writes
+a genuine ASCII rawfile using ngspice's vector naming (lowercased
+``v(node)``, ``device#branch``, ``frequency``, ``v-sweep`` scales).  That
+makes it a full-fidelity test double: the backend's deck writer, process
+handling, rawfile parser and name normalization all run for real.
+
+Failure injection via the ``FAKE_NGSPICE_MODE`` environment variable:
+
+* ``ok`` (default) — behave like a working simulator;
+* ``garbage``      — exit 0 but write an unparseable rawfile;
+* ``garbage-once`` — garbage on the first run for a given deck, correct on
+  the retry (a ``<deck>.attempted`` marker file carries the state, which
+  works because the backend retries in the same workdir);
+* ``hang``         — sleep forever (exercises the timeout kill);
+* ``fail``         — exit nonzero with a message in the log;
+* ``noraw``        — exit 0 without writing a rawfile.
+
+This file is an executable script, not a pytest module (no ``test_``
+prefix, so it is never collected).
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if "--version" in args:
+        print("fake-ngspice compiled from repro MNA engine")
+        return 0
+    deck_path = args[-1]
+    log_path = args[args.index("-o") + 1] if "-o" in args else os.devnull
+
+    mode = os.environ.get("FAKE_NGSPICE_MODE", "ok")
+    if mode == "hang":
+        time.sleep(600)
+        return 0
+    if mode == "fail":
+        with open(log_path, "w") as fh:
+            fh.write("Error: fatal simulator failure (injected)\n")
+        return 1
+    if mode == "garbage-once":
+        marker = deck_path + ".attempted"
+        if not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write("1")
+            mode = "garbage"
+        else:
+            mode = "ok"
+
+    deck_lines, nodesets, commands = read_deck(deck_path)
+    with open(log_path, "w") as fh:
+        fh.write(f"fake-ngspice: {len(commands)} command(s)\n")
+
+    writes = [cmd.split(None, 1)[1] for cmd in commands if cmd.startswith("write")]
+    if mode == "noraw" or not writes:
+        return 0
+    raw_path = writes[0]
+    if mode == "garbage":
+        with open(raw_path, "w") as fh:
+            fh.write("Title: broken\nNo. Points: banana\n%$#@!\n")
+        return 0
+
+    simulate(deck_lines, nodesets, commands, raw_path)
+    return 0
+
+
+def read_deck(deck_path: str):
+    """Split a batch deck into netlist lines, nodesets, and control commands."""
+    netlist, nodesets, commands = [], {}, []
+    in_control = False
+    with open(deck_path) as fh:
+        for line in fh:
+            stripped = line.strip()
+            lowered = stripped.lower()
+            if lowered == ".control":
+                in_control = True
+            elif lowered == ".endc":
+                in_control = False
+            elif in_control:
+                if stripped and not lowered.startswith(("set ", "quit")):
+                    commands.append(stripped)
+            elif lowered.startswith(".nodeset"):
+                # .NODESET V(node)=value
+                body = stripped.split(None, 1)[1]
+                for part in body.replace("V(", "v(").split("v(")[1:]:
+                    node, _, value = part.partition(")=")
+                    nodesets[node.strip()] = float(value.split()[0])
+            else:
+                netlist.append(line.rstrip("\n"))
+    return netlist, nodesets, commands
+
+
+def simulate(netlist_lines, nodesets, commands, raw_path):
+    import numpy as np
+
+    from repro.circuits.spice import parse_netlist, parse_value
+    from repro.sim.base import ACSweep, DCTransferSweep, OperatingPoint
+    from repro.sim.mna import MNABackend
+
+    circuit = parse_netlist("\n".join(netlist_lines))
+    specs = []
+    for cmd in commands:
+        tokens = cmd.split()
+        if tokens[0] == "op":
+            specs.append(OperatingPoint(initial=dict(nodesets) or None))
+        elif tokens[0] == "ac":
+            # ac dec N fstart fstop -> ngspice's decade grid
+            ppd = int(tokens[2])
+            f_start, f_stop = parse_value(tokens[3]), parse_value(tokens[4])
+            n_total = int(round(np.log10(f_stop / f_start) * ppd)) + 1
+            freqs = f_start * 10.0 ** (np.arange(n_total) / ppd)
+            specs.append(ACSweep(freqs))
+        elif tokens[0] == "dc":
+            start, stop, step = (parse_value(t) for t in tokens[2:5])
+            n_points = int(round((stop - start) / step)) + 1
+            values = tuple(start + k * step for k in range(n_points))
+            specs.append(
+                DCTransferSweep(tokens[1], values, initial=dict(nodesets) or None)
+            )
+    raw = MNABackend().run(circuit, specs)
+    with open(raw_path, "w") as fh:
+        for spec, result in zip(specs, raw):
+            write_plot(fh, circuit, spec, result)
+
+
+def write_plot(fh, circuit, spec, result):
+    """Emit one analysis as an ASCII rawfile plot, ngspice-style."""
+    from repro.sim.base import ACSweep, DCTransferSweep
+
+    if isinstance(spec, ACSweep):
+        plotname, flags = "AC Analysis", "complex"
+        scale = ("frequency", "frequency", result.freqs)
+        n_points = len(result.freqs)
+    elif isinstance(spec, DCTransferSweep):
+        plotname, flags = "DC transfer characteristic", "real"
+        scale = ("v-sweep", "voltage", result.values)
+        n_points = len(result.values)
+    else:
+        plotname, flags = "Operating Point", "real"
+        scale = None
+        n_points = 1
+
+    variables = []  # (name, kind, trace)
+    if scale is not None:
+        variables.append(scale)
+    for node in sorted(result.voltages):
+        variables.append((f"v({node.lower()})", "voltage", result.voltages[node]))
+    for name in sorted(result.branch_currents):
+        variables.append(
+            (f"{name.lower()}#branch", "current", result.branch_currents[name])
+        )
+
+    fh.write("Title: fake-ngspice run\n")
+    fh.write("Date: n/a\n")
+    fh.write(f"Plotname: {plotname}\n")
+    fh.write(f"Flags: {flags}\n")
+    fh.write(f"No. Variables: {len(variables)}\n")
+    fh.write(f"No. Points: {n_points}\n")
+    fh.write("Variables:\n")
+    for idx, (name, kind, _trace) in enumerate(variables):
+        fh.write(f"\t{idx}\t{name}\t{kind}\n")
+    fh.write("Values:\n")
+    for point in range(n_points):
+        for idx, (_name, _kind, trace) in enumerate(variables):
+            value = trace if n_points == 1 and not hasattr(trace, "__len__") else (
+                trace[point] if hasattr(trace, "__len__") else trace
+            )
+            if flags == "complex":
+                value = complex(value)
+                text = f"{value.real:.17e},{value.imag:.17e}"
+            else:
+                text = f"{float(value):.17e}"
+            if idx == 0:
+                fh.write(f" {point}\t{text}\n")
+            else:
+                fh.write(f"\t{text}\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

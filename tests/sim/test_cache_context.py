@@ -1,0 +1,126 @@
+"""Cache-keying regression tests for the simulator-backend identity.
+
+Evaluations are memoized (in memory and optionally on disk) keyed by
+``cache_context() + rounded unit coordinates``; flipping ``sim_backend``
+changes the context, so numbers produced by one engine must never be
+served to a problem configured for another — that's the regression these
+tests pin.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bo.problem import FunctionProblem
+from repro.circuits.testbenches import TwoStageOpAmpProblem
+from repro.sim import MNABackend, problem_from_netlist
+
+DECK = """* resistive divider
+V1 a 0 DC 10
+R1 a b 3k
+R2 b 0 1k
+.END
+"""
+
+
+class RenamedMNA(MNABackend):
+    """The MNA engine under a different identity: same numbers, distinct
+    cache context — the cheapest way to model 'a different simulator'."""
+
+    name = "custom-engine"
+
+
+@pytest.fixture
+def deck_path(tmp_path):
+    path = tmp_path / "divider.sp"
+    path.write_text(DECK)
+    return path
+
+
+def make_problem(deck_path, backend, cache_dir=None):
+    return problem_from_netlist(
+        deck_path,
+        variables=[("R2", 100.0, 10e3)],
+        sim_backend=backend,
+        cache_dir=cache_dir,
+    )
+
+
+class TestCacheKeys:
+    def test_plain_problem_context_is_empty(self):
+        problem = FunctionProblem("plain", [0.0], [1.0], lambda x: float(x[0]))
+        assert problem.cache_context() == ()
+        assert len(problem.cache_key(np.array([0.5]))) == 1
+
+    def test_sizing_problem_key_carries_backend_identity(self, deck_path):
+        problem = make_problem(deck_path, "mna")
+        key = problem.cache_key(np.array([0.5]))
+        assert key[:2] == ("mna", MNABackend().version)
+        assert len(key) == 2 + problem.dim
+
+    def test_flipping_backend_changes_the_key(self, deck_path):
+        u = np.array([0.5])
+        mna = make_problem(deck_path, "mna")
+        custom = make_problem(deck_path, RenamedMNA())
+        assert mna.cache_key(u) != custom.cache_key(u)
+        assert custom.cache_key(u)[0] == "custom-engine"
+
+    def test_opamp_testbench_contextualizes_too(self):
+        problem = TwoStageOpAmpProblem()
+        assert problem.cache_key(np.full(10, 0.5))[:2] == problem.cache_context()
+
+
+class TestDiskCache:
+    def test_same_backend_reloads_from_disk(self, deck_path, tmp_path):
+        cache = tmp_path / "cache"
+        u = np.array([0.5])
+        first = make_problem(deck_path, "mna", cache_dir=cache)
+        evaluation = first.evaluate_unit(u)
+        assert first.cache_stats == (0, 1)
+
+        reloaded = make_problem(deck_path, "mna", cache_dir=cache)
+        served = reloaded.evaluate_unit(u)
+        assert reloaded.cache_stats == (1, 0)  # hit, no fresh simulation
+        assert served.objective == evaluation.objective
+
+    def test_flipping_backend_misses_the_disk_cache(self, deck_path, tmp_path):
+        """The ISSUE regression: same design, same cache file, different
+        backend -> the entry must NOT be served."""
+        cache = tmp_path / "cache"
+        u = np.array([0.5])
+        make_problem(deck_path, "mna", cache_dir=cache).evaluate_unit(u)
+
+        flipped = make_problem(deck_path, RenamedMNA(), cache_dir=cache)
+        flipped.evaluate_unit(u)
+        assert flipped.cache_stats == (0, 1)  # miss: it re-simulated
+
+        # both contexts now coexist in the store and each reloads its own
+        for backend, expect_context in (("mna", "mna"), (RenamedMNA(), "custom-engine")):
+            again = make_problem(deck_path, backend, cache_dir=cache)
+            again.evaluate_unit(u)
+            assert again.cache_stats == (1, 0)
+            assert again.cache_context()[0] == expect_context
+
+    def test_disk_entries_record_their_context(self, deck_path, tmp_path):
+        cache = tmp_path / "cache"
+        problem = make_problem(deck_path, "mna", cache_dir=cache)
+        problem.evaluate_unit(np.array([0.5]))
+        with open(problem._disk_cache_path, encoding="utf-8") as fh:
+            entries = [json.loads(line) for line in fh]
+        assert len(entries) == 1
+        assert entries[0]["context"] == ["mna", MNABackend().version]
+        # the key holds only the coordinates; context lives separately
+        assert len(entries[0]["key"]) == problem.dim
+
+    def test_in_memory_flip_on_shared_instance_state(self, deck_path):
+        # two instances, no disk cache: each memoizes under its own context
+        u = np.array([0.25])
+        mna = make_problem(deck_path, "mna")
+        custom = make_problem(deck_path, RenamedMNA())
+        mna.evaluate_unit(u)
+        mna.evaluate_unit(u)
+        assert mna.cache_stats == (1, 1)
+        custom.evaluate_unit(u)
+        custom.evaluate_unit(u)
+        assert custom.cache_stats == (1, 1)

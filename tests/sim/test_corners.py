@@ -1,0 +1,150 @@
+"""Tests for the worst-case-over-corners wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.bo.problem import FunctionProblem
+from repro.circuits.pvt import standard_corners
+from repro.circuits.testbenches import TwoStageOpAmpProblem
+from repro.service.problems import build_problem
+from repro.sim import CornerRobustProblem
+from repro.sim.corners import folded_cascode_pvt, two_stage_opamp_pvt
+
+OPAMP_X = np.array(
+    [40e-6, 0.5e-6, 10e-6, 0.5e-6, 80e-6, 0.3e-6, 40e-6, 0.5e-6, 3e-12, 10e-6]
+)
+
+TWO_CORNERS = standard_corners(
+    processes=("TT", "FF"), vdd_scales=(1.0,), temps_c=(27.0,)
+)
+
+
+def toy_factory(corner):
+    """Per-corner member whose objective/constraint depend on the corner."""
+    offset = {c.name: float(i) for i, c in enumerate(TWO_CORNERS)}[corner.name]
+
+    return FunctionProblem(
+        f"toy_{offset:g}",
+        [0.0],
+        [1.0],
+        lambda x: float(x[0]) + offset,
+        constraints=[lambda x: offset - 0.5],
+        metrics=lambda x, obj, cons: {"offset": offset},
+    )
+
+
+class TestAggregation:
+    @pytest.fixture
+    def problem(self):
+        return CornerRobustProblem(toy_factory, corners=TWO_CORNERS)
+
+    def test_shape_follows_members(self, problem):
+        assert problem.dim == 1
+        assert problem.n_constraints == 1
+        assert problem.name == "toy_0_pvt"
+
+    def test_worst_case_objective_and_constraints(self, problem):
+        evaluation = problem.evaluate(np.array([0.25]))
+        # corner FF carries offset 1 -> the worst objective and constraint
+        assert evaluation.objective == pytest.approx(1.25)
+        assert evaluation.constraints[0] == pytest.approx(0.5)
+        assert evaluation.metrics["worst_corner"] == TWO_CORNERS[1].name
+
+    def test_per_corner_metrics_recorded(self, problem):
+        metrics = problem.evaluate(np.array([0.25])).metrics
+        assert set(metrics["corner_objectives"]) == {c.name for c in TWO_CORNERS}
+        assert metrics["corner_objectives"][TWO_CORNERS[0].name] == pytest.approx(0.25)
+        assert metrics["n_failed_corners"] == 0
+        # the worst corner's raw metrics surface without clobbering the
+        # aggregate keys
+        assert metrics["offset"] == 1.0
+
+    def test_thread_fanout_matches_serial(self):
+        serial = CornerRobustProblem(toy_factory, corners=TWO_CORNERS)
+        threaded = CornerRobustProblem(toy_factory, corners=TWO_CORNERS, n_workers=4)
+        x = np.array([0.7])
+        a, b = serial.evaluate(x), threaded.evaluate(x)
+        assert a.objective == b.objective
+        np.testing.assert_array_equal(a.constraints, b.constraints)
+        assert a.metrics["worst_corner"] == b.metrics["worst_corner"]
+
+    def test_cache_context_includes_corner_grid(self, problem):
+        context = problem.cache_context()
+        assert "corners" in context
+        for corner in TWO_CORNERS:
+            assert corner.name in context
+
+    def test_empty_corner_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CornerRobustProblem(toy_factory, corners=[])
+
+    def test_mismatched_member_shapes_rejected(self):
+        calls = []
+
+        def bad_factory(corner):
+            dim = 1 if not calls else 2
+            calls.append(corner)
+            return FunctionProblem(
+                "bad", [0.0] * dim, [1.0] * dim, lambda x: 0.0
+            )
+
+        with pytest.raises(ValueError, match="differs"):
+            CornerRobustProblem(bad_factory, corners=TWO_CORNERS)
+
+
+class TestAmplifierWrappers:
+    def test_default_grid_is_eighteen_corners(self):
+        problem = two_stage_opamp_pvt()
+        assert len(problem.corners) == 18
+        assert problem.dim == 10
+        assert problem.n_constraints == 2
+        assert problem.name == "two_stage_opamp_pvt"
+
+    def test_single_corner_matches_nominal_testbench(self):
+        robust = two_stage_opamp_pvt(
+            processes=("TT",), vdd_scales=(1.0,), temps_c=(27.0,)
+        )
+        nominal = TwoStageOpAmpProblem().evaluate(OPAMP_X)
+        evaluation = robust.evaluate(OPAMP_X)
+        assert evaluation.objective == nominal.objective
+        np.testing.assert_array_equal(evaluation.constraints, nominal.constraints)
+
+    def test_corner_fanout_parity_on_real_testbench(self):
+        kwargs = dict(processes=("TT", "SS"), vdd_scales=(1.0,), temps_c=(27.0,))
+        serial = two_stage_opamp_pvt(**kwargs)
+        threaded = two_stage_opamp_pvt(n_workers=2, **kwargs)
+        a, b = serial.evaluate(OPAMP_X), threaded.evaluate(OPAMP_X)
+        assert a.objective == b.objective
+        np.testing.assert_array_equal(a.constraints, b.constraints)
+
+    def test_folded_cascode_wrapper_builds(self):
+        problem = folded_cascode_pvt(
+            processes=("TT",), vdd_scales=(1.0,), temps_c=(27.0,)
+        )
+        assert problem.dim == 11
+        assert problem.name == "folded_cascode_ota_pvt"
+
+    def test_backend_identity_enters_cache_context(self):
+        problem = two_stage_opamp_pvt(
+            processes=("TT",), vdd_scales=(1.0,), temps_c=(27.0,)
+        )
+        context = problem.cache_context()
+        assert context[0] == "mna"
+        assert "corners" in context
+
+
+class TestServiceRegistry:
+    @pytest.mark.parametrize("name", ["two_stage_opamp_pvt", "folded_cascode_pvt"])
+    def test_registered_and_parameterizable(self, name):
+        problem = build_problem(
+            {
+                "name": name,
+                "kwargs": {
+                    "processes": ["TT"],
+                    "vdd_scales": [1.0],
+                    "temps_c": [27.0],
+                },
+            }
+        )
+        assert isinstance(problem, CornerRobustProblem)
+        assert len(problem.corners) == 1

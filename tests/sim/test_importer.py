@@ -1,0 +1,170 @@
+"""Tests for the netlist importer (``problem_from_netlist``)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.circuits.pvt import NOMINAL
+from repro.circuits.spice import write_netlist
+from repro.circuits.testbenches import ChargePumpProblem
+from repro.circuits.testbenches.base import DesignVariable
+from repro.sim import (
+    DCTransferSweep,
+    MNABackend,
+    OperatingPoint,
+    SimulationError,
+    problem_from_netlist,
+)
+
+DIVIDER_DECK = """* resistive divider
+V1 a 0 DC 10
+R1 a b 3k
+R2 b 0 1k
+.END
+"""
+
+MOS_DECK = """* common-source stage
+VDD vdd 0 1.8
+VIN g 0 0.9
+RD vdd d 10k
+M1 d g 0 0 nch W=20u L=1u
+.MODEL nch NMOS (LEVEL=1 VTO=0.45 KP=300u LAMBDA=0.05 GAMMA=0.45 PHI=0.85)
+.END
+"""
+
+
+@pytest.fixture
+def divider_path(tmp_path):
+    path = tmp_path / "divider.sp"
+    path.write_text(DIVIDER_DECK)
+    return path
+
+
+@pytest.fixture
+def mos_path(tmp_path):
+    path = tmp_path / "cs_stage.sp"
+    path.write_text(MOS_DECK)
+    return path
+
+
+class TestBindings:
+    def test_natural_values_and_explicit_attributes(self, mos_path):
+        problem = problem_from_netlist(
+            mos_path,
+            variables=[("RD", 1e3, 100e3), ("M1.w", 1e-6, 100e-6), ("VIN", 0.0, 1.8)],
+        )
+        assert problem.bindings == {
+            "RD": ("RD", "resistance"),
+            "M1.w": ("M1", "w"),
+            "VIN": ("VIN", "dc"),
+        }
+
+    def test_binding_is_case_insensitive(self, mos_path):
+        problem = problem_from_netlist(mos_path, variables=[("m1.W", 1e-6, 1e-4)])
+        assert problem.bindings["m1.W"] == ("M1", "w")
+
+    def test_mosfet_needs_explicit_attribute(self, mos_path):
+        with pytest.raises(ValueError, match="natural value"):
+            problem_from_netlist(mos_path, variables=[("M1", 1e-6, 1e-4)])
+
+    def test_unknown_attribute_rejected(self, mos_path):
+        with pytest.raises(ValueError, match="sizable attribute"):
+            problem_from_netlist(mos_path, variables=[("RD.w", 1.0, 2.0)])
+
+    def test_unknown_device_rejected(self, mos_path):
+        with pytest.raises(KeyError):
+            problem_from_netlist(mos_path, variables=[("R99", 1.0, 2.0)])
+
+    def test_design_variable_instances_accepted(self, divider_path):
+        problem = problem_from_netlist(
+            divider_path, variables=[DesignVariable("R2", 100.0, 10e3, "Ohm")]
+        )
+        assert problem.variable_names == ["R2"]
+        assert problem.name == "divider"
+
+
+class TestEvaluation:
+    def test_default_measure_reports_op_point(self, divider_path):
+        problem = problem_from_netlist(divider_path, variables=[("R2", 100.0, 10e3)])
+        metrics = problem.simulate(np.array([1e3]))
+        assert metrics["v(b)"] == pytest.approx(2.5, rel=1e-8)
+        assert metrics["i(V1)"] == pytest.approx(-2.5e-3, rel=1e-8)
+
+    def test_sizing_actually_changes_the_circuit(self, divider_path):
+        problem = problem_from_netlist(divider_path, variables=[("R2", 100.0, 10e3)])
+        # R2 = R1 -> v(b) = 5 V
+        assert problem.simulate(np.array([3e3]))["v(b)"] == pytest.approx(5.0, rel=1e-8)
+
+    def test_template_never_mutated(self, divider_path):
+        problem = problem_from_netlist(divider_path, variables=[("R2", 100.0, 10e3)])
+        before = copy.deepcopy(problem.template.device("R2").resistance)
+        problem.simulate(np.array([9e3]))
+        assert problem.template.device("R2").resistance == before
+
+    def test_objective_and_constraints(self, divider_path):
+        problem = problem_from_netlist(
+            divider_path,
+            variables=[("R2", 100.0, 10e3)],
+            objective=lambda m: (m["v(b)"] - 5.0) ** 2,
+            constraints=[lambda m: m["v(b)"] - 4.0],
+        )
+        assert problem.n_constraints == 1
+        evaluation = problem.evaluate(np.array([1e3]))
+        assert evaluation.objective == pytest.approx(6.25, rel=1e-6)
+        assert evaluation.constraints[0] == pytest.approx(-1.5, rel=1e-6)
+
+    def test_characterization_objective_defaults_to_zero(self, divider_path):
+        problem = problem_from_netlist(divider_path, variables=[("R2", 100.0, 10e3)])
+        assert problem.evaluate(np.array([1e3])).objective == 0.0
+
+    def test_simulator_failure_becomes_penalty(self, divider_path):
+        class ExplodingBackend(MNABackend):
+            def run(self, circuit, analyses, initial=None):
+                raise SimulationError("injected")
+
+        problem = problem_from_netlist(
+            divider_path,
+            variables=[("R2", 100.0, 10e3)],
+            constraints=[lambda m: -1.0],
+            sim_backend=ExplodingBackend(),
+            failure_objective=123.0,
+        )
+        evaluation = problem.evaluate(np.array([1e3]))
+        assert evaluation.objective == 123.0
+        assert evaluation.metrics["failed"] is True
+        np.testing.assert_array_equal(evaluation.constraints, [1.0])
+
+
+class TestChargePumpAcceptance:
+    def test_exported_deck_matches_native_testbench(self, tmp_path):
+        """ISSUE acceptance: export the charge pump's N output branch as a
+        deck, re-import it with ``problem_from_netlist``, and reproduce the
+        native branch-current sweep within 1e-9."""
+        problem = ChargePumpProblem()
+        p = {v.name: 0.5 * (v.lower + v.upper) for v in problem.variables}
+        nmos = problem.nmos_nom.at_corner(NOMINAL.process, NOMINAL.temp_k)
+        pmos = problem.pmos_nom.at_corner(NOMINAL.process, NOMINAL.temp_k)
+        vdd = problem.vdd_nom
+        guess = {"vdd": vdd, "d1": vdd * 0.75, "d2": vdd * 0.55,
+                 "d3": vdd * 0.35, "src": 0.05}
+        ref = problem.build_reference_circuit(p, "n", nmos, pmos, vdd)
+        ref_op = MNABackend().run(ref, [OperatingPoint(initial=guess)]).op()
+        sweep = np.linspace(problem.vout_margin, vdd - problem.vout_margin,
+                            problem.n_sweep)
+        ckt = problem.build_output_circuit(
+            p, "n", nmos, pmos, vdd,
+            ref_op.voltage("d3"), ref_op.voltage("casc"), float(sweep[0]),
+        )
+        path = tmp_path / "cp_out_n.sp"
+        path.write_text(write_netlist(ckt, precision=17))
+
+        imported = problem_from_netlist(
+            path,
+            variables=[("MN2.w", 1e-7, 1e-4), ("RD", 100.0, 1e5)],
+            analyses=[DCTransferSweep("VOUT", tuple(float(v) for v in sweep))],
+            measure=lambda raw: {"i_dn": -raw.sweep().branch_current("VOUT")},
+        )
+        metrics = imported.simulate(np.array([p["w_mn2"], p["r_dn"]]))
+        native = problem._branch_currents(p, "n", NOMINAL)
+        assert np.max(np.abs(metrics["i_dn"] - native)) < 1e-9

@@ -1,0 +1,109 @@
+"""Tests for the ASCII rawfile parser."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RawfileError, parse_rawfile
+
+OP_PLOT = """Title: divider
+Date: today
+Plotname: Operating Point
+Flags: real
+No. Variables: 2
+No. Points: 1
+Variables:
+\t0\tv(b)\tvoltage
+\t1\tv1#branch\tcurrent
+Values:
+ 0\t2.5
+\t-2.5e-3
+"""
+
+AC_PLOT = """Title: lowpass
+Date: today
+Plotname: AC Analysis
+Flags: complex
+No. Variables: 2
+No. Points: 3
+Variables:
+\t0\tfrequency\tfrequency
+\t1\tv(out)\tvoltage
+Values:
+ 0\t1.0,0.0
+\t0.9,-0.1
+ 1\t10.0,0.0
+\t0.5,-0.5
+ 2\t100.0,0.0
+\t0.1,-0.3
+"""
+
+
+class TestParse:
+    def test_real_plot(self):
+        plots = parse_rawfile(OP_PLOT)
+        assert len(plots) == 1
+        plot = plots[0]
+        assert plot.plotname == "Operating Point"
+        assert not plot.is_complex
+        assert plot.variables == [("v(b)", "voltage"), ("v1#branch", "current")]
+        assert plot.data.shape == (1, 2)
+        assert plot.column(0)[0] == 2.5
+        assert plot.column(1)[0] == -2.5e-3
+
+    def test_complex_plot(self):
+        plot = parse_rawfile(AC_PLOT)[0]
+        assert plot.is_complex
+        assert plot.data.dtype == complex
+        np.testing.assert_array_equal(
+            plot.column(1), [0.9 - 0.1j, 0.5 - 0.5j, 0.1 - 0.3j]
+        )
+        np.testing.assert_array_equal(np.real(plot.column(0)), [1.0, 10.0, 100.0])
+
+    def test_multiple_plots_in_file_order(self):
+        plots = parse_rawfile(OP_PLOT + "\n" + AC_PLOT)
+        assert [p.plotname for p in plots] == ["Operating Point", "AC Analysis"]
+
+    def test_unknown_header_keys_tolerated(self):
+        text = OP_PLOT.replace(
+            "Flags: real", "Command: ngspice-42\nOptions: whatever\nFlags: real"
+        )
+        assert parse_rawfile(text)[0].data[0, 0] == 2.5
+
+    def test_blank_lines_tolerated(self):
+        text = OP_PLOT.replace("Values:", "\nValues:\n")
+        assert parse_rawfile(text)[0].data[0, 0] == 2.5
+
+
+class TestReject:
+    def test_binary_rawfile(self):
+        with pytest.raises(RawfileError, match="binary"):
+            parse_rawfile("Title: x\nFlags: real\nBinary:\n\x00\x01")
+
+    def test_empty_file(self):
+        with pytest.raises(RawfileError, match="no plots"):
+            parse_rawfile("")
+
+    def test_pure_garbage(self):
+        with pytest.raises(RawfileError):
+            parse_rawfile("%$#@! not a rawfile at all")
+
+    def test_malformed_counts(self):
+        with pytest.raises(RawfileError, match="counts"):
+            parse_rawfile("Title: broken\nNo. Points: banana\nVariables:\n")
+
+    def test_truncated_values(self):
+        truncated = OP_PLOT.rsplit("\t-2.5e-3", 1)[0]
+        with pytest.raises(RawfileError, match="mid-point|ended"):
+            parse_rawfile(truncated)
+
+    def test_point_index_mismatch(self):
+        with pytest.raises(RawfileError, match="index mismatch"):
+            parse_rawfile(OP_PLOT.replace(" 0\t2.5", " 7\t2.5"))
+
+    def test_malformed_value(self):
+        with pytest.raises(RawfileError, match="malformed value"):
+            parse_rawfile(OP_PLOT.replace("-2.5e-3", "oops"))
+
+    def test_missing_values_section(self):
+        with pytest.raises(RawfileError, match="Values"):
+            parse_rawfile(OP_PLOT.replace("Values:", "Points:"))
