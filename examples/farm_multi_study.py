@@ -1,0 +1,156 @@
+"""Two studies sharing one evaluation farm, with resize and speculation.
+
+The :class:`~repro.farm.EvaluationFarm` decouples studies from workers:
+many ask/tell studies register as *tenants* of one shared pool, and a
+weighted round-robin picks the next dispatch so a chatty study cannot
+starve the others.  :class:`~repro.farm.FarmStudyDriver` then drives
+each study — submitting proposals, collecting landings in deterministic
+order, and (optionally) speculating on runner-up proposals that are
+*promoted* when a worker slot wants them or *abandoned* (retracted)
+when they age out:
+
+    python examples/farm_multi_study.py
+
+The demo runs two GP-surrogate sizing studies against one 3-worker
+farm — tenant ``sharp`` at twice the fair-share weight of ``broad`` —
+resizes the farm to 5 workers halfway through, and prints the
+speculation lifecycle straight from the proposal ledger.  A
+:class:`~repro.bo.scheduler.FakeClock` stands in for simulator
+wall-clock, so the run is fast, deterministic, and bitwise replayable.
+"""
+
+import numpy as np
+
+from repro.bo.config import SpeculationConfig
+from repro.bo.scheduler import FakeClock
+from repro.bo.study import Study
+from repro.farm import EvaluationFarm, FarmJob, FarmStudyDriver
+from repro.gp import GPRegression
+
+DIM = 4
+BUDGET = 14
+RESIZE_AT = 10  # total landings across both tenants
+
+
+def gp_factory(rng):
+    return GPRegression(n_restarts=1, seed=rng)
+
+
+def sharp_problem():
+    """A narrow quadratic bowl — the 'hard' tenant, weighted 2x."""
+    from repro.bo.problem import FunctionProblem
+
+    return FunctionProblem(
+        "sharp",
+        np.zeros(DIM),
+        np.ones(DIM),
+        lambda x: float(np.sum((x - 0.3) ** 2)),
+    )
+
+
+def broad_problem():
+    """A shifted bowl — the background tenant at weight 1."""
+    from repro.bo.problem import FunctionProblem
+
+    return FunctionProblem(
+        "broad",
+        np.zeros(DIM),
+        np.ones(DIM),
+        lambda x: float(np.sum((x - 0.7) ** 2)),
+    )
+
+
+def main():
+    clock = FakeClock()
+    landings = {"total": 0, "resized": False}
+
+    studies = {
+        "sharp": Study(
+            sharp_problem(),
+            surrogate_factory=gp_factory,
+            n_initial=5,
+            max_evaluations=BUDGET,
+            seed=11,
+        ),
+        "broad": Study(
+            broad_problem(),
+            surrogate_factory=gp_factory,
+            n_initial=5,
+            max_evaluations=BUDGET,
+            seed=12,
+        ),
+    }
+
+    with EvaluationFarm("async-thread", n_workers=3, clock=clock) as farm:
+
+        def on_commit(trial, evaluation, result):
+            landings["total"] += 1
+            if landings["total"] == RESIZE_AT and not landings["resized"]:
+                landings["resized"] = True
+                farm.resize(5)
+                print(
+                    f"-- landing #{RESIZE_AT}: farm resized 3 -> 5 workers "
+                    "(queued work dispatches immediately)"
+                )
+
+        jobs = [
+            FarmJob(
+                study=studies["sharp"],
+                tenant=farm.register(
+                    "sharp", problem=studies["sharp"].problem, weight=2.0
+                ),
+                target=2,
+                speculation=SpeculationConfig(
+                    max_speculative=1, max_age_landings=1
+                ),
+                on_commit=on_commit,
+            ),
+            FarmJob(
+                study=studies["broad"],
+                tenant=farm.register(
+                    "broad", problem=studies["broad"].problem, weight=1.0
+                ),
+                target=2,
+                on_commit=on_commit,
+            ),
+        ]
+
+        print("--- two tenants, one farm (3 workers, weights 2:1) ------")
+        driver = FarmStudyDriver(farm, clock=clock)
+        results = driver.run_studies(jobs)
+
+        print("\n--- per-tenant accounting ------------------------------")
+        snapshot = farm.describe()
+        for name, stats in snapshot["tenants"].items():
+            print(
+                f"{name:6s}: weight {stats['weight']:.0f}, "
+                f"{stats['completed']} evaluations landed, "
+                f"eval EWMA {stats['eval_ewma_s']:.3f}s (virtual)"
+            )
+
+    print("\n--- results --------------------------------------------")
+    for name, result in zip(studies, results):
+        best = float(np.min(result.objectives))
+        print(f"{name:6s}: {result.n_evaluations} evaluations, best {best:.5f}")
+
+    print("\n--- speculation lifecycle (tenant 'sharp') -------------")
+    ledger = studies["sharp"].ledger
+    speculative = [e for e in ledger.entries if e.speculative]
+    landed = [e for e in speculative if e.committed_at is not None]
+    abandoned = [e for e in speculative if e.retracted]
+    print(
+        f"{len(speculative)} speculative proposals: "
+        f"{len(landed)} landed (promoted or completed), "
+        f"{len(abandoned)} abandoned (retracted, budget refunded)"
+    )
+    for entry in speculative:
+        fate = (
+            "landed" if entry.committed_at is not None
+            else "abandoned" if entry.retracted
+            else "pending"
+        )
+        print(f"  proposal {entry.proposal_id}: {fate}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,12 @@ Three ways in, from highest- to lowest-level:
   same methods, same exception types (:class:`StudyError` and
   subclasses cross the wire as stable codes under
   :data:`PROTOCOL_VERSION`), bitwise-identical traces.
+* **Shared evaluation** — :class:`EvaluationFarm` /
+  :class:`FarmStudyDriver`: one executor pool serving many concurrent
+  studies with weighted fair share, backpressure and mid-run resize,
+  plus elastic in-flight sizing and speculative runner-up evaluation
+  (configured per closed loop via :class:`FarmConfig` /
+  :class:`SpeculationConfig` on :class:`SchedulerConfig`).
 * **Building blocks** — the testbench problems of the paper's two
   evaluation circuits, the executor factory, the deterministic replay
   clock, run (de)serialization, and the array-backend selectors
@@ -54,7 +60,9 @@ from repro.baselines import DifferentialEvolution, GASPAD, WEIBO
 from repro.bo.config import (
     PROPOSAL_SPACES,
     AcquisitionConfig,
+    FarmConfig,
     SchedulerConfig,
+    SpeculationConfig,
     SurrogateConfig,
     TrustRegionConfig,
 )
@@ -81,6 +89,14 @@ from repro.circuits.testbenches import (
     TwoStageOpAmpProblem,
 )
 from repro.core import NNBO
+from repro.farm import (
+    EvaluationFarm,
+    EvaluationTimeout,
+    FarmError,
+    FarmJob,
+    FarmSaturated,
+    FarmStudyDriver,
+)
 from repro.sim import (
     SIM_BACKENDS,
     CornerRobustProblem,
@@ -115,8 +131,15 @@ __all__ = [
     "DifferentialEvolution",
     "Evaluation",
     "EvaluationExecutor",
+    "EvaluationFarm",
     "EvaluationRecord",
+    "EvaluationTimeout",
     "FakeClock",
+    "FarmConfig",
+    "FarmError",
+    "FarmJob",
+    "FarmSaturated",
+    "FarmStudyDriver",
     "FoldedCascodeOTAProblem",
     "FunctionProblem",
     "GASPAD",
@@ -133,6 +156,7 @@ __all__ = [
     "ServiceError",
     "SimulatorBackend",
     "SimulatorNotAvailable",
+    "SpeculationConfig",
     "Study",
     "StudyClient",
     "StudyError",

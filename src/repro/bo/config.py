@@ -27,6 +27,7 @@ maps them onto these configs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields, is_dataclass
 
 from repro.acquisition.fantasy import FANTASY_STRATEGIES
@@ -38,6 +39,12 @@ ASYNC_REFIT_POLICIES = ("full", "fantasy-only")
 
 #: executor specs resolvable by :func:`repro.bo.scheduler.make_evaluator`
 EXECUTOR_SPECS = ("serial", "thread", "process", "async-thread", "async-process")
+
+#: sizing policies of the evaluation farm (:mod:`repro.farm`)
+FARM_MODES = ("fixed", "elastic")
+
+#: adaptive schedules accepted by ``AcquisitionConfig.hallucinate_kappa``
+KAPPA_SCHEDULES = ("beta-t",)
 
 #: training engines for the NN-feature-GP ensembles
 SURROGATE_ENGINES = ("auto", "batched", "loop")
@@ -226,7 +233,10 @@ class AcquisitionConfig:
     between wEI picks; ``pending_strategy`` decides how batch-mate /
     in-flight designs shape each proposal's acquisition (see
     :mod:`repro.acquisition.penalization`); ``hallucinate_kappa`` is the
-    GP-BUCB confidence multiplier of the ``"hallucinate"`` strategy.
+    GP-BUCB confidence multiplier of the ``"hallucinate"`` strategy —
+    either a constant float or the adaptive schedule name ``"beta-t"``
+    (see :meth:`resolve_hallucinate_kappa`), whose failure probability
+    ``hallucinate_delta`` tunes.
 
     ``proposal_space`` picks where the inner-loop maximizer searches
     (see :mod:`repro.acquisition.spaces`): ``"full"`` — the whole unit
@@ -242,7 +252,8 @@ class AcquisitionConfig:
     duplicate_tol: float = 1e-9
     fantasy: str = "believer"
     pending_strategy: str = "fantasy"
-    hallucinate_kappa: float = 2.0
+    hallucinate_kappa: float | str = 2.0
+    hallucinate_delta: float = 0.1
     proposal_space: str = "full"
     trust_region: TrustRegionConfig | None = None
 
@@ -277,22 +288,64 @@ class AcquisitionConfig:
                 f"fantasy must be one of {FANTASY_STRATEGIES}, got {self.fantasy!r}"
             )
         validate_pending_strategy(self.pending_strategy, self.acquisition)
-        if self.hallucinate_kappa < 0:
-            raise ValueError(
-                f"hallucinate_kappa must be non-negative, got {self.hallucinate_kappa}"
+        if isinstance(self.hallucinate_kappa, str):
+            object.__setattr__(
+                self,
+                "hallucinate_kappa",
+                check_choice(
+                    "hallucinate_kappa",
+                    self.hallucinate_kappa.lower(),
+                    KAPPA_SCHEDULES,
+                ),
             )
+        else:
+            if self.hallucinate_kappa < 0:
+                raise ValueError(
+                    f"hallucinate_kappa must be non-negative, got "
+                    f"{self.hallucinate_kappa}"
+                )
+            object.__setattr__(
+                self, "hallucinate_kappa", float(self.hallucinate_kappa)
+            )
+        if not 0.0 < float(self.hallucinate_delta) < 1.0:
+            raise ValueError(
+                f"hallucinate_delta must be in (0, 1), got "
+                f"{self.hallucinate_delta}"
+            )
+        object.__setattr__(
+            self, "hallucinate_delta", float(self.hallucinate_delta)
+        )
         if self.duplicate_tol < 0:
             raise ValueError(
                 f"duplicate_tol must be non-negative, got {self.duplicate_tol}"
             )
         object.__setattr__(self, "duplicate_tol", float(self.duplicate_tol))
-        object.__setattr__(self, "hallucinate_kappa", float(self.hallucinate_kappa))
 
     def resolve_log_space(self, n_constraints: int) -> bool:
         """The concrete log-space flag for a problem's constraint count."""
         if self.log_space is None:
             return n_constraints >= 4
         return bool(self.log_space)
+
+    def resolve_hallucinate_kappa(self, dim: int, t: int) -> float:
+        """The concrete GP-BUCB confidence multiplier at landing ``t``.
+
+        A float config is a constant schedule.  ``"beta-t"`` is the
+        information-theoretic GP-UCB/GP-BUCB schedule (Srinivas et al.
+        2010; Desautels et al. 2014): ``beta_t = 2 log(d t^2 pi^2 /
+        (6 delta))`` and ``kappa_t = sqrt(beta_t)`` — growing like
+        ``sqrt(log t)``, so hallucinated batches keep a
+        high-probability optimism bound as landings accumulate instead
+        of over-exploiting a sharpening posterior.
+        """
+        if not isinstance(self.hallucinate_kappa, str):
+            return self.hallucinate_kappa
+        t = max(1, int(t))
+        d = max(1, int(dim))
+        beta = 2.0 * math.log(
+            d * t * t * math.pi**2 / (6.0 * self.hallucinate_delta)
+        )
+        return math.sqrt(max(beta, 0.0))
 
     def resolve_proposal_space(self):
         """A fresh (mutable) proposal-space instance, or ``None`` for full.
@@ -307,6 +360,121 @@ class AcquisitionConfig:
 
 
 @dataclass(frozen=True)
+class FarmConfig:
+    """Per-tenant policy knobs for the evaluation farm (:mod:`repro.farm`).
+
+    ``mode="fixed"`` keeps the in-flight target at the scheduler's
+    resolved worker count — with speculation off this path is pinned
+    bitwise against :class:`~repro.bo.scheduler.AsyncEvaluationScheduler`.
+    ``mode="elastic"`` resizes the target between asks from the
+    evaluation-time EWMA and the farm's queue depth: roughly
+    ``eval_ewma / propose_cost_s`` evaluations fit in one proposal
+    cycle, clamped to ``[min_in_flight, max_in_flight]`` and backed off
+    while the shared pool is oversubscribed.  ``propose_cost_s`` is a
+    config constant rather than a wall-clock measurement so elastic
+    decisions stay deterministic under a
+    :class:`~repro.bo.scheduler.FakeClock`.
+
+    ``adaptive_q`` shrinks the target toward ``q_min`` as the objective
+    posterior sharpens (the std of each new proposal, tracked as an
+    EWMA against the first post-initial proposal's std) — late in a run
+    big concurrent batches mostly buy redundant evaluations.
+
+    ``eval_timeout_s`` bounds any single evaluation; a timed-out trial
+    is retracted and its budget slot freed.  ``weight`` and
+    ``max_queue`` are this tenant's fair-share weight and backpressure
+    bound on the shared farm.
+    """
+
+    mode: str = "fixed"
+    min_in_flight: int = 1
+    max_in_flight: int | None = None
+    ewma_alpha: float = 0.3
+    propose_cost_s: float = 1.0
+    adaptive_q: bool = False
+    q_min: int = 1
+    eval_timeout_s: float | None = None
+    weight: float = 1.0
+    max_queue: int | None = None
+
+    def __post_init__(self):
+        check_choice("mode", self.mode, FARM_MODES)
+        object.__setattr__(
+            self, "min_in_flight", check_count("min_in_flight", self.min_in_flight)
+        )
+        if self.max_in_flight is not None:
+            object.__setattr__(
+                self,
+                "max_in_flight",
+                check_count("max_in_flight", self.max_in_flight),
+            )
+            if self.max_in_flight < self.min_in_flight:
+                raise ValueError(
+                    f"max_in_flight ({self.max_in_flight}) must be >= "
+                    f"min_in_flight ({self.min_in_flight})"
+                )
+        if not 0.0 < float(self.ewma_alpha) <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        object.__setattr__(self, "ewma_alpha", float(self.ewma_alpha))
+        if float(self.propose_cost_s) <= 0:
+            raise ValueError(
+                f"propose_cost_s must be positive, got {self.propose_cost_s}"
+            )
+        object.__setattr__(self, "propose_cost_s", float(self.propose_cost_s))
+        object.__setattr__(self, "adaptive_q", bool(self.adaptive_q))
+        object.__setattr__(self, "q_min", check_count("q_min", self.q_min))
+        if self.eval_timeout_s is not None:
+            if float(self.eval_timeout_s) <= 0:
+                raise ValueError(
+                    f"eval_timeout_s must be positive, got {self.eval_timeout_s}"
+                )
+            object.__setattr__(
+                self, "eval_timeout_s", float(self.eval_timeout_s)
+            )
+        if float(self.weight) <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        object.__setattr__(self, "weight", float(self.weight))
+        if self.max_queue is not None:
+            object.__setattr__(
+                self, "max_queue", check_count("max_queue", self.max_queue)
+            )
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Speculative-evaluation policy of the evaluation farm.
+
+    When the farm has spare capacity beyond a tenant's in-flight target,
+    the driver asks up to ``max_speculative`` extra *speculative* trials
+    — runner-up acquisition maxima (the pending-point strategy already
+    spreads them away from the in-flight set) that would otherwise wait
+    for the next refit.  A speculative trial whose evaluation completes
+    commits like any landing; one overtaken by events is promoted into
+    the regular target when a slot frees (a bookkeeping flip — no new
+    proposal needed), and one still unpromoted after
+    ``max_age_landings`` subsequent landings is abandoned via
+    :meth:`~repro.bo.study.Study.retract`, freeing its budget slot.
+    """
+
+    max_speculative: int = 1
+    max_age_landings: int = 4
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "max_speculative",
+            check_count("max_speculative", self.max_speculative),
+        )
+        object.__setattr__(
+            self,
+            "max_age_landings",
+            check_count("max_age_landings", self.max_age_landings),
+        )
+
+
+@dataclass(frozen=True)
 class SchedulerConfig:
     """How proposals are dispatched to simulations.
 
@@ -316,6 +484,12 @@ class SchedulerConfig:
     loop, where ``async_refit`` picks the surrogate policy per landing and
     ``clock`` (a :class:`~repro.bo.scheduler.FakeClock`) optionally
     virtualizes the completion order for deterministic replay.
+
+    ``farm`` (a :class:`FarmConfig` or dict) routes asynchronous runs
+    through the evaluation-farm driver (:mod:`repro.farm`) instead of
+    the plain refill loop — required for elastic sizing, adaptive q and
+    speculation; ``speculation`` (a :class:`SpeculationConfig` or dict)
+    enables speculative evaluation on that driver.
     """
 
     q: int = 1
@@ -324,6 +498,8 @@ class SchedulerConfig:
     async_refit: str = "full"
     async_full_refit_every: int | None = None
     clock: object = None
+    farm: FarmConfig | None = None
+    speculation: SpeculationConfig | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "q", check_count("q", self.q))
@@ -342,6 +518,29 @@ class SchedulerConfig:
                 "async_full_refit_every",
                 check_count("async_full_refit_every", self.async_full_refit_every),
             )
+        if self.farm is not None:
+            if isinstance(self.farm, dict):
+                object.__setattr__(self, "farm", FarmConfig(**self.farm))
+            elif not isinstance(self.farm, FarmConfig):
+                raise ValueError(
+                    "farm must be a FarmConfig or dict, got "
+                    f"{type(self.farm).__name__}"
+                )
+        if self.speculation is not None:
+            if isinstance(self.speculation, dict):
+                object.__setattr__(
+                    self, "speculation", SpeculationConfig(**self.speculation)
+                )
+            elif not isinstance(self.speculation, SpeculationConfig):
+                raise ValueError(
+                    "speculation must be a SpeculationConfig or dict, got "
+                    f"{type(self.speculation).__name__}"
+                )
+            if self.farm is None:
+                raise ValueError(
+                    "speculation requires the farm driver; pass "
+                    "farm=FarmConfig(...) alongside speculation"
+                )
 
     @property
     def is_async(self) -> bool:
@@ -404,10 +603,14 @@ __all__ = [
     "ASYNC_REFIT_POLICIES",
     "AcquisitionConfig",
     "EXECUTOR_SPECS",
+    "FARM_MODES",
+    "FarmConfig",
+    "KAPPA_SCHEDULES",
     "PROPOSAL_SPACES",
     "SURROGATE_BACKENDS",
     "SURROGATE_ENGINES",
     "SchedulerConfig",
+    "SpeculationConfig",
     "SurrogateConfig",
     "TrustRegionConfig",
     "check_choice",

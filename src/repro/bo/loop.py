@@ -301,6 +301,7 @@ class SurrogateBO:
         self.fantasy = acquisition_config.fantasy
         self.pending_strategy = acquisition_config.pending_strategy
         self.hallucinate_kappa = acquisition_config.hallucinate_kappa
+        self.hallucinate_delta = acquisition_config.hallucinate_delta
         self.q = scheduler_config.q
         self.executor = scheduler_config.executor
         self.n_eval_workers = scheduler_config.n_eval_workers
@@ -343,10 +344,25 @@ class SurrogateBO:
         owns_evaluator = evaluator is not self.executor
         try:
             if getattr(evaluator, "async_mode", False):
-                self._drive_async(
-                    study, evaluator, self.scheduler_config.resolve_in_flight()
-                )
+                if self.scheduler_config.farm is not None:
+                    self._drive_farm(
+                        study,
+                        evaluator,
+                        self.scheduler_config.resolve_in_flight(),
+                    )
+                else:
+                    self._drive_async(
+                        study,
+                        evaluator,
+                        self.scheduler_config.resolve_in_flight(),
+                    )
             else:
+                if self.scheduler_config.farm is not None:
+                    raise ValueError(
+                        "SchedulerConfig.farm requires an asynchronous "
+                        f"executor (async-thread/async-process), got "
+                        f"{self.executor!r}"
+                    )
                 self._drive_sync(study, evaluator)
         finally:
             if owns_evaluator:
@@ -410,6 +426,62 @@ class SurrogateBO:
                 self.callback(landing, result)
 
         scheduler.run_study(study, n_workers=n_workers, on_commit=on_commit)
+
+    def _drive_farm(self, study, evaluator, n_workers: int) -> None:
+        """The evaluation-farm driver: elastic/speculative refill loop.
+
+        A single-tenant farm over the configured executor.  With the
+        default :class:`~repro.bo.config.FarmConfig` (fixed mode, no
+        speculation) the driver's trace is pinned bitwise against
+        :meth:`_drive_async`; elastic sizing, adaptive q and speculation
+        are opted into through the scheduler config.
+        """
+        if self.async_refit == "fantasy-only" and self.surrogate_bank_factory is None:
+            raise ValueError(
+                "async_refit='fantasy-only' requires surrogate_bank_factory "
+                "(posterior-only absorbs go through the bank); per-target "
+                "surrogate factories must use async_refit='full'"
+            )
+        # the farm package builds on this module; imported here to avoid
+        # a cycle
+        from repro.farm import EvaluationFarm, FarmStudyDriver
+
+        cfg = self.scheduler_config
+        capacity = n_workers
+        if cfg.farm.max_in_flight is not None:
+            capacity = max(capacity, cfg.farm.max_in_flight)
+        if cfg.speculation is not None:
+            capacity += cfg.speculation.max_speculative
+
+        def on_commit(trial, evaluation, result):
+            landing = result.records[-1].iteration
+            if self.verbose:
+                best = result.best_objective()
+                print(
+                    f"[{self.algorithm_name}] landing {landing:3d} "
+                    f"evals {result.n_evaluations:4d} best {best:.6g}"
+                )
+            if self.callback is not None:
+                self.callback(landing, result)
+
+        with EvaluationFarm(
+            evaluator, capacity=capacity, clock=self.async_clock
+        ) as farm:
+            tenant = farm.register(
+                str(self.problem.name),
+                problem=self.problem,
+                weight=cfg.farm.weight,
+                max_queue=cfg.farm.max_queue,
+            )
+            driver = FarmStudyDriver(farm, clock=self.async_clock)
+            driver.run(
+                study,
+                tenant,
+                target=n_workers,
+                config=cfg.farm,
+                speculation=cfg.speculation,
+                on_commit=on_commit,
+            )
 
     # -- helpers -------------------------------------------------------------------
 
@@ -506,11 +578,16 @@ class SurrogateBO:
         tau = result.best_objective()
         tau = None if not np.isfinite(tau) else tau
         if self.pending_strategy == "hallucinate":
+            # a "beta-t" schedule re-resolves per proposal: t is the
+            # committed-evaluation count, so kappa grows ~ sqrt(log t)
+            kappa = self.acquisition_config.resolve_hallucinate_kappa(
+                self.problem.dim, result.n_evaluations
+            )
             return HallucinatedUCB(
                 fitted.objective,
                 fitted.constraints,
                 tau=tau,
-                kappa=self.hallucinate_kappa,
+                kappa=kappa,
                 log_space=self.log_space_acq,
             )
         return WeightedExpectedImprovement(

@@ -537,7 +537,12 @@ class ProposalEntry:
     which coordination rule produced each design.  ``retracted`` marks a
     proposal abandoned via :meth:`~repro.bo.study.Study.retract` — it
     never landed and never will, but its provenance (what later proposals
-    conditioned on) stays auditable.
+    conditioned on) stays auditable.  ``speculative`` marks a proposal
+    asked opportunistically by the evaluation farm (:mod:`repro.farm`) to
+    fill otherwise-idle workers; a speculative proposal either commits
+    like any demanded landing (promotion) or ends retracted
+    (abandonment), and the flag survives both so audits can separate
+    demanded from speculated work.
     """
 
     proposal_id: int
@@ -549,6 +554,7 @@ class ProposalEntry:
     record_index: int | None = None
     strategy: str = "fantasy"
     retracted: bool = False
+    speculative: bool = False
 
 
 class ProposalLedger:
@@ -572,6 +578,7 @@ class ProposalLedger:
         pending: tuple[int, ...],
         virtual_ready: float | None = None,
         strategy: str = "fantasy",
+        speculative: bool = False,
     ) -> ProposalEntry:
         """Register a new proposal; returns its entry (id = position)."""
         entry = ProposalEntry(
@@ -581,6 +588,7 @@ class ProposalLedger:
             n_landed_at_submit=self._n_committed,
             virtual_ready=virtual_ready,
             strategy=str(strategy),
+            speculative=bool(speculative),
         )
         self.entries.append(entry)
         return entry
@@ -591,8 +599,11 @@ class ProposalLedger:
         if entry.committed_at is not None:
             raise ValueError(f"proposal {proposal_id} committed twice")
         if entry.retracted:
+            kind = "speculative " if entry.speculative else ""
             raise ValueError(
-                f"proposal {proposal_id} was retracted and cannot commit"
+                f"{kind}proposal {proposal_id} "
+                f"(strategy={entry.strategy!r}) was retracted and cannot "
+                "commit; a retracted proposal never lands"
             )
         self._n_committed += 1
         entry.committed_at = self._n_committed

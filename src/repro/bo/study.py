@@ -112,7 +112,11 @@ class Trial:
     ``pending_at_proposal`` names the proposals that were in flight when
     this design was chosen (the points its acquisition conditioned on).
     ``iteration`` is assigned at ask time for batch trials and at tell
-    time (commit order) for streaming trials.
+    time (commit order) for streaming trials.  ``speculative`` marks a
+    trial asked opportunistically by the evaluation farm
+    (:mod:`repro.farm`) to fill idle workers — it counts against the
+    budget like any pending trial and is either told (promotion) or
+    retracted (abandonment); the flag mirrors the ledger entry's.
     """
 
     id: int
@@ -124,6 +128,7 @@ class Trial:
     pending: tuple[int, ...] = ()
     proposal_id: int | None = None
     pending_at_proposal: tuple[int, ...] = ()
+    speculative: bool = False
 
     def __post_init__(self):
         self.u = np.asarray(self.u, dtype=float).ravel()
@@ -321,6 +326,21 @@ class Study:
         """The best feasible record so far, or ``None``."""
         return self.result.best_feasible()
 
+    def posterior_std(self, u) -> float | None:
+        """Objective-posterior standard deviation at ``u`` (unit box).
+
+        ``None`` before the first surrogate fit.  This is the
+        posterior-sharpness signal the evaluation farm's adaptive-q
+        policy reads (batches shrink as the posterior sharpens); the
+        prediction is a pure read — no RNG, no state mutation — so
+        calling it never perturbs the study's trace.
+        """
+        if self._fitted is None:
+            return None
+        u = np.atleast_2d(np.asarray(u, dtype=float))
+        _, variance = self._fitted.objective.predict(u)
+        return float(np.sqrt(max(float(np.mean(variance)), 0.0)))
+
     def describe(self) -> dict:
         """JSON-safe snapshot of the study state.
 
@@ -403,7 +423,7 @@ class Study:
             pending_initial.extend(self.ask(len(self._initial_queue)))
         return pending_initial
 
-    def ask(self, n: int = 1) -> list[Trial]:
+    def ask(self, n: int = 1, *, speculative: bool = False) -> list[Trial]:
         """Propose up to ``n`` designs to evaluate next.
 
         While the initial design is being handed out, returns (up to
@@ -413,10 +433,21 @@ class Study:
         set — batch picks condition only on each other).  Raises
         :class:`BudgetExhausted` once committed plus pending trials reach
         ``max_evaluations``.
+
+        ``speculative=True`` (streaming asks only) marks the trial as an
+        opportunistic runner-up proposal — the evaluation farm's idle
+        filler.  The proposal machinery is identical (the pending-point
+        strategy already spreads runner-up acquisition maxima away from
+        the in-flight set); only the ledger/trial provenance differs.
         """
         n = int(n)
         if n < 1:
             raise StudyError(f"n must be >= 1, got {n}")
+        if speculative and n != 1:
+            raise StudyError(
+                f"speculative asks are streaming proposals; ask n=1 per "
+                f"speculative trial, got n={n}"
+            )
         capacity = self.remaining_capacity
         if capacity <= 0:
             raise BudgetExhausted(
@@ -425,6 +456,12 @@ class Study:
                 f"committed and {len(self._pending)} pending"
             )
         if self._initial_queue:
+            if speculative:
+                raise StudyError(
+                    "speculative proposals require a completed initial "
+                    f"design ({len(self._initial_queue)} initial trials "
+                    "still queued)"
+                )
             take = self._initial_queue[:n]
             del self._initial_queue[: len(take)]
             for trial in take:
@@ -447,10 +484,12 @@ class Study:
             )
         x_unit = np.stack(self._unit_x)
         if n == 1:
-            return [self._ask_streaming(x_unit)]
+            return [self._ask_streaming(x_unit, speculative=speculative)]
         return self._ask_batch(x_unit, n)
 
-    def _ask_streaming(self, x_unit: np.ndarray) -> Trial:
+    def _ask_streaming(
+        self, x_unit: np.ndarray, speculative: bool = False
+    ) -> Trial:
         """One proposal conditioned on the current pending set."""
         bo = self.optimizer
         pending = list(self._pending.values())
@@ -459,6 +498,7 @@ class Study:
             pick,
             tuple(t.proposal_id for t in pending),
             strategy=bo.pending_strategy,
+            speculative=speculative,
         )
         trial = Trial(
             id=self._next_id,
@@ -468,6 +508,7 @@ class Study:
             batch_index=0,
             proposal_id=entry.proposal_id,
             pending_at_proposal=entry.pending_at_proposal,
+            speculative=speculative,
         )
         self._next_id += 1
         self._pending[trial.id] = trial
@@ -1085,6 +1126,7 @@ def _trial_to_dict(trial: Trial) -> dict:
         "pending": list(trial.pending),
         "proposal_id": trial.proposal_id,
         "pending_at_proposal": list(trial.pending_at_proposal),
+        "speculative": trial.speculative,
     }
 
 
@@ -1100,6 +1142,7 @@ def _trial_from_dict(data: dict, problem: Problem) -> Trial:
         pending=tuple(int(i) for i in data["pending"]),
         proposal_id=data["proposal_id"],
         pending_at_proposal=tuple(int(i) for i in data["pending_at_proposal"]),
+        speculative=bool(data.get("speculative", False)),
     )
 
 

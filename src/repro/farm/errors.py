@@ -1,0 +1,45 @@
+"""Error taxonomy of the evaluation farm.
+
+Every class carries a stable machine-readable ``code`` mirroring the
+:class:`~repro.bo.study.StudyError` convention, so farm failures that
+surface through the BO service can travel the wire as stable
+identifiers.  Catching :class:`FarmError` catches the whole taxonomy.
+"""
+
+
+class FarmError(RuntimeError):
+    """A farm protocol violation or operational failure."""
+
+    #: stable error code (wire-safe kebab-case identifier)
+    code = "farm-error"
+
+
+class FarmSaturated(FarmError):
+    """Backpressure: a tenant's queue bound rejected a submission.
+
+    The farm never buffers unboundedly for a tenant that set
+    ``max_queue`` — callers are expected to retry after draining
+    completions (or the service maps this to its 503 busy envelope).
+    """
+
+    code = "farm-saturated"
+
+
+class EvaluationTimeout(FarmError):
+    """A collected task exceeded its per-task timeout and was cancelled."""
+
+    code = "evaluation-timeout"
+
+
+class UnknownTenant(FarmError):
+    """A tenant name this farm never registered (or already removed)."""
+
+    code = "unknown-tenant"
+
+
+__all__ = [
+    "EvaluationTimeout",
+    "FarmError",
+    "FarmSaturated",
+    "UnknownTenant",
+]

@@ -50,18 +50,33 @@ def main(argv=None) -> int:
         help="seconds between expired-lease sweeps",
     )
     parser.add_argument(
+        "--farm-workers",
+        type=int,
+        default=None,
+        help=(
+            "enable the server-side evaluation farm with this many "
+            "async-thread workers (unset = the server never evaluates)"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="log each request to stderr",
     )
     args = parser.parse_args(argv)
 
+    farm = None
+    if args.farm_workers is not None:
+        from repro.farm import EvaluationFarm
+
+        farm = EvaluationFarm("async-thread", n_workers=args.farm_workers)
     server = StudyServer(
         args.root,
         host=args.host,
         port=args.port,
         max_resident=args.max_resident,
         default_lease_s=args.lease_s,
+        farm=farm,
         reap_interval_s=args.reap_interval_s,
         quiet=not args.verbose,
     )
@@ -71,6 +86,9 @@ def main(argv=None) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        if farm is not None:
+            farm.close()
     return 0
 
 

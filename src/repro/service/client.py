@@ -261,6 +261,23 @@ class StudyClient:
         )
         return WireTrial.from_wire(body["trial"]).to_trial()
 
+    def evaluate(self, trial) -> EvaluationRecord:
+        """Evaluate a pending trial server-side and commit the result.
+
+        Tell-by-reference for registry problems: the server runs its own
+        simulator on the pending trial through its evaluation farm and
+        commits the outcome, so no result numbers cross the wire.
+        Raises :class:`~repro.service.errors.BadRequest` when the server
+        has no farm (or the study is externally evaluated) and
+        :class:`~repro.service.errors.ServiceBusy` when the farm is
+        saturated — retry after in-flight work drains.
+        """
+        trial_id = trial.id if isinstance(trial, Trial) else int(trial)
+        body = self._conn.request(
+            "POST", self._path("evaluate"), {"trial_id": trial_id}
+        )
+        return WireRecord.from_wire(body["record"]).to_record()
+
     def best(self) -> EvaluationRecord | None:
         """Best feasible record so far, exactly like :meth:`Study.best`."""
         body = self._conn.request("GET", self._path("best"))

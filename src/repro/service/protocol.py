@@ -16,6 +16,7 @@ Endpoints (all under ``/v1``)::
     POST   /v1/studies/{name}/ask       propose trials (leased)
     POST   /v1/studies/{name}/tell      commit one evaluated trial
     POST   /v1/studies/{name}/retract   abandon a pending trial
+    POST   /v1/studies/{name}/evaluate  evaluate a pending trial server-side
     GET    /v1/studies/{name}/best      best feasible record
     POST   /v1/studies/{name}/checkpoint  force a durable checkpoint
     GET    /v1/health                   liveness + store counters
@@ -181,6 +182,21 @@ class RetractRequest(WireMessage):
     trial_id: int = _REQUIRED
 
 
+@dataclass
+class EvaluateRequest(WireMessage):
+    """``POST /v1/studies/{name}/evaluate`` — run one pending trial server-side.
+
+    Tell-by-reference: instead of shipping numbers back, the client asks
+    the server's evaluation farm to run the registered problem's own
+    simulator on the pending trial and commit the result.  Only studies
+    built from registry problems qualify (an external spec table has no
+    server-side simulator); a saturated farm answers with the ``busy``
+    envelope, so clients retry exactly as they do for residency pressure.
+    """
+
+    trial_id: int = _REQUIRED
+
+
 # -- responses ----------------------------------------------------------------------
 
 
@@ -193,6 +209,8 @@ class WireTrial(WireMessage):
     response-build time (``None`` for responses that do not manage
     leases).  ``u`` is the unit-box design, ``x`` the same point in
     natural units — both round-trip bitwise through JSON.
+    ``speculative`` carries the proposal's provenance flag (asked ahead
+    of demand by a speculative driver) so resumed clients see it intact.
     """
 
     id: int = _REQUIRED
@@ -204,6 +222,7 @@ class WireTrial(WireMessage):
     pending: list = field(default_factory=list)
     proposal_id: int | None = None
     pending_at_proposal: list = field(default_factory=list)
+    speculative: bool = False
     lease_expires_s: float | None = None
 
     @classmethod
@@ -218,6 +237,7 @@ class WireTrial(WireMessage):
             pending=list(trial.pending),
             proposal_id=trial.proposal_id,
             pending_at_proposal=list(trial.pending_at_proposal),
+            speculative=bool(trial.speculative),
             lease_expires_s=lease_expires_s,
         )
 
@@ -232,6 +252,7 @@ class WireTrial(WireMessage):
             pending=tuple(int(i) for i in self.pending),
             proposal_id=self.proposal_id,
             pending_at_proposal=tuple(int(i) for i in self.pending_at_proposal),
+            speculative=bool(self.speculative),
         )
 
 
@@ -303,6 +324,11 @@ class RetractResponse(WireMessage):
 
 
 @dataclass
+class EvaluateResponse(WireMessage):
+    record: dict = _REQUIRED  # WireRecord dict
+
+
+@dataclass
 class BestResponse(WireMessage):
     record: dict | None = None  # WireRecord dict or None
 
@@ -360,6 +386,8 @@ __all__ = [
     "CreateResponse",
     "CreateStudyRequest",
     "DeleteResponse",
+    "EvaluateRequest",
+    "EvaluateResponse",
     "HealthResponse",
     "ListResponse",
     "PROTOCOL_VERSION",

@@ -39,6 +39,8 @@ from repro.service.protocol import (
     CreateResponse,
     CreateStudyRequest,
     DeleteResponse,
+    EvaluateRequest,
+    EvaluateResponse,
     HealthResponse,
     ListResponse,
     RetractRequest,
@@ -64,9 +66,11 @@ class StudyServer:
     """Serve a :class:`StudyStore` over HTTP; see the module docstring.
 
     Parameters mirror the store's (``max_resident``,
-    ``default_lease_s``, ``clock``); alternatively pass a pre-built
-    ``store``.  ``port=0`` binds an ephemeral port — read the real one
-    from :attr:`address` after :meth:`start` (the constructor binds, so
+    ``default_lease_s``, ``clock``, ``farm`` — an
+    :class:`~repro.farm.farm.EvaluationFarm` enabling the server-side
+    ``evaluate`` verb); alternatively pass a pre-built ``store``.
+    ``port=0`` binds an ephemeral port — read the real one from
+    :attr:`address` after :meth:`start` (the constructor binds, so
     the address is valid immediately).
     """
 
@@ -80,6 +84,7 @@ class StudyServer:
         max_resident: int | None = 16,
         default_lease_s: float | None = None,
         clock=None,
+        farm=None,
         reap_interval_s: float = 1.0,
         quiet: bool = True,
     ):
@@ -94,7 +99,13 @@ class StudyServer:
                 root,
                 max_resident=max_resident,
                 default_lease_s=default_lease_s,
+                farm=farm,
                 **kwargs,
+            )
+        elif farm is not None:
+            raise ValueError(
+                "farm= configures the server-built store; attach the "
+                "farm to the prebuilt store= instead"
             )
         self.store = store
         self.quiet = quiet
@@ -242,6 +253,13 @@ class StudyServer:
             request = RetractRequest.from_wire(payload)
             trial = store.retract(name, request.trial_id)
             return RetractResponse(trial=WireTrial.from_trial(trial).to_wire())
+        if verb == "evaluate":
+            _require(method, "POST", path)
+            request = EvaluateRequest.from_wire(payload)
+            record = store.evaluate(name, request.trial_id)
+            return EvaluateResponse(
+                record=WireRecord.from_record(record).to_wire()
+            )
         if verb == "best":
             _require(method, "GET", path)
             record = store.best(name)

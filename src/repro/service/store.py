@@ -38,14 +38,14 @@ import threading
 import time
 from pathlib import Path
 
-from repro.bo.study import Study, StudyError
+from repro.bo.study import Study, StudyError, UnknownTrial
 from repro.service.errors import (
     BadRequest,
     ServiceBusy,
     StudyExists,
     UnknownStudy,
 )
-from repro.service.problems import build_problem
+from repro.service.problems import ExternalProblem, build_problem
 
 #: study names double as file stems, so keep them filesystem-portable
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,119}$")
@@ -90,6 +90,14 @@ class StudyStore:
     clock:
         Monotonic time source for lease deadlines (injectable so tests
         can expire leases without sleeping).
+    farm:
+        Optional :class:`~repro.farm.farm.EvaluationFarm` enabling the
+        ``evaluate`` verb (tell-by-reference): clients of registered
+        problems may ask the server to run its own simulator on a
+        pending trial instead of shipping numbers back.  The store
+        registers one farm tenant per study lazily and never closes the
+        farm — ownership stays with the caller.  ``None`` (the default)
+        keeps the original contract: the server never evaluates.
     """
 
     def __init__(
@@ -99,6 +107,7 @@ class StudyStore:
         max_resident: int | None = 16,
         default_lease_s: float | None = None,
         clock=time.monotonic,
+        farm=None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -110,6 +119,7 @@ class StudyStore:
         self.max_resident = max_resident
         self.default_lease_s = default_lease_s
         self._clock = clock
+        self.farm = farm
         self._table_lock = threading.Lock()
         self._entries: dict[str, _Entry] = {}
         self._use_counter = itertools.count(1)
@@ -225,6 +235,13 @@ class StudyStore:
             entry.deleted = True
             entry.study = None
             entry.leases.clear()
+            if self.farm is not None:
+                from repro.farm.errors import UnknownTenant
+
+                try:
+                    self.farm.unregister(name)
+                except UnknownTenant:
+                    pass  # the study never used the evaluate verb
             self._meta_path(name).unlink(missing_ok=True)
             self._study_path(name).unlink(missing_ok=True)
         return name
@@ -265,6 +282,58 @@ class StudyStore:
             entry.leases.pop(trial_id, None)
             self._checkpoint(entry)
             return trial
+
+    def evaluate(self, name: str, trial_id: int):
+        """Run one pending trial on the server's farm and commit it.
+
+        Tell-by-reference: only meaningful for registry problems, whose
+        simulator the server owns.  The study stays locked for the
+        duration (commit order == completion order still holds — there
+        is exactly one evaluation in flight per study), a saturated farm
+        surfaces as :class:`~repro.service.errors.ServiceBusy`, and an
+        :class:`ExternalProblem` is refused outright.  Returns the
+        committed record.
+        """
+        from repro.farm.errors import FarmSaturated
+
+        if self.farm is None:
+            raise BadRequest(
+                "server-side evaluation is disabled: this store was "
+                "built without an evaluation farm (pass farm= to the "
+                "store/server, or --farm-workers to python -m "
+                "repro.service)"
+            )
+        with self._entry(name) as entry:
+            study = entry.study
+            trial_id = int(trial_id)
+            trial = next(
+                (t for t in study.pending_trials() if t.id == trial_id), None
+            )
+            if trial is None:
+                raise UnknownTrial(
+                    f"study {name!r} has no pending trial {trial_id}; "
+                    "only asked-but-untold trials can be evaluated"
+                )
+            problem = study.problem
+            if isinstance(problem, ExternalProblem):
+                raise BadRequest(
+                    f"study {name!r} declares the externally-evaluated "
+                    f"problem {problem.name!r}: the client owns the "
+                    "simulator and must tell() results itself"
+                )
+            tenant = self._farm_tenant(name, problem)
+            try:
+                task = self.farm.submit(tenant, trial.u)
+            except FarmSaturated as exc:
+                raise ServiceBusy(
+                    f"evaluation farm is saturated for study {name!r}: "
+                    f"{exc}; retry after in-flight evaluations drain"
+                ) from exc
+            evaluation = self.farm.collect(task)
+            record = study.tell(trial, evaluation)
+            entry.leases.pop(trial_id, None)
+            self._checkpoint(entry)
+            return record
 
     def best(self, name: str):
         """Best feasible record so far (or ``None``)."""
@@ -341,6 +410,15 @@ class StudyStore:
         return reaped
 
     # -- internals --------------------------------------------------------------------
+
+    def _farm_tenant(self, name: str, problem):
+        """The study's farm tenant, registered lazily on first evaluate."""
+        from repro.farm.errors import UnknownTenant
+
+        try:
+            return self.farm.tenant(name)
+        except UnknownTenant:
+            return self.farm.register(name, problem=problem)
 
     def _entry(self, name: str):
         """Context manager: the named entry, locked and resident."""

@@ -36,6 +36,7 @@ def ledger_to_dict(ledger) -> dict | None:
                 "record_index": entry.record_index,
                 "strategy": entry.strategy,
                 "retracted": entry.retracted,
+                "speculative": entry.speculative,
             }
             for entry in ledger.entries
         ]
@@ -64,6 +65,7 @@ def ledger_from_dict(data: dict | None):
             record_index=item.get("record_index"),
             strategy=item.get("strategy", "fantasy"),
             retracted=bool(item.get("retracted", False)),
+            speculative=bool(item.get("speculative", False)),
         )
         ledger.entries.append(entry)
         if entry.committed_at is not None:

@@ -16,7 +16,9 @@ import pytest
 
 from repro.bo.config import (
     AcquisitionConfig,
+    FarmConfig,
     SchedulerConfig,
+    SpeculationConfig,
     SurrogateConfig,
     config_to_dict,
 )
@@ -97,6 +99,51 @@ class TestConfigValidation:
         assert payload["q"] == 1
         surrogate = config_to_dict(SurrogateConfig(hidden_dims=(8, 8)))
         assert surrogate["hidden_dims"] == [8, 8]
+
+
+class TestFarmConfigs:
+    def test_farm_and_speculation_dict_coercion(self):
+        config = SchedulerConfig(
+            executor="async-thread",
+            farm={"mode": "elastic", "max_in_flight": 6},
+            speculation={"max_speculative": 2},
+        )
+        assert isinstance(config.farm, FarmConfig)
+        assert config.farm.mode == "elastic"
+        assert isinstance(config.speculation, SpeculationConfig)
+        assert config.speculation.max_speculative == 2
+        payload = config_to_dict(config)
+        assert payload["farm"]["max_in_flight"] == 6
+        assert payload["speculation"]["max_age_landings"] == 4
+
+    def test_speculation_without_farm_rejected(self):
+        with pytest.raises(ValueError, match="farm"):
+            SchedulerConfig(
+                executor="async-thread", speculation=SpeculationConfig()
+            )
+
+    def test_farm_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            FarmConfig(mode="turbo")
+        with pytest.raises(ValueError, match="max_in_flight"):
+            FarmConfig(min_in_flight=4, max_in_flight=2)
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            FarmConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError, match="propose_cost_s"):
+            FarmConfig(propose_cost_s=0.0)
+
+    def test_adaptive_kappa_schedule(self):
+        config = AcquisitionConfig(hallucinate_kappa="beta-t")
+        early = config.resolve_hallucinate_kappa(dim=6, t=1)
+        late = config.resolve_hallucinate_kappa(dim=6, t=100)
+        assert 0.0 < early < late  # beta_t grows with t (GP-BUCB)
+        # a numeric kappa resolves to itself regardless of t
+        fixed = AcquisitionConfig(hallucinate_kappa=2.5)
+        assert fixed.resolve_hallucinate_kappa(dim=6, t=50) == 2.5
+        with pytest.raises(ValueError, match="hallucinate_kappa"):
+            AcquisitionConfig(hallucinate_kappa="linear")
+        with pytest.raises(ValueError, match="hallucinate_delta"):
+            AcquisitionConfig(hallucinate_delta=1.5)
 
 
 class TestErrorMessagesNameValues:

@@ -1,0 +1,47 @@
+"""Shared helpers for the farm suite.
+
+Module-level callables so the problems pickle into process-pool workers
+(same idiom as ``tests/bo/test_scheduler.py``).
+"""
+
+import numpy as np
+
+from repro.bo.problem import FunctionProblem
+from repro.gp import GPRegression
+
+
+def gp_factory(rng):
+    return GPRegression(n_restarts=1, seed=rng)
+
+
+def _quadratic_objective(x):
+    return float(np.sum((x - 0.3) ** 2))
+
+
+def _ring_constraint(x):
+    return float(0.04 - np.sum((x - 0.6) ** 2))
+
+
+def make_picklable_problem(dim: int = 2) -> FunctionProblem:
+    return FunctionProblem(
+        "picklable_quadratic",
+        np.zeros(dim),
+        np.ones(dim),
+        objective=_quadratic_objective,
+        constraints=[_ring_constraint],
+    )
+
+
+def _shifted_objective(x):
+    return float(np.sum((x - 0.7) ** 2))
+
+
+def make_second_problem(dim: int = 2) -> FunctionProblem:
+    """A second, distinct problem for multi-tenant tests."""
+    return FunctionProblem(
+        "picklable_shifted",
+        np.zeros(dim),
+        np.ones(dim),
+        objective=_shifted_objective,
+        constraints=[_ring_constraint],
+    )
